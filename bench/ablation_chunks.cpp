@@ -1,0 +1,60 @@
+// Ablation: chunk-count sweep (the paper fixes 4 chunks per message, §IV).
+// More chunks = finer overlap granularity but more per-message transfers.
+#include <cstdio>
+
+#include "analysis/speedup.hpp"
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace osim;
+  bench::BenchSetup setup;
+  setup.iterations = 5;
+  if (!setup.parse("ablation: chunks-per-message sweep", argc, argv)) {
+    return 0;
+  }
+
+  const int chunk_counts[] = {1, 2, 4, 8, 16};
+  std::vector<std::string> header{"app"};
+  for (const int c : chunk_counts) {
+    header.push_back(strprintf("%d chunk%s", c, c == 1 ? "" : "s"));
+  }
+  TextTable table(header);
+  table.set_title(
+      "speedup (measured patterns) vs non-overlapped, by chunk count");
+  TextTable table_ideal(header);
+  table_ideal.set_title(
+      "speedup (ideal patterns) vs non-overlapped, by chunk count");
+  CsvWriter csv(setup.out_path("ablation_chunks.csv"),
+                {"app", "chunks", "speedup_real", "speedup_ideal"});
+
+  for (const apps::MiniApp* app : setup.selected_apps()) {
+    const tracer::TracedRun traced = bench::trace(setup, *app);
+    const dimemas::Platform platform = setup.platform_for(*app);
+    std::vector<std::string> row{app->name()};
+    std::vector<std::string> row_ideal{app->name()};
+    for (const int chunks : chunk_counts) {
+      overlap::OverlapOptions options = setup.overlap_options();
+      options.chunks = chunks;
+      const auto outcome =
+          analysis::evaluate_overlap(traced.annotated, platform, options);
+      row.push_back(cell(outcome.speedup_real(), 4));
+      row_ideal.push_back(cell(outcome.speedup_ideal(), 4));
+      csv.add_row({app->name(), std::to_string(chunks),
+                   cell(outcome.speedup_real(), 6),
+                   cell(outcome.speedup_ideal(), 6)});
+    }
+    table.add_row(row);
+    table_ideal.add_row(row_ideal);
+  }
+  std::printf("%s\n%s\n", table.render().c_str(),
+              table_ideal.render().c_str());
+  std::printf("CSV written to %s\n",
+              setup.out_path("ablation_chunks.csv").c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,63 @@
+// Ablation: collective decomposition algorithm (binomial trees, flat
+// linear stars, log-round recursive doubling). The paper performs
+// collectives "as usual using multiple point-to-point MPI transfers"; this
+// bench quantifies how much the chosen decomposition matters per
+// application — most visibly for Alya, whose runtime is dominated by
+// one-element reductions.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "dimemas/replay.hpp"
+#include "overlap/transform.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace osim;
+  bench::BenchSetup setup;
+  setup.iterations = 5;
+  if (!setup.parse("ablation: collective decomposition algorithms", argc,
+                   argv)) {
+    return 0;
+  }
+
+  const dimemas::CollectiveAlgo algos[] = {
+      dimemas::CollectiveAlgo::kBinomialTree,
+      dimemas::CollectiveAlgo::kLinear,
+      dimemas::CollectiveAlgo::kRecursiveDoubling,
+  };
+
+  std::vector<std::string> header{"app"};
+  for (const auto algo : algos) {
+    header.push_back(dimemas::collective_algo_name(algo));
+  }
+  TextTable table(header);
+  table.set_title(
+      "original-execution makespan by collective decomposition algorithm");
+  CsvWriter csv(setup.out_path("ablation_collectives.csv"),
+                {"app", "algorithm", "t_original_s"});
+
+  for (const apps::MiniApp* app : setup.selected_apps()) {
+    const tracer::TracedRun traced = bench::trace(setup, *app);
+    const trace::Trace original = overlap::lower_original(traced.annotated);
+    const dimemas::Platform platform = setup.platform_for(*app);
+    std::vector<std::string> row{app->name()};
+    for (const auto algo : algos) {
+      dimemas::ReplayOptions options;
+      options.collective_algo = algo;
+      const double t = dimemas::replay(original, platform, options).makespan;
+      row.push_back(format_seconds(t));
+      csv.add_row({app->name(), dimemas::collective_algo_name(algo),
+                   cell(t, 6)});
+    }
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("CSV written to %s\n",
+              setup.out_path("ablation_collectives.csv").c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,72 @@
+// Ablation: the four overlap mechanisms toggled independently, per
+// application (DESIGN.md §5.3). Quantifies how much of the overlapped
+// execution's behaviour each mechanism is responsible for.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "dimemas/replay.hpp"
+#include "overlap/transform.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace osim;
+  bench::BenchSetup setup;
+  setup.iterations = 5;
+  if (!setup.parse("ablation: overlap mechanisms toggled independently",
+                   argc, argv)) {
+    return 0;
+  }
+
+  struct Variant {
+    const char* name;
+    bool advance, postpone, chunking, double_buffering;
+  };
+  const Variant variants[] = {
+      {"all on (paper)", true, true, true, true},
+      {"no advancing sends", false, true, true, true},
+      {"no postponed receptions", true, false, true, true},
+      {"no chunking", true, true, false, true},
+      {"no double buffering", true, true, true, false},
+  };
+
+  std::vector<std::string> header{"app", "original"};
+  for (const Variant& v : variants) header.push_back(v.name);
+  TextTable table(header);
+  table.set_title("speedup vs the non-overlapped execution, per mechanism");
+  CsvWriter csv(setup.out_path("ablation_mechanisms.csv"),
+                {"app", "variant", "time_s", "speedup"});
+
+  for (const apps::MiniApp* app : setup.selected_apps()) {
+    const tracer::TracedRun traced = bench::trace(setup, *app);
+    const dimemas::Platform platform = setup.platform_for(*app);
+    const double t_original =
+        dimemas::replay(overlap::lower_original(traced.annotated), platform)
+            .makespan;
+    std::vector<std::string> row{app->name(), format_seconds(t_original)};
+    csv.add_row({app->name(), "original", cell(t_original, 6), "1"});
+    for (const Variant& variant : variants) {
+      overlap::OverlapOptions options = setup.overlap_options();
+      options.advance_sends = variant.advance;
+      options.postpone_receptions = variant.postpone;
+      options.chunking = variant.chunking;
+      options.double_buffering = variant.double_buffering;
+      const double t =
+          dimemas::replay(overlap::transform(traced.annotated, options),
+                          platform)
+              .makespan;
+      row.push_back(cell(t_original / t, 4));
+      csv.add_row({app->name(), variant.name, cell(t, 6),
+                   cell(t_original / t, 6)});
+    }
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("CSV written to %s\n",
+              setup.out_path("ablation_mechanisms.csv").c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,59 @@
+// Ablation: eager/rendezvous threshold sweep. Advancing sends can only
+// land data early if the protocol lets the transfer progress before the
+// receive is posted (eager), so the threshold directly modulates how much
+// the overlapped execution gains.
+#include <cstdio>
+
+#include "analysis/speedup.hpp"
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace osim;
+  bench::BenchSetup setup;
+  setup.iterations = 5;
+  if (!setup.parse("ablation: eager-threshold sweep", argc, argv)) {
+    return 0;
+  }
+
+  const std::uint64_t thresholds[] = {0, 1024, 16 * 1024, 64 * 1024,
+                                      1u << 30};
+  std::vector<std::string> header{"app"};
+  for (const std::uint64_t t : thresholds) {
+    header.push_back(t >= (1u << 30) ? "always eager"
+                                     : format_bytes(static_cast<double>(t)));
+  }
+  TextTable table(header);
+  table.set_title(
+      "speedup (measured patterns) vs non-overlapped, by eager threshold");
+  CsvWriter csv(setup.out_path("ablation_protocol.csv"),
+                {"app", "eager_threshold_bytes", "speedup_real",
+                 "t_original_s", "t_overlapped_s"});
+
+  for (const apps::MiniApp* app : setup.selected_apps()) {
+    const tracer::TracedRun traced = bench::trace(setup, *app);
+    std::vector<std::string> row{app->name()};
+    for (const std::uint64_t threshold : thresholds) {
+      dimemas::Platform platform = setup.platform_for(*app);
+      platform.eager_threshold_bytes = threshold;
+      const auto outcome =
+          analysis::evaluate_overlap(traced.annotated, platform,
+                                     setup.overlap_options());
+      row.push_back(cell(outcome.speedup_real(), 4));
+      csv.add_row({app->name(), std::to_string(threshold),
+                   cell(outcome.speedup_real(), 6),
+                   cell(outcome.t_original, 6),
+                   cell(outcome.t_overlapped_real, 6)});
+    }
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("CSV written to %s\n",
+              setup.out_path("ablation_protocol.csv").c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,75 @@
+#include "bench_util.hpp"
+
+#include "common/expect.hpp"
+#include "common/strings.hpp"
+
+namespace osim::bench {
+
+bool BenchSetup::parse(const std::string& description, int argc,
+                       const char* const* argv, Flags* extra) {
+  Flags own(description);
+  Flags& flags = extra != nullptr ? *extra : own;
+  flags.add("ranks", &ranks, "simulated MPI ranks (paper: 64)");
+  flags.add("iterations", &iterations, "application iterations");
+  flags.add("chunks", &chunks, "chunks per message (paper: 4)");
+  flags.add("scale", &scale, "problem size multiplier");
+  flags.add("apps", &apps, "comma list of apps, or 'all'");
+  flags.add("out-dir", &out_dir, "directory for CSV outputs");
+  flags.add("paper-buses", &use_paper_buses,
+            "use the paper's Table I bus counts");
+  return flags.parse(argc, argv);
+}
+
+std::vector<const apps::MiniApp*> BenchSetup::selected_apps() const {
+  if (apps == "all") return apps::registry();
+  std::vector<const apps::MiniApp*> selected;
+  for (const std::string& name : split(apps, ',')) {
+    const auto* app = apps::find_app(trim(name));
+    if (app == nullptr) {
+      throw Error("unknown app '" + std::string(trim(name)) +
+                  "' (try: sweep3d, pop, alya, specfem3d, nas_bt, nas_cg)");
+    }
+    selected.push_back(app);
+  }
+  return selected;
+}
+
+apps::AppConfig BenchSetup::app_config(const apps::MiniApp& app) const {
+  apps::AppConfig config;
+  config.ranks = static_cast<std::int32_t>(ranks);
+  config.iterations = static_cast<std::int32_t>(iterations);
+  config.scale = static_cast<std::int32_t>(scale);
+  if (!app.supports_ranks(config.ranks)) {
+    // Round up to the nearest supported count (e.g. even for nas_cg).
+    while (!app.supports_ranks(config.ranks)) ++config.ranks;
+  }
+  return config;
+}
+
+overlap::OverlapOptions BenchSetup::overlap_options() const {
+  overlap::OverlapOptions options;
+  options.chunks = static_cast<int>(chunks);
+  return options;
+}
+
+dimemas::Platform BenchSetup::platform_for(const apps::MiniApp& app) const {
+  return dimemas::Platform::marenostrum(
+      static_cast<std::int32_t>(app_config(app).ranks), app.paper_buses());
+}
+
+std::string BenchSetup::out_path(const std::string& name) const {
+  std::filesystem::create_directories(out_dir);
+  return out_dir + "/" + name;
+}
+
+tracer::TracedRun trace(const BenchSetup& setup, const apps::MiniApp& app,
+                        bool record_access_log) {
+  tracer::TracerOptions options;
+  options.record_access_log = record_access_log;
+  std::fprintf(stderr, "[bench] tracing %s (%d ranks, %lld iterations)...\n",
+               app.name().c_str(), setup.app_config(app).ranks,
+               static_cast<long long>(setup.iterations));
+  return apps::trace_app(app, setup.app_config(app), options);
+}
+
+}  // namespace osim::bench

@@ -1,0 +1,50 @@
+// Shared plumbing for the paper-reproduction bench binaries: flag handling,
+// per-application tracing with the paper's default setup, and output
+// locations for the CSV series each bench writes next to its table.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "common/flags.hpp"
+#include "dimemas/platform.hpp"
+#include "overlap/options.hpp"
+#include "tracer/tracer.hpp"
+
+namespace osim::bench {
+
+struct BenchSetup {
+  std::int64_t ranks = 16;       // paper: 64; 16 keeps the default run fast
+  std::int64_t iterations = 8;
+  std::int64_t chunks = 4;       // paper §IV: four chunks per message
+  std::int64_t scale = 1;
+  std::string apps = "all";      // comma list or "all"
+  std::string out_dir = "bench_results";
+  bool use_paper_buses = true;   // Table I values; false → calibrate
+
+  /// Registers the shared flags and parses argv. Returns false on --help.
+  bool parse(const std::string& description, int argc, const char* const* argv,
+             Flags* extra = nullptr);
+
+  /// The applications selected by --apps, in registry order.
+  std::vector<const apps::MiniApp*> selected_apps() const;
+
+  apps::AppConfig app_config(const apps::MiniApp& app) const;
+
+  overlap::OverlapOptions overlap_options() const;
+
+  /// Marenostrum-like platform with the app's Table I bus count.
+  dimemas::Platform platform_for(const apps::MiniApp& app) const;
+
+  /// Ensures out_dir exists and returns out_dir/name.
+  std::string out_path(const std::string& name) const;
+};
+
+/// Traces `app` under the setup (prints a progress line to stderr).
+tracer::TracedRun trace(const BenchSetup& setup, const apps::MiniApp& app,
+                        bool record_access_log = false);
+
+}  // namespace osim::bench

@@ -1,0 +1,68 @@
+// Critical-path composition per application, original vs overlapped: how
+// much of the path the overlap mechanisms remove. The quantitative form of
+// the paper's Figure 4 reading ("the performance improvement is mostly
+// attributed to advancing the MPI transfer").
+#include <cstdio>
+
+#include "analysis/critical_path.hpp"
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "dimemas/replay.hpp"
+#include "overlap/transform.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace osim;
+  bench::BenchSetup setup;
+  setup.iterations = 5;
+  if (!setup.parse("critical-path composition, original vs overlapped", argc,
+                   argv)) {
+    return 0;
+  }
+
+  TextTable table({"app", "variant", "makespan", "path compute",
+                   "path communication", "comm share", "ranks on path"});
+  table.set_title("critical-path composition");
+  CsvWriter csv(setup.out_path("critpath_analysis.csv"),
+                {"app", "variant", "makespan_s", "compute_s",
+                 "communication_s", "comm_share", "ranks_on_path"});
+
+  for (const apps::MiniApp* app : setup.selected_apps()) {
+    const tracer::TracedRun traced = bench::trace(setup, *app);
+    const dimemas::Platform platform = setup.platform_for(*app);
+    struct Variant {
+      const char* name;
+      trace::Trace trace;
+    };
+    const Variant variants[] = {
+        {"original", overlap::lower_original(traced.annotated)},
+        {"overlapped",
+         overlap::transform(traced.annotated, setup.overlap_options())},
+    };
+    for (const Variant& variant : variants) {
+      dimemas::ReplayOptions options;
+      options.record_timeline = true;
+      const auto result =
+          dimemas::replay(variant.trace, platform, options);
+      const analysis::CriticalPath path = analysis::critical_path(result);
+      table.add_row({app->name(), variant.name,
+                     format_seconds(path.makespan),
+                     format_seconds(path.compute_s),
+                     format_seconds(path.communication_s),
+                     cell_percent(path.communication_share(), 1),
+                     std::to_string(path.ranks_visited())});
+      csv.add_row({app->name(), variant.name, cell(path.makespan, 6),
+                   cell(path.compute_s, 6), cell(path.communication_s, 6),
+                   cell(path.communication_share(), 4),
+                   std::to_string(path.ranks_visited())});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("CSV written to %s\n",
+              setup.out_path("critpath_analysis.csv").c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

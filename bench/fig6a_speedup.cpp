@@ -1,0 +1,54 @@
+// Figure 6(a) reproduction: speedup of the overlapped execution over the
+// non-overlapped execution, for the measured ("real") and ideal
+// production/consumption patterns, on the Marenostrum-like test bed
+// (250 MB/s, Table I bus counts, 4 chunks per message).
+//
+// Expected shape (paper): real patterns give small speedups with NAS-CG the
+// clear winner; ideal patterns give decent speedups with Sweep3D the
+// highest (wavefront pipelining).
+#include <cstdio>
+
+#include "analysis/speedup.hpp"
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace osim;
+  bench::BenchSetup setup;
+  if (!setup.parse("Figure 6(a): overlapped-execution speedup", argc, argv)) {
+    return 0;
+  }
+
+  TextTable table({"app", "T original", "T overlap real", "T overlap ideal",
+                   "speedup real", "speedup ideal"});
+  table.set_title("Figure 6(a): speedup of overlapped execution");
+  CsvWriter csv(setup.out_path("fig6a_speedup.csv"),
+                {"app", "t_original_s", "t_real_s", "t_ideal_s",
+                 "speedup_real", "speedup_ideal"});
+
+  for (const apps::MiniApp* app : setup.selected_apps()) {
+    const tracer::TracedRun traced = bench::trace(setup, *app);
+    const auto outcome = analysis::evaluate_overlap(
+        traced.annotated, setup.platform_for(*app), setup.overlap_options());
+    table.add_row({app->name(), format_seconds(outcome.t_original),
+                   format_seconds(outcome.t_overlapped_real),
+                   format_seconds(outcome.t_overlapped_ideal),
+                   cell(outcome.speedup_real(), 4),
+                   cell(outcome.speedup_ideal(), 4)});
+    csv.add_row({app->name(), cell(outcome.t_original, 6),
+                 cell(outcome.t_overlapped_real, 6),
+                 cell(outcome.t_overlapped_ideal, 6),
+                 cell(outcome.speedup_real(), 6),
+                 cell(outcome.speedup_ideal(), 6)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("CSV written to %s\n",
+              setup.out_path("fig6a_speedup.csv").c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,67 @@
+// Figure 6(b) reproduction: bandwidth relaxation — the minimum network
+// bandwidth at which the *overlapped* execution still matches the
+// performance of the *non-overlapped* execution at the nominal 250 MB/s.
+//
+// Paper: "the biggest benefit of overlap is that it allows to significantly
+// relax network bandwidth without consequently degrading the performance";
+// Sweep3D relaxes the most (down to 11.75 MB/s).
+#include <cstdio>
+
+#include "analysis/bandwidth.hpp"
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "overlap/transform.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace osim;
+  bench::BenchSetup setup;
+  if (!setup.parse("Figure 6(b): bandwidth relaxation under overlap", argc,
+                   argv)) {
+    return 0;
+  }
+
+  TextTable table({"app", "relaxed BW real (MB/s)", "relaxed BW ideal (MB/s)",
+                   "nominal (MB/s)"});
+  table.set_title(
+      "Figure 6(b): bandwidth needed by the overlapped execution to match "
+      "the non-overlapped execution at nominal bandwidth");
+  CsvWriter csv(setup.out_path("fig6b_relaxation.csv"),
+                {"app", "relaxed_real_MBps", "relaxed_ideal_MBps",
+                 "nominal_MBps"});
+
+  for (const apps::MiniApp* app : setup.selected_apps()) {
+    const tracer::TracedRun traced = bench::trace(setup, *app);
+    const trace::Trace original = overlap::lower_original(traced.annotated);
+
+    overlap::OverlapOptions real_options = setup.overlap_options();
+    real_options.pattern = overlap::PatternMode::kMeasured;
+    overlap::OverlapOptions ideal_options = setup.overlap_options();
+    ideal_options.pattern = overlap::PatternMode::kIdeal;
+    const trace::Trace real =
+        overlap::transform(traced.annotated, real_options);
+    const trace::Trace ideal =
+        overlap::transform(traced.annotated, ideal_options);
+
+    const dimemas::Platform platform = setup.platform_for(*app);
+    const auto bw_real = analysis::relaxed_bandwidth(original, real, platform);
+    const auto bw_ideal =
+        analysis::relaxed_bandwidth(original, ideal, platform);
+
+    auto show = [](const std::optional<double>& bw) {
+      return bw ? cell(*bw, 4) : std::string("n/a");
+    };
+    table.add_row({app->name(), show(bw_real), show(bw_ideal),
+                   cell(platform.bandwidth_MBps, 4)});
+    csv.add_row({app->name(), show(bw_real), show(bw_ideal),
+                 cell(platform.bandwidth_MBps, 4)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("CSV written to %s\n",
+              setup.out_path("fig6b_relaxation.csv").c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,90 @@
+// Google-benchmark microbenchmarks of the front half of the pipeline: the
+// in-process MPI runtime, the tracer's access interception, and full
+// app-tracing throughput.
+#include <benchmark/benchmark.h>
+
+#include "apps/app.hpp"
+#include "mpisim/mpisim.hpp"
+#include "tracer/tracer.hpp"
+
+namespace {
+
+using namespace osim;
+
+void BM_MpisimPingPong(benchmark::State& state) {
+  const std::int64_t rounds = state.range(0);
+  for (auto _ : state) {
+    mpisim::Runtime::run(2, [rounds](mpisim::Comm& comm) {
+      std::vector<double> buf(128, 1.0);
+      for (std::int64_t i = 0; i < rounds; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(std::span<const double>(buf), 1, 0);
+          comm.recv(std::span<double>(buf), 1, 1);
+        } else {
+          comm.recv(std::span<double>(buf), 0, 0);
+          comm.send(std::span<const double>(buf), 0, 1);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_MpisimPingPong)->Arg(64)->Arg(512)->UseRealTime();
+
+void BM_MpisimAllreduce(benchmark::State& state) {
+  const std::int64_t rounds = 32;
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpisim::Runtime::run(ranks, [rounds](mpisim::Comm& comm) {
+      for (std::int64_t i = 0; i < rounds; ++i) {
+        benchmark::DoNotOptimize(
+            comm.allreduce_scalar(1.0, mpisim::Op::kSum));
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_MpisimAllreduce)->Arg(4)->Arg(16)->UseRealTime();
+
+void BM_TrackedAccess(benchmark::State& state) {
+  // Cost of one tracked store + load pair (the tracer's hot path).
+  tracer::TracerOptions options;
+  tracer::TraceContext ctx(0, options);
+  const std::int64_t id = ctx.register_buffer(1024, 8, "bench");
+  std::size_t i = 0;
+  for (auto _ : state) {
+    ctx.on_store(id, i);
+    ctx.on_load(id, i);
+    i = (i + 1) & 1023;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_TrackedAccess);
+
+void BM_TraceAppNasCg(benchmark::State& state) {
+  const apps::MiniApp* app = apps::find_app("nas_cg");
+  apps::AppConfig config;
+  config.ranks = 4;
+  config.iterations = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        apps::trace_app(*app, config).annotated.ranks[0].events.size());
+  }
+}
+BENCHMARK(BM_TraceAppNasCg)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_TraceAppSweep3d(benchmark::State& state) {
+  const apps::MiniApp* app = apps::find_app("sweep3d");
+  apps::AppConfig config;
+  config.ranks = 4;
+  config.iterations = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        apps::trace_app(*app, config).annotated.ranks[0].events.size());
+  }
+}
+BENCHMARK(BM_TraceAppSweep3d)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

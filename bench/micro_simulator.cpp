@@ -1,0 +1,192 @@
+// Google-benchmark microbenchmarks of the simulator internals: DES event
+// throughput, network model transfer rates, replay throughput, collective
+// expansion, and the overlap transformation. These quantify the "fast"
+// half of the paper's "fast and precise simulation framework" claim.
+#include <benchmark/benchmark.h>
+
+#include "dimemas/collectives.hpp"
+#include "dimemas/events.hpp"
+#include "dimemas/network.hpp"
+#include "dimemas/replay.hpp"
+#include "overlap/transform.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace osim;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    dimemas::EventQueue q;
+    std::int64_t count = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      q.schedule(static_cast<double>((i * 2654435761u) % 1000),
+                 [&count] { ++count; });
+    }
+    q.run_until_empty();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_BusNetworkTransfers(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  dimemas::Platform p;
+  p.num_nodes = 16;
+  p.bandwidth_MBps = 100.0;
+  p.latency_us = 5.0;
+  p.num_buses = 8;
+  for (auto _ : state) {
+    dimemas::EventQueue q;
+    dimemas::BusNetwork net(q, p);
+    std::int64_t done = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      net.submit(dimemas::Transfer{static_cast<std::int32_t>(i % 16),
+                                   static_cast<std::int32_t>((i + 5) % 16),
+                                   4096},
+                 [&done](double) { ++done; });
+    }
+    q.run_until_empty();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BusNetworkTransfers)->Arg(1024)->Arg(4096);
+
+void BM_FairShareNetworkTransfers(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  dimemas::Platform p;
+  p.num_nodes = 16;
+  p.model = dimemas::NetworkModelKind::kFairShare;
+  p.bandwidth_MBps = 100.0;
+  p.latency_us = 5.0;
+  p.fabric_capacity_links = 4.0;
+  for (auto _ : state) {
+    dimemas::EventQueue q;
+    dimemas::FairShareNetwork net(q, p);
+    std::int64_t done = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      net.submit(dimemas::Transfer{static_cast<std::int32_t>(i % 16),
+                                   static_cast<std::int32_t>((i + 5) % 16),
+                                   4096},
+                 [&done](double) { ++done; });
+    }
+    q.run_until_empty();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FairShareNetworkTransfers)->Arg(256)->Arg(2048);
+
+trace::Trace ring_trace(std::int32_t ranks, int rounds) {
+  trace::TraceBuilder b(ranks, 1000.0);
+  for (trace::Rank r = 0; r < ranks; ++r) {
+    const trace::Rank next = static_cast<trace::Rank>((r + 1) % ranks);
+    const trace::Rank prev =
+        static_cast<trace::Rank>((r + ranks - 1) % ranks);
+    for (int i = 0; i < rounds; ++i) {
+      b.irecv(r, prev, i, 8192, i + 1);
+      b.compute(r, 5000);
+      b.send(r, next, i, 8192);
+      b.wait(r, {i + 1});
+    }
+  }
+  return std::move(b).build();
+}
+
+void BM_ReplayRing(benchmark::State& state) {
+  const trace::Trace t = ring_trace(static_cast<std::int32_t>(state.range(0)),
+                                    64);
+  dimemas::Platform p;
+  p.num_nodes = static_cast<std::int32_t>(state.range(0));
+  p.bandwidth_MBps = 250.0;
+  p.latency_us = 4.0;
+  dimemas::ReplayOptions options;
+  options.validate_input = false;
+  std::size_t records = t.total_records();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dimemas::replay(t, p, options).makespan);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_ReplayRing)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ExpandCollectives(benchmark::State& state) {
+  const std::int32_t ranks = static_cast<std::int32_t>(state.range(0));
+  trace::TraceBuilder b(ranks, 1000.0);
+  for (trace::Rank r = 0; r < ranks; ++r) {
+    for (int i = 0; i < 32; ++i) {
+      b.global(r, trace::CollectiveKind::kAllreduce, 0, 8, i);
+    }
+  }
+  const trace::Trace t = std::move(b).build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dimemas::expand_collectives(t).total_records());
+  }
+}
+BENCHMARK(BM_ExpandCollectives)->Arg(16)->Arg(64)->Arg(256);
+
+trace::AnnotatedTrace chunked_pair(std::uint64_t elems, int messages) {
+  trace::AnnotatedTrace t = trace::AnnotatedTrace::make(2, 1000.0);
+  std::uint64_t clock = 0;
+  for (int m = 0; m < messages; ++m) {
+    trace::AnnEvent send;
+    send.kind = trace::AnnEvent::Kind::kSend;
+    send.peer = 1;
+    send.tag = 0;
+    send.elem_bytes = 8;
+    send.bytes = elems * 8;
+    send.buffer_id = 0;
+    send.chunkable = true;
+    send.interval_start = clock;
+    clock += elems * 10;
+    send.vclock = clock;
+    send.elem_last_store.resize(elems);
+    for (std::uint64_t i = 0; i < elems; ++i) {
+      send.elem_last_store[i] = send.interval_start + (i + 1) * 10;
+    }
+    t.ranks[0].events.push_back(std::move(send));
+
+    trace::AnnEvent recv;
+    recv.kind = trace::AnnEvent::Kind::kRecv;
+    recv.peer = 0;
+    recv.tag = 0;
+    recv.elem_bytes = 8;
+    recv.bytes = elems * 8;
+    recv.buffer_id = 0;
+    recv.chunkable = true;
+    recv.vclock = clock > elems * 10 ? clock - elems * 10 : 0;
+    recv.interval_end = clock;
+    recv.elem_first_load.assign(elems, recv.vclock);
+    t.ranks[1].events.push_back(std::move(recv));
+  }
+  t.ranks[0].final_vclock = clock;
+  t.ranks[1].final_vclock = clock;
+  return t;
+}
+
+void BM_OverlapTransform(benchmark::State& state) {
+  const trace::AnnotatedTrace t =
+      chunked_pair(static_cast<std::uint64_t>(state.range(0)), 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        overlap::transform(t, overlap::OverlapOptions{}).total_records());
+  }
+}
+BENCHMARK(BM_OverlapTransform)->Arg(256)->Arg(4096);
+
+void BM_LowerOriginal(benchmark::State& state) {
+  const trace::AnnotatedTrace t =
+      chunked_pair(static_cast<std::uint64_t>(state.range(0)), 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(overlap::lower_original(t).total_records());
+  }
+}
+BENCHMARK(BM_LowerOriginal)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Scaling study: overlap speedup as a function of the rank count (the
+// paper's machine was 64 nodes; its motivation — network cost grows with
+// scale — implies the benefit should persist or grow as ranks increase).
+// Sweep3D's wavefront pipelining is the clearest case: the ideal-pattern
+// speedup grows with the process-grid diagonal.
+#include <cstdio>
+
+#include "analysis/speedup.hpp"
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace osim;
+  bench::BenchSetup setup;
+  setup.iterations = 4;
+  if (!setup.parse("scaling: overlap speedup vs rank count", argc, argv)) {
+    return 0;
+  }
+
+  const std::int32_t rank_counts[] = {4, 8, 16, 32, 64};
+  std::vector<std::string> header{"app", "pattern"};
+  for (const std::int32_t r : rank_counts) {
+    header.push_back(strprintf("%d ranks", r));
+  }
+  TextTable table(header);
+  table.set_title("overlap speedup vs rank count");
+  CsvWriter csv(setup.out_path("scaling_ranks.csv"),
+                {"app", "pattern", "ranks", "speedup"});
+
+  for (const apps::MiniApp* app : setup.selected_apps()) {
+    std::vector<std::string> row_real{app->name(), "real"};
+    std::vector<std::string> row_ideal{app->name(), "ideal"};
+    for (const std::int32_t ranks : rank_counts) {
+      apps::AppConfig config;
+      config.ranks = ranks;
+      while (!app->supports_ranks(config.ranks)) ++config.ranks;
+      config.iterations = static_cast<std::int32_t>(setup.iterations);
+      config.scale = static_cast<std::int32_t>(setup.scale);
+      const tracer::TracedRun traced = apps::trace_app(*app, config);
+      const dimemas::Platform platform =
+          dimemas::Platform::marenostrum(config.ranks, app->paper_buses());
+      const auto outcome = analysis::evaluate_overlap(
+          traced.annotated, platform, setup.overlap_options());
+      row_real.push_back(cell(outcome.speedup_real(), 4));
+      row_ideal.push_back(cell(outcome.speedup_ideal(), 4));
+      csv.add_row({app->name(), "real", std::to_string(config.ranks),
+                   cell(outcome.speedup_real(), 6)});
+      csv.add_row({app->name(), "ideal", std::to_string(config.ranks),
+                   cell(outcome.speedup_ideal(), 6)});
+    }
+    table.add_row(row_real);
+    table.add_row(row_ideal);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("CSV written to %s\n",
+              setup.out_path("scaling_ranks.csv").c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,64 @@
+// Table I reproduction: the number of Dimemas buses per application,
+// calibrated so the bus-model simulation matches the "real machine"
+// (our detailed fair-share reference platform — see DESIGN.md).
+//
+// Paper values: Sweep3D 12, POP 12, Alya 11, SPECFEM3D 8, BT 22, CG 6.
+// The absolute counts depend on the real machine's congestion profile; the
+// reproduction's check is that a finite, per-application bus count exists
+// that matches the reference closely (small relative error).
+#include <cstdio>
+
+#include "analysis/calibrate.hpp"
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "overlap/transform.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace osim;
+  bench::BenchSetup setup;
+  if (!setup.parse("Table I: Dimemas bus counts calibrated per application",
+                   argc, argv)) {
+    return 0;
+  }
+
+  TextTable table({"app", "buses (calibrated)", "buses (paper)",
+                   "T reference", "T bus model", "rel. error"});
+  table.set_title("Table I: number of network buses used in Dimemas");
+  CsvWriter csv(setup.out_path("table1_buses.csv"),
+                {"app", "buses", "paper_buses", "t_reference_s",
+                 "t_bus_model_s", "relative_error"});
+
+  for (const apps::MiniApp* app : setup.selected_apps()) {
+    const tracer::TracedRun traced = bench::trace(setup, *app);
+    const trace::Trace original = overlap::lower_original(traced.annotated);
+    const std::int32_t ranks = setup.app_config(*app).ranks;
+
+    const dimemas::Platform reference =
+        dimemas::Platform::reference_machine(ranks);
+    dimemas::Platform bus_base = dimemas::Platform::marenostrum(ranks, 1);
+
+    const analysis::BusCalibration calibration =
+        analysis::calibrate_buses(original, bus_base, reference);
+
+    table.add_row({app->name(), std::to_string(calibration.buses),
+                   std::to_string(app->paper_buses()),
+                   format_seconds(calibration.reference_time),
+                   format_seconds(calibration.simulated_time),
+                   cell_percent(calibration.relative_error)});
+    csv.add_row({app->name(), std::to_string(calibration.buses),
+                 std::to_string(app->paper_buses()),
+                 cell(calibration.reference_time, 6),
+                 cell(calibration.simulated_time, 6),
+                 cell(calibration.relative_error, 4)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("CSV written to %s\n",
+              setup.out_path("table1_buses.csv").c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

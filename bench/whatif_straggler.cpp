@@ -1,0 +1,66 @@
+// Straggler study: one node runs slower than the rest (heterogeneous
+// platform). Does overlap mask or amplify the imbalance? Reports the
+// slowdown each variant suffers relative to its own homogeneous baseline.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "dimemas/replay.hpp"
+#include "overlap/transform.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace osim;
+  bench::BenchSetup setup;
+  setup.iterations = 5;
+  double straggler_speed = 0.8;  // the slow node runs at 80%
+  Flags flags("what-if: one straggler node at reduced CPU speed");
+  flags.add("straggler-speed", &straggler_speed,
+            "CPU speed multiplier of the slow node");
+  if (!setup.parse("", argc, argv, &flags)) return 0;
+
+  TextTable table({"app", "variant", "T homogeneous", "T straggler",
+                   "slowdown"});
+  table.set_title(strprintf(
+      "impact of one node at %.0f%% CPU speed", straggler_speed * 100));
+  CsvWriter csv(setup.out_path("whatif_straggler.csv"),
+                {"app", "variant", "t_homogeneous_s", "t_straggler_s",
+                 "slowdown"});
+
+  for (const apps::MiniApp* app : setup.selected_apps()) {
+    const tracer::TracedRun traced = bench::trace(setup, *app);
+    const dimemas::Platform base = setup.platform_for(*app);
+    dimemas::Platform straggler = base;
+    straggler.per_node_cpu_speed.assign(
+        static_cast<std::size_t>(base.num_nodes), 1.0);
+    straggler.per_node_cpu_speed[static_cast<std::size_t>(
+        base.num_nodes / 2)] = straggler_speed;
+
+    struct Variant {
+      const char* name;
+      trace::Trace trace;
+    };
+    const Variant variants[] = {
+        {"original", overlap::lower_original(traced.annotated)},
+        {"overlapped",
+         overlap::transform(traced.annotated, setup.overlap_options())},
+    };
+    for (const Variant& variant : variants) {
+      const double t_base = dimemas::replay(variant.trace, base).makespan;
+      const double t_slow =
+          dimemas::replay(variant.trace, straggler).makespan;
+      table.add_row({app->name(), variant.name, format_seconds(t_base),
+                     format_seconds(t_slow), cell(t_slow / t_base, 4)});
+      csv.add_row({app->name(), variant.name, cell(t_base, 6),
+                   cell(t_slow, 6), cell(t_slow / t_base, 6)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("CSV written to %s\n",
+              setup.out_path("whatif_straggler.csv").c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

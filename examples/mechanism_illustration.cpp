@@ -1,0 +1,90 @@
+// Reproduces the paper's Figures 1 and 2 conceptually: a two-rank
+// producer/consumer where process A produces a four-element message while
+// process B consumes the previous one. The non-overlapped execution
+// serializes production, transfer and consumption; the overlapped execution
+// splits the message into four chunks, sends each as soon as it is produced
+// and waits for each only when it is consumed.
+//
+// Build & run:  ./build/examples/mechanism_illustration
+#include <cstdio>
+
+#include "dimemas/replay.hpp"
+#include "overlap/transform.hpp"
+#include "paraver/paraver.hpp"
+#include "tracer/tracer.hpp"
+
+int main() try {
+  using namespace osim;
+
+  // The Figure 1/2 setup: A produces p0..p3 (one long phase each), then
+  // sends; B consumes c0..c3 of the message it received last iteration.
+  constexpr std::size_t kElements = 4;
+  constexpr std::uint64_t kPhase = 400'000;  // instructions per element
+  constexpr int kIterations = 3;
+
+  const tracer::TracedRun traced = tracer::run_traced(
+      2, {}, "figure2", [&](tracer::Process& p) {
+        auto buffer = p.make_buffer<double>(kElements, "message");
+        if (p.rank() == 0) {
+          // Process A: produce element i during phase Tp_i, send the whole
+          // message at the end of the iteration.
+          for (int iter = 0; iter < kIterations; ++iter) {
+            for (std::size_t i = 0; i < kElements; ++i) {
+              p.compute(kPhase);  // Tp_i
+              buffer[i] = static_cast<double>(iter) + 0.25 * i;
+            }
+            p.send(buffer, 1, 0);
+          }
+        } else {
+          // Process B: receive, then consume element i during phase Tc_i.
+          for (int iter = 0; iter < kIterations; ++iter) {
+            p.recv(buffer, 0, 0);
+            for (std::size_t i = 0; i < kElements; ++i) {
+              const double v = buffer.load(i);
+              p.compute(kPhase);  // Tc_i
+              if (v < -1.0) return;  // (keeps the load observable)
+            }
+          }
+        }
+      });
+
+  // A slow network makes the transfer delays visible, as in the figures.
+  dimemas::Platform platform;
+  platform.num_nodes = 2;
+  platform.bandwidth_MBps = 10.0;  // deliberately slow
+  platform.latency_us = 20.0;
+  // The whole 32-byte message is eager either way; use chunks of one
+  // element, exactly as Figure 2 draws them.
+  overlap::OverlapOptions options;
+  options.chunks = 4;
+
+  dimemas::ReplayOptions replay_options;
+  replay_options.record_timeline = true;
+  const auto original = dimemas::replay(
+      overlap::lower_original(traced.annotated), platform, replay_options);
+  const auto overlapped = dimemas::replay(
+      overlap::transform(traced.annotated, options), platform,
+      replay_options);
+
+  paraver::AsciiOptions ascii;
+  ascii.width = 100;
+  ascii.show_stats = false;
+  std::printf("%s\n",
+              paraver::render_comparison(
+                  original, "Figure 1: non-overlapped (produce all, send, "
+                            "consume all)",
+                  overlapped,
+                  "Figure 2: overlapped (chunked, advanced, postponed)",
+                  ascii)
+                  .c_str());
+  std::printf(
+      "The overlapped run hides each chunk's transfer behind the production "
+      "of the\nfollowing chunks (sender) and the consumption of the "
+      "preceding chunks (receiver):\n  %.3f ms -> %.3f ms (%.1f%% faster)\n",
+      original.makespan * 1e3, overlapped.makespan * 1e3,
+      100.0 * (1.0 - overlapped.makespan / original.makespan));
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

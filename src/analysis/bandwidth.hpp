@@ -1,0 +1,54 @@
+// Bandwidth searches — Figures 6(b) and 6(c).
+//
+// 6(b) bandwidth relaxation: the minimum bandwidth at which the overlapped
+// execution still matches the performance of the non-overlapped execution
+// on the full-bandwidth network ("in order to achieve the performance of
+// the non-overlapped execution on 250MB/s, the overlapped execution needs
+// much less bandwidth").
+//
+// 6(c) equivalent bandwidth: the bandwidth the *non-overlapped* execution
+// would need to match the overlapped execution at full bandwidth. May
+// diverge: "for some applications the performance of the overlapped
+// execution cannot be achieved with non-overlapped execution on any
+// bandwidth" (Sweep3D).
+#pragma once
+
+#include <optional>
+
+#include "dimemas/platform.hpp"
+#include "trace/trace.hpp"
+
+namespace osim::analysis {
+
+struct BandwidthSearchOptions {
+  double low_MBps = 0.01;       // lower bracket for the bisection
+  double high_MBps = 1.0e6;     // "any bandwidth" cap for divergence checks
+  double rel_tolerance = 1e-3;  // bisection convergence on bandwidth
+};
+
+/// Replay time of `t` on `platform` with its bandwidth overridden.
+double time_at_bandwidth(const trace::Trace& t,
+                         const dimemas::Platform& platform, double mbps);
+
+/// Minimum bandwidth (MB/s) at which `t` finishes within `target_time_s` on
+/// `platform`; nullopt if not achievable even at options.high_MBps.
+/// Replay time is non-increasing in bandwidth, so bisection applies.
+std::optional<double> min_bandwidth_for(
+    const trace::Trace& t, const dimemas::Platform& platform,
+    double target_time_s, const BandwidthSearchOptions& options = {});
+
+/// Figure 6(b): bandwidth the overlapped trace needs to match the original
+/// trace at the platform's nominal bandwidth.
+std::optional<double> relaxed_bandwidth(
+    const trace::Trace& original, const trace::Trace& overlapped,
+    const dimemas::Platform& platform,
+    const BandwidthSearchOptions& options = {});
+
+/// Figure 6(c): bandwidth the original trace needs to match the overlapped
+/// trace at the platform's nominal bandwidth; nullopt = tends to infinity.
+std::optional<double> equivalent_bandwidth(
+    const trace::Trace& original, const trace::Trace& overlapped,
+    const dimemas::Platform& platform,
+    const BandwidthSearchOptions& options = {});
+
+}  // namespace osim::analysis

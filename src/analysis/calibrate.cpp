@@ -1,0 +1,47 @@
+#include "analysis/calibrate.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+#include "dimemas/replay.hpp"
+
+namespace osim::analysis {
+
+BusCalibration calibrate_buses(const trace::Trace& t,
+                               const dimemas::Platform& bus_platform,
+                               const dimemas::Platform& reference_platform,
+                               const CalibrateOptions& options) {
+  OSIM_CHECK(options.max_buses >= 1);
+  OSIM_CHECK(reference_platform.model ==
+             dimemas::NetworkModelKind::kFairShare);
+  trace::validate(t);
+  dimemas::ReplayOptions replay_options;
+  replay_options.validate_input = false;
+
+  BusCalibration best;
+  best.reference_time =
+      dimemas::replay(t, reference_platform, replay_options).makespan;
+  OSIM_CHECK(best.reference_time > 0.0);
+
+  double best_error = std::numeric_limits<double>::infinity();
+  for (std::int32_t buses = 1; buses <= options.max_buses; ++buses) {
+    dimemas::Platform p = bus_platform;
+    p.model = dimemas::NetworkModelKind::kBus;
+    p.num_buses = buses;
+    const double sim = dimemas::replay(t, p, replay_options).makespan;
+    const double error =
+        std::fabs(sim - best.reference_time) / best.reference_time;
+    if (error < best_error) {
+      best_error = error;
+      best.buses = buses;
+      best.simulated_time = sim;
+      best.relative_error = error;
+    }
+    // Simulated time is non-increasing in the bus count: once it dips below
+    // the reference, adding buses only moves further away.
+    if (sim <= best.reference_time) break;
+  }
+  return best;
+}
+
+}  // namespace osim::analysis

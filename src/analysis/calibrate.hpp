@@ -1,0 +1,37 @@
+// Table I: calibrating the Dimemas bus count against the "real machine".
+//
+// The paper: "The number of buses has to be properly setup in the Dimemas
+// simulator in order to match the simulated results with the real results
+// of the application obtained from a real run on the Marenostrum
+// supercomputer." In this reproduction the "real run" is the replay on the
+// detailed fair-share reference machine (see DESIGN.md substitutions); the
+// calibration sweeps the bus count of the bus-model platform and picks the
+// one whose makespan is closest to the reference.
+#pragma once
+
+#include <cstdint>
+
+#include "dimemas/platform.hpp"
+#include "trace/trace.hpp"
+
+namespace osim::analysis {
+
+struct BusCalibration {
+  std::int32_t buses = 0;         // best-matching bus count
+  double reference_time = 0.0;    // "real machine" makespan
+  double simulated_time = 0.0;    // bus-model makespan at `buses`
+  double relative_error = 0.0;    // |sim - ref| / ref
+};
+
+struct CalibrateOptions {
+  std::int32_t max_buses = 64;
+};
+
+/// Sweeps buses in [1, max_buses]; replay time is non-increasing in the bus
+/// count, so the sweep stops at the first crossing and compares neighbours.
+BusCalibration calibrate_buses(const trace::Trace& t,
+                               const dimemas::Platform& bus_platform,
+                               const dimemas::Platform& reference_platform,
+                               const CalibrateOptions& options = {});
+
+}  // namespace osim::analysis

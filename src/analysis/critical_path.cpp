@@ -1,0 +1,134 @@
+#include "analysis/critical_path.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/expect.hpp"
+#include "common/strings.hpp"
+
+namespace osim::analysis {
+
+using dimemas::RankState;
+using dimemas::SimResult;
+using dimemas::StateInterval;
+
+std::size_t CriticalPath::ranks_visited() const {
+  std::set<trace::Rank> ranks;
+  for (const CriticalSegment& segment : segments) ranks.insert(segment.rank);
+  return ranks.size();
+}
+
+namespace {
+
+/// Index of the last interval on `timeline` that begins strictly before
+/// `t`, or npos.
+std::size_t interval_before(const std::vector<StateInterval>& timeline,
+                            double t) {
+  // Timelines are chronological; binary search on begin.
+  std::size_t lo = 0;
+  std::size_t hi = timeline.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (timeline[mid].begin < t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == 0 ? static_cast<std::size_t>(-1) : lo - 1;
+}
+
+}  // namespace
+
+CriticalPath critical_path(const SimResult& result) {
+  OSIM_CHECK_MSG(!result.timelines.empty(),
+                 "critical_path requires recorded timelines");
+  CriticalPath path;
+  path.makespan = result.makespan;
+  if (result.makespan <= 0.0) return path;
+
+  // Start at the rank that finishes last.
+  trace::Rank rank = 0;
+  for (std::size_t r = 0; r < result.rank_stats.size(); ++r) {
+    if (result.rank_stats[r].finish_time >
+        result.rank_stats[static_cast<std::size_t>(rank)].finish_time) {
+      rank = static_cast<trace::Rank>(r);
+    }
+  }
+
+  double t = result.rank_stats[static_cast<std::size_t>(rank)].finish_time;
+  constexpr double kEps = 1e-15;
+  // Guard: strictly decreasing t terminates; cap iterations defensively.
+  std::size_t guard = 0;
+  const std::size_t max_segments = 1'000'000;
+
+  while (t > kEps && ++guard < max_segments) {
+    const auto& timeline = result.timelines[static_cast<std::size_t>(rank)];
+    const std::size_t idx = interval_before(timeline, t);
+    if (idx == static_cast<std::size_t>(-1)) {
+      // Nothing before t on this rank: the head of the path (rank start).
+      path.segments.push_back(CriticalSegment{rank, 0.0, t, false});
+      path.compute_s += t;
+      break;
+    }
+    const StateInterval& interval = timeline[idx];
+    const double span_end = std::min(t, interval.end);
+    if (span_end < t) {
+      // Gap between intervals (instantaneous records or idle): attribute
+      // to the local rank and continue from the gap's lower edge.
+      path.segments.push_back(CriticalSegment{rank, span_end, t, false});
+      path.compute_s += t - span_end;
+      t = span_end;
+      continue;
+    }
+    const bool is_blocked = interval.state != RankState::kCompute;
+    if (is_blocked && interval.cause_rank >= 0 &&
+        interval.cause_time < t) {
+      // Communication segment: jump to the remote constraint.
+      path.segments.push_back(
+          CriticalSegment{rank, interval.cause_time, t, true});
+      path.communication_s += t - interval.cause_time;
+      rank = interval.cause_rank;
+      t = interval.cause_time;
+    } else {
+      // Compute (or locally-resolved block, e.g. pure wire time).
+      const double begin = std::min(interval.begin, t);
+      path.segments.push_back(
+          CriticalSegment{rank, begin, t, is_blocked});
+      (is_blocked ? path.communication_s : path.compute_s) += t - begin;
+      t = begin;
+    }
+  }
+
+  std::reverse(path.segments.begin(), path.segments.end());
+  return path;
+}
+
+std::string render(const CriticalPath& path) {
+  std::ostringstream os;
+  os << strprintf(
+      "critical path: %s total = %s compute (%.1f%%) + %s communication "
+      "(%.1f%%), %zu segments across %zu ranks\n",
+      format_seconds(path.makespan).c_str(),
+      format_seconds(path.compute_s).c_str(),
+      100.0 * (path.makespan > 0 ? path.compute_s / path.makespan : 0.0),
+      format_seconds(path.communication_s).c_str(),
+      100.0 * path.communication_share(), path.segments.size(),
+      path.ranks_visited());
+  // Per-rank share of the path.
+  std::map<trace::Rank, double> per_rank;
+  for (const CriticalSegment& segment : path.segments) {
+    per_rank[segment.rank] += segment.end - segment.begin;
+  }
+  os << "per-rank shares:";
+  for (const auto& [rank, seconds] : per_rank) {
+    os << strprintf(" r%d=%.1f%%", rank,
+                    100.0 * seconds / path.makespan);
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace osim::analysis

@@ -1,0 +1,55 @@
+// Critical-path analysis of a replayed execution: the backward walk from
+// the last-finishing rank through the causal chain of compute segments and
+// communication constraints that determined the makespan.
+//
+// This is the quantitative version of what an analyst does by eye on the
+// Figure 4 timelines: it answers *why* the run took as long as it did —
+// how much of the critical path is computation, how much is waiting on
+// transfers, and which ranks carry it. Comparing the original and
+// overlapped executions shows overlap removing transfer segments from the
+// path.
+//
+// Causality approximation: blocked intervals carry the remote constraint
+// that released them (sender's send call / receiver's receive post); time
+// a message spent queueing for network resources is attributed to the
+// communication segment rather than chased through the network schedule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dimemas/result.hpp"
+
+namespace osim::analysis {
+
+struct CriticalSegment {
+  trace::Rank rank = 0;
+  double begin = 0.0;
+  double end = 0.0;
+  /// True for blocked spans resolved by a remote constraint (communication
+  /// on the critical path); false for compute / local spans.
+  bool communication = false;
+};
+
+struct CriticalPath {
+  std::vector<CriticalSegment> segments;  // in forward time order
+  double makespan = 0.0;
+  double compute_s = 0.0;        // critical-path time in computation
+  double communication_s = 0.0;  // critical-path time in communication
+
+  double communication_share() const {
+    return makespan > 0.0 ? communication_s / makespan : 0.0;
+  }
+  /// Number of distinct ranks the path visits.
+  std::size_t ranks_visited() const;
+};
+
+/// Walks the critical path. `result` must have been produced with
+/// ReplayOptions::record_timeline. The segment spans telescope: they
+/// partition [0, makespan] exactly.
+CriticalPath critical_path(const dimemas::SimResult& result);
+
+/// Short human-readable rendering (per-rank shares + composition).
+std::string render(const CriticalPath& path);
+
+}  // namespace osim::analysis

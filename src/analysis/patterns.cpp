@@ -1,0 +1,393 @@
+#include "analysis/patterns.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/expect.hpp"
+#include "common/strings.hpp"
+
+namespace osim::analysis {
+
+using trace::AnnEvent;
+using trace::kNeverAccessed;
+
+namespace {
+
+bool is_send(const AnnEvent& ev) {
+  return ev.kind == AnnEvent::Kind::kSend ||
+         ev.kind == AnnEvent::Kind::kIsend;
+}
+
+bool is_recv(const AnnEvent& ev) {
+  return ev.kind == AnnEvent::Kind::kRecv ||
+         ev.kind == AnnEvent::Kind::kIrecv;
+}
+
+}  // namespace
+
+ProductionStats production_stats(const trace::AnnotatedTrace& trace) {
+  ProductionStats stats;
+  double first = 0.0;
+  double quarter = 0.0;
+  double half = 0.0;
+  double whole = 0.0;
+  double unchunkable_whole = 0.0;
+  for (const auto& rank : trace.ranks) {
+    for (const AnnEvent& ev : rank.events) {
+      if (!is_send(ev) || ev.elem_last_store.empty()) continue;
+      const std::uint64_t length = ev.vclock - ev.interval_start;
+      if (length == 0) continue;  // degenerate: no computation in between
+      if (!ev.chunkable) {
+        // One-element (or otherwise unchunkable) message: record only when
+        // its single final value appears.
+        std::uint64_t last = ev.interval_start;
+        for (const std::uint64_t t : ev.elem_last_store) {
+          if (t != kNeverAccessed) last = std::max(last, t);
+        }
+        unchunkable_whole += static_cast<double>(last - ev.interval_start) /
+                             static_cast<double>(length);
+        stats.unchunkable_messages++;
+        continue;
+      }
+      // Normalized last-store offsets; never-stored elements are final from
+      // the interval start (offset 0).
+      std::vector<double> offsets;
+      offsets.reserve(ev.elem_last_store.size());
+      for (const std::uint64_t t : ev.elem_last_store) {
+        if (t == kNeverAccessed || t <= ev.interval_start) {
+          offsets.push_back(0.0);
+        } else {
+          offsets.push_back(static_cast<double>(t - ev.interval_start) /
+                            static_cast<double>(length));
+        }
+      }
+      std::sort(offsets.begin(), offsets.end());
+      const std::size_t n = offsets.size();
+      auto kth = [&](double frac) {
+        // Time when ceil(frac * n) elements carry their final value.
+        std::size_t k = static_cast<std::size_t>(
+            frac * static_cast<double>(n) + 0.999999);
+        if (k == 0) k = 1;
+        return offsets[std::min(k, n) - 1];
+      };
+      first += offsets.front();
+      quarter += kth(0.25);
+      half += kth(0.5);
+      whole += offsets.back();
+      stats.messages++;
+    }
+  }
+  if (stats.messages > 0) {
+    const double m = static_cast<double>(stats.messages);
+    stats.first_element = first / m;
+    stats.quarter = quarter / m;
+    stats.half = half / m;
+    stats.whole = whole / m;
+  }
+  if (stats.unchunkable_messages > 0) {
+    stats.unchunkable_whole =
+        unchunkable_whole / static_cast<double>(stats.unchunkable_messages);
+  }
+  return stats;
+}
+
+ConsumptionStats consumption_stats(const trace::AnnotatedTrace& trace) {
+  ConsumptionStats stats;
+  double nothing = 0.0;
+  double quarter = 0.0;
+  double half = 0.0;
+  double unchunkable_nothing = 0.0;
+  for (const auto& rank : trace.ranks) {
+    for (const AnnEvent& ev : rank.events) {
+      if (!is_recv(ev) || ev.elem_first_load.empty()) continue;
+      const std::uint64_t length = ev.interval_end - ev.vclock;
+      if (length == 0) continue;
+      const std::size_t n = ev.elem_first_load.size();
+      if (!ev.chunkable) {
+        std::uint64_t earliest = ev.interval_end;
+        for (const std::uint64_t t : ev.elem_first_load) {
+          if (t != kNeverAccessed) earliest = std::min(earliest, t);
+        }
+        unchunkable_nothing += static_cast<double>(earliest - ev.vclock) /
+                               static_cast<double>(length);
+        stats.unchunkable_messages++;
+        continue;
+      }
+      // Normalized first-load offset of element e (1.0 when never read).
+      auto offset = [&](std::size_t e) {
+        const std::uint64_t t = ev.elem_first_load[e];
+        if (t == kNeverAccessed) return 1.0;
+        return static_cast<double>(t - ev.vclock) /
+               static_cast<double>(length);
+      };
+      // Progress possible having received the prefix [0, from): the first
+      // moment any element at or beyond `from` is needed.
+      auto passable = [&](std::size_t from) {
+        double earliest = 1.0;
+        for (std::size_t e = from; e < n; ++e) {
+          earliest = std::min(earliest, offset(e));
+        }
+        return earliest;
+      };
+      nothing += passable(0);
+      quarter += passable(n / 4);
+      half += passable(n / 2);
+      stats.messages++;
+    }
+  }
+  if (stats.messages > 0) {
+    const double m = static_cast<double>(stats.messages);
+    stats.nothing = nothing / m;
+    stats.quarter = quarter / m;
+    stats.half = half / m;
+  }
+  if (stats.unchunkable_messages > 0) {
+    stats.unchunkable_nothing =
+        unchunkable_nothing /
+        static_cast<double>(stats.unchunkable_messages);
+  }
+  return stats;
+}
+
+namespace {
+
+struct Interval {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t num_elements = 0;
+};
+
+/// The k-th production (or consumption) interval of `buffer` on `rank`.
+std::vector<Interval> buffer_intervals(const trace::AnnotatedTrace& trace,
+                                       std::int32_t rank,
+                                       std::int64_t buffer, bool production) {
+  std::vector<Interval> intervals;
+  const auto& events =
+      trace.ranks[static_cast<std::size_t>(rank)].events;
+  for (const AnnEvent& ev : events) {
+    if (ev.buffer_id != buffer) continue;
+    if (production && is_send(ev)) {
+      intervals.push_back(Interval{ev.interval_start, ev.vclock,
+                                   ev.bytes / ev.elem_bytes});
+    } else if (!production && is_recv(ev)) {
+      intervals.push_back(
+          Interval{ev.vclock, ev.interval_end, ev.bytes / ev.elem_bytes});
+    }
+  }
+  return intervals;
+}
+
+std::vector<ScatterPoint> scatter(const trace::AnnotatedTrace& trace,
+                                  const std::vector<tracer::AccessSample>& log,
+                                  std::int32_t rank, std::int64_t buffer,
+                                  bool production, std::size_t max_points) {
+  OSIM_CHECK(rank >= 0 && rank < trace.num_ranks);
+  const auto intervals = buffer_intervals(trace, rank, buffer, production);
+  std::vector<ScatterPoint> points;
+  for (const tracer::AccessSample& sample : log) {
+    if (points.size() >= max_points) break;
+    if (sample.buffer != buffer || sample.is_store != production) continue;
+    if (sample.interval >= intervals.size()) continue;
+    const Interval& interval = intervals[sample.interval];
+    if (interval.end <= interval.begin || interval.num_elements == 0)
+      continue;
+    if (sample.vclock < interval.begin || sample.vclock > interval.end)
+      continue;
+    points.push_back(ScatterPoint{
+        static_cast<double>(sample.vclock - interval.begin) /
+            static_cast<double>(interval.end - interval.begin),
+        static_cast<double>(sample.element) /
+            static_cast<double>(interval.num_elements)});
+  }
+  return points;
+}
+
+}  // namespace
+
+std::vector<ScatterPoint> production_scatter(
+    const trace::AnnotatedTrace& trace,
+    const std::vector<tracer::AccessSample>& rank_log, std::int32_t rank,
+    std::int64_t buffer, std::size_t max_points) {
+  return scatter(trace, rank_log, rank, buffer, /*production=*/true,
+                 max_points);
+}
+
+std::vector<ScatterPoint> consumption_scatter(
+    const trace::AnnotatedTrace& trace,
+    const std::vector<tracer::AccessSample>& rank_log, std::int32_t rank,
+    std::int64_t buffer, std::size_t max_points) {
+  return scatter(trace, rank_log, rank, buffer, /*production=*/false,
+                 max_points);
+}
+
+std::string render_scatter(const std::vector<ScatterPoint>& points,
+                           const std::string& title, int width, int height) {
+  OSIM_CHECK(width >= 10 && height >= 4);
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width),
+                                            ' '));
+  for (const ScatterPoint& p : points) {
+    int x = static_cast<int>(p.time_frac * (width - 1) + 0.5);
+    int y = static_cast<int>(p.element_frac * (height - 1) + 0.5);
+    x = std::clamp(x, 0, width - 1);
+    y = std::clamp(y, 0, height - 1);
+    // y axis grows upward (element offset 0 at the bottom).
+    grid[static_cast<std::size_t>(height - 1 - y)]
+        [static_cast<std::size_t>(x)] = '*';
+  }
+  std::ostringstream os;
+  os << title << "  (" << points.size() << " accesses)\n";
+  os << "element^\n";
+  for (const std::string& row : grid) os << "       |" << row << "\n";
+  os << "       +" << std::string(static_cast<std::size_t>(width), '-')
+     << "> time in interval (0..100%)\n";
+  return os.str();
+}
+
+namespace {
+
+/// Accumulates one send event into per-buffer production sums.
+struct ProductionAccum {
+  double first = 0, quarter = 0, half = 0, whole = 0;
+  std::size_t messages = 0;
+  std::size_t unchunkable = 0;
+  double unchunkable_whole = 0;
+};
+
+struct ConsumptionAccum {
+  double nothing = 0, quarter = 0, half = 0;
+  std::size_t messages = 0;
+  std::size_t unchunkable = 0;
+  double unchunkable_nothing = 0;
+};
+
+}  // namespace
+
+std::vector<BufferPatternRow> buffer_pattern_report(
+    const tracer::TracedRun& run) {
+  std::map<std::string, ProductionAccum> prod;
+  std::map<std::string, ConsumptionAccum> cons;
+
+  const trace::AnnotatedTrace& t = run.annotated;
+  for (std::int32_t rank = 0; rank < t.num_ranks; ++rank) {
+    const auto& names = run.buffer_names[static_cast<std::size_t>(rank)];
+    for (const AnnEvent& ev :
+         t.ranks[static_cast<std::size_t>(rank)].events) {
+      if (ev.buffer_id < 0 ||
+          static_cast<std::size_t>(ev.buffer_id) >= names.size()) {
+        continue;
+      }
+      const std::string& name = names[static_cast<std::size_t>(ev.buffer_id)];
+      if (is_send(ev) && !ev.elem_last_store.empty()) {
+        const std::uint64_t length = ev.vclock - ev.interval_start;
+        if (length == 0) continue;
+        ProductionAccum& acc = prod[name];
+        if (!ev.chunkable) {
+          std::uint64_t last = ev.interval_start;
+          for (const std::uint64_t v : ev.elem_last_store) {
+            if (v != kNeverAccessed) last = std::max(last, v);
+          }
+          acc.unchunkable_whole +=
+              static_cast<double>(last - ev.interval_start) /
+              static_cast<double>(length);
+          acc.unchunkable++;
+          continue;
+        }
+        std::vector<double> offsets;
+        offsets.reserve(ev.elem_last_store.size());
+        for (const std::uint64_t v : ev.elem_last_store) {
+          offsets.push_back(v == kNeverAccessed || v <= ev.interval_start
+                                ? 0.0
+                                : static_cast<double>(v - ev.interval_start) /
+                                      static_cast<double>(length));
+        }
+        std::sort(offsets.begin(), offsets.end());
+        const std::size_t n = offsets.size();
+        auto kth = [&](double frac) {
+          std::size_t k = static_cast<std::size_t>(
+              frac * static_cast<double>(n) + 0.999999);
+          if (k == 0) k = 1;
+          return offsets[std::min(k, n) - 1];
+        };
+        acc.first += offsets.front();
+        acc.quarter += kth(0.25);
+        acc.half += kth(0.5);
+        acc.whole += offsets.back();
+        acc.messages++;
+      } else if (is_recv(ev) && !ev.elem_first_load.empty()) {
+        const std::uint64_t length = ev.interval_end - ev.vclock;
+        if (length == 0) continue;
+        ConsumptionAccum& acc = cons[name];
+        const std::size_t n = ev.elem_first_load.size();
+        auto offset = [&](std::size_t e) {
+          const std::uint64_t v = ev.elem_first_load[e];
+          if (v == kNeverAccessed) return 1.0;
+          return static_cast<double>(v - ev.vclock) /
+                 static_cast<double>(length);
+        };
+        auto passable = [&](std::size_t from) {
+          double earliest = 1.0;
+          for (std::size_t e = from; e < n; ++e) {
+            earliest = std::min(earliest, offset(e));
+          }
+          return earliest;
+        };
+        if (!ev.chunkable) {
+          acc.unchunkable_nothing += passable(0);
+          acc.unchunkable++;
+          continue;
+        }
+        acc.nothing += passable(0);
+        acc.quarter += passable(n / 4);
+        acc.half += passable(n / 2);
+        acc.messages++;
+      }
+    }
+  }
+
+  std::vector<BufferPatternRow> rows;
+  std::set<std::string> names;
+  for (const auto& [name, _] : prod) names.insert(name);
+  for (const auto& [name, _] : cons) names.insert(name);
+  for (const std::string& name : names) {
+    BufferPatternRow row;
+    row.buffer = name;
+    if (const auto it = prod.find(name); it != prod.end()) {
+      const ProductionAccum& acc = it->second;
+      row.production.messages = acc.messages;
+      row.production.unchunkable_messages = acc.unchunkable;
+      if (acc.messages > 0) {
+        const double m = static_cast<double>(acc.messages);
+        row.production.first_element = acc.first / m;
+        row.production.quarter = acc.quarter / m;
+        row.production.half = acc.half / m;
+        row.production.whole = acc.whole / m;
+      }
+      if (acc.unchunkable > 0) {
+        row.production.unchunkable_whole =
+            acc.unchunkable_whole / static_cast<double>(acc.unchunkable);
+      }
+    }
+    if (const auto it = cons.find(name); it != cons.end()) {
+      const ConsumptionAccum& acc = it->second;
+      row.consumption.messages = acc.messages;
+      row.consumption.unchunkable_messages = acc.unchunkable;
+      if (acc.messages > 0) {
+        const double m = static_cast<double>(acc.messages);
+        row.consumption.nothing = acc.nothing / m;
+        row.consumption.quarter = acc.quarter / m;
+        row.consumption.half = acc.half / m;
+      }
+      if (acc.unchunkable > 0) {
+        row.consumption.unchunkable_nothing =
+            acc.unchunkable_nothing / static_cast<double>(acc.unchunkable);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace osim::analysis

@@ -1,0 +1,99 @@
+// Production / consumption pattern analysis — Table II and Figure 5 of the
+// paper.
+//
+// Table II(a), "potential for advancing sends": the percent of the
+// production phase needed to produce the first element / the first quarter
+// / half / the whole message, averaged over all chunkable messages.
+//
+// Table II(b), "potential for post-postponing receptions": the percent of
+// the consumption phase that can be passed upon reception of nothing / the
+// first quarter / the first half of the message.
+//
+// Figure 5: scatter of every tracked access (element offset vs normalized
+// time within its production or consumption interval).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/annotated.hpp"
+#include "tracer/context.hpp"
+#include "tracer/tracer.hpp"
+
+namespace osim::analysis {
+
+struct ProductionStats {
+  // All values are fractions of the production interval, in [0, 1].
+  double first_element = 0.0;  // earliest element receives its final value
+  double quarter = 0.0;        // 25% of the elements are final
+  double half = 0.0;           // 50% of the elements are final
+  double whole = 0.0;          // every element is final
+  std::size_t messages = 0;    // chunkable sends aggregated
+
+  // Unchunkable annotated messages (the paper's Alya case: one-element
+  // reduction payloads "cannot be chunked into partial ones"); only the
+  // whole-message statistic is meaningful for them.
+  std::size_t unchunkable_messages = 0;
+  double unchunkable_whole = 0.0;  // when the single element goes final
+};
+
+struct ConsumptionStats {
+  // Fractions of the consumption interval that can be passed having
+  // received the given prefix of the message.
+  double nothing = 0.0;  // before any element of the message is needed
+  double quarter = 0.0;  // with the first quarter received
+  double half = 0.0;     // with the first half received
+  std::size_t messages = 0;
+
+  std::size_t unchunkable_messages = 0;
+  double unchunkable_nothing = 0.0;  // progress before the element is needed
+};
+
+/// Aggregates over every chunkable send in the trace. Messages with an
+/// empty production interval are skipped.
+ProductionStats production_stats(const trace::AnnotatedTrace& trace);
+
+/// Aggregates over every chunkable recv in the trace. Messages with an
+/// empty consumption interval are skipped.
+ConsumptionStats consumption_stats(const trace::AnnotatedTrace& trace);
+
+/// Table II broken out per communication buffer (aggregated over ranks by
+/// buffer name): which buffers drive the application's pattern profile.
+struct BufferPatternRow {
+  std::string buffer;
+  ProductionStats production;
+  ConsumptionStats consumption;
+};
+
+std::vector<BufferPatternRow> buffer_pattern_report(
+    const tracer::TracedRun& run);
+
+// --- Figure 5 scatter --------------------------------------------------
+
+struct ScatterPoint {
+  double time_frac = 0.0;     // position within the interval, [0, 1]
+  double element_frac = 0.0;  // element offset within the buffer, [0, 1)
+};
+
+/// Store events of `buffer` on `rank`, normalized per production interval.
+/// Requires the tracer's access log (TracerOptions::record_access_log).
+std::vector<ScatterPoint> production_scatter(
+    const trace::AnnotatedTrace& trace,
+    const std::vector<tracer::AccessSample>& rank_log, std::int32_t rank,
+    std::int64_t buffer, std::size_t max_points = 20000);
+
+/// Load events of `buffer` on `rank`, normalized per consumption interval.
+std::vector<ScatterPoint> consumption_scatter(
+    const trace::AnnotatedTrace& trace,
+    const std::vector<tracer::AccessSample>& rank_log, std::int32_t rank,
+    std::int64_t buffer, std::size_t max_points = 20000);
+
+/// Terminal scatter plot (the Figure 5 panels): x = normalized time within
+/// the interval, y = element offset within the buffer.
+std::string render_scatter(const std::vector<ScatterPoint>& points,
+                           const std::string& title, int width = 64,
+                           int height = 16);
+
+}  // namespace osim::analysis

@@ -1,0 +1,44 @@
+#include "analysis/sancho.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "dimemas/collectives.hpp"
+#include "trace/summary.hpp"
+
+namespace osim::analysis {
+
+SanchoEstimate sancho_estimate(const trace::Trace& original,
+                               const dimemas::Platform& platform) {
+  trace::validate(original);
+  // The analytic model sees collectives as their point-to-point volume.
+  const trace::Trace expanded =
+      dimemas::has_collectives(original)
+          ? dimemas::expand_collectives(original)
+          : original;
+  const trace::TraceSummary summary = trace::summarize(expanded);
+
+  SanchoEstimate estimate;
+  double worst = 0.0;
+  for (std::size_t r = 0; r < summary.ranks.size(); ++r) {
+    const trace::RankSummary& rank = summary.ranks[r];
+    const double comp =
+        static_cast<double>(rank.instructions) /
+        (summary.mips * 1.0e6 * platform.relative_cpu_speed);
+    const double comm =
+        static_cast<double>(rank.bytes_sent) / platform.bandwidth_Bps() +
+        static_cast<double>(rank.sends) *
+            (platform.latency_s() + platform.per_message_overhead_s());
+    if (comp + comm > worst) {
+      worst = comp + comm;
+      estimate.t_compute_s = comp;
+      estimate.t_comm_s = comm;
+    }
+  }
+  estimate.t_original_est = estimate.t_compute_s + estimate.t_comm_s;
+  estimate.t_overlap_bound =
+      std::max(estimate.t_compute_s, estimate.t_comm_s);
+  return estimate;
+}
+
+}  // namespace osim::analysis

@@ -1,0 +1,50 @@
+// The analytical baseline the paper positions itself against: Sancho,
+// Barker, Kerbyson & Davis, "Quantifying the Potential Benefit of
+// Overlapping Communication and Computation in Large-Scale Scientific
+// Applications" (SC'06) — the paper's reference [23].
+//
+// That work models an application as one iterative loop with a computation
+// time and a communication time per iteration: the non-overlapped time is
+// their sum, and perfect overlap can at best hide the smaller of the two
+// under the larger:
+//
+//   T_original ≈ T_comp + T_comm
+//   T_overlap  ≥ max(T_comp, T_comm)
+//   speedup    ≤ (T_comp + T_comm) / max(T_comp, T_comm)  ≤ 2
+//
+// (the bound of 2 is the classical Leu/Agrawal/Mauney result the paper also
+// cites). The simulation framework exists precisely because this model
+// misses "more delicate application properties": bench/baseline_sancho
+// shows Sweep3D's simulated ideal-pattern speedup exceeding the analytic
+// bound — chunking creates cross-rank pipeline parallelism the single-loop
+// model cannot express — while bandwidth-insensitive applications fall far
+// short of it.
+#pragma once
+
+#include "dimemas/platform.hpp"
+#include "trace/trace.hpp"
+
+namespace osim::analysis {
+
+struct SanchoEstimate {
+  /// Per the model, taken on the critical rank (max of comp + comm).
+  double t_compute_s = 0.0;
+  double t_comm_s = 0.0;
+  double t_original_est = 0.0;   // T_comp + T_comm
+  double t_overlap_bound = 0.0;  // max(T_comp, T_comm)
+
+  /// The analytic upper bound on the overlap speedup (at most 2).
+  double speedup_bound() const {
+    return t_overlap_bound > 0.0 ? t_original_est / t_overlap_bound : 1.0;
+  }
+};
+
+/// Computes the model parameters from a (non-overlapped) trace: per-rank
+/// computation time from the instruction counts, per-rank communication
+/// time from the linear model (bytes/bandwidth + messages * latency) after
+/// collective expansion. No contention, no dependencies — exactly the
+/// level of detail of the analytic model.
+SanchoEstimate sancho_estimate(const trace::Trace& original,
+                               const dimemas::Platform& platform);
+
+}  // namespace osim::analysis

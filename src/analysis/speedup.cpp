@@ -1,0 +1,26 @@
+#include "analysis/speedup.hpp"
+
+#include "overlap/transform.hpp"
+
+namespace osim::analysis {
+
+OverlapOutcome evaluate_overlap(const trace::AnnotatedTrace& annotated,
+                                const dimemas::Platform& platform,
+                                const overlap::OverlapOptions& options) {
+  overlap::OverlapOptions real_options = options;
+  real_options.pattern = overlap::PatternMode::kMeasured;
+  overlap::OverlapOptions ideal_options = options;
+  ideal_options.pattern = overlap::PatternMode::kIdeal;
+
+  const trace::Trace original = overlap::lower_original(annotated);
+  const trace::Trace real = overlap::transform(annotated, real_options);
+  const trace::Trace ideal = overlap::transform(annotated, ideal_options);
+
+  OverlapOutcome outcome;
+  outcome.t_original = dimemas::replay(original, platform).makespan;
+  outcome.t_overlapped_real = dimemas::replay(real, platform).makespan;
+  outcome.t_overlapped_ideal = dimemas::replay(ideal, platform).makespan;
+  return outcome;
+}
+
+}  // namespace osim::analysis

@@ -1,0 +1,28 @@
+// Figure 6(a): speedup of the overlapped execution (real and ideal
+// production/consumption patterns) over the non-overlapped execution.
+#pragma once
+
+#include "dimemas/platform.hpp"
+#include "dimemas/replay.hpp"
+#include "overlap/options.hpp"
+#include "trace/annotated.hpp"
+
+namespace osim::analysis {
+
+struct OverlapOutcome {
+  double t_original = 0.0;
+  double t_overlapped_real = 0.0;
+  double t_overlapped_ideal = 0.0;
+
+  double speedup_real() const { return t_original / t_overlapped_real; }
+  double speedup_ideal() const { return t_original / t_overlapped_ideal; }
+};
+
+/// Lowers the annotated trace three ways (original, overlapped with the
+/// measured patterns, overlapped with ideal patterns — exactly the three
+/// traces the paper's tracer emits per run) and replays each on `platform`.
+OverlapOutcome evaluate_overlap(const trace::AnnotatedTrace& annotated,
+                                const dimemas::Platform& platform,
+                                const overlap::OverlapOptions& options = {});
+
+}  // namespace osim::analysis

@@ -1,0 +1,52 @@
+#include "analysis/whatif.hpp"
+
+#include "common/expect.hpp"
+#include "dimemas/replay.hpp"
+
+namespace osim::analysis {
+
+namespace {
+
+constexpr double kInfiniteBandwidthMBps = 1.0e9;  // 1 PB/s: effectively free
+
+double run(const trace::Trace& t, const dimemas::Platform& p) {
+  dimemas::ReplayOptions options;
+  options.validate_input = false;
+  return dimemas::replay(t, p, options).makespan;
+}
+
+}  // namespace
+
+WhatIfBreakdown whatif_network(const trace::Trace& trace,
+                               const dimemas::Platform& platform) {
+  trace::validate(trace);
+  WhatIfBreakdown breakdown;
+  breakdown.t_nominal = run(trace, platform);
+
+  dimemas::Platform zero_latency = platform;
+  zero_latency.latency_us = 0.0;
+  zero_latency.per_message_overhead_us = 0.0;
+  breakdown.t_zero_latency = run(trace, zero_latency);
+
+  dimemas::Platform infinite_bw = platform;
+  infinite_bw.bandwidth_MBps = kInfiniteBandwidthMBps;
+  breakdown.t_infinite_bandwidth = run(trace, infinite_bw);
+
+  dimemas::Platform no_contention = platform;
+  no_contention.num_buses = 0;
+  no_contention.input_ports = trace.num_ranks;
+  no_contention.output_ports = trace.num_ranks;
+  no_contention.fabric_capacity_links = 0.0;
+  breakdown.t_no_contention = run(trace, no_contention);
+
+  dimemas::Platform ideal = no_contention;
+  ideal.latency_us = 0.0;
+  ideal.per_message_overhead_us = 0.0;
+  ideal.bandwidth_MBps = kInfiniteBandwidthMBps;
+  breakdown.t_ideal_network = run(trace, ideal);
+
+  OSIM_CHECK(breakdown.t_nominal > 0.0);
+  return breakdown;
+}
+
+}  // namespace osim::analysis

@@ -1,0 +1,48 @@
+// What-if network analysis: replays one trace under idealized variants of
+// the platform to attribute the communication cost to latency, bandwidth
+// and contention — the classic Dimemas-style sensitivity study ("Dimemas
+// allows us to simulate various network configurations", §V), packaged as
+// a single breakdown.
+//
+//   T(nominal)          — the platform as configured
+//   T(zero latency)     — latency and per-message overhead set to 0
+//   T(infinite bw)      — bandwidth made effectively infinite
+//   T(no contention)    — unlimited buses and ports
+//   T(ideal network)    — all three at once (pure dependency structure +
+//                         compute; the lower envelope of any network fix)
+#pragma once
+
+#include "dimemas/platform.hpp"
+#include "trace/trace.hpp"
+
+namespace osim::analysis {
+
+struct WhatIfBreakdown {
+  double t_nominal = 0.0;
+  double t_zero_latency = 0.0;
+  double t_infinite_bandwidth = 0.0;
+  double t_no_contention = 0.0;
+  double t_ideal_network = 0.0;
+
+  /// Fraction of the nominal makespan that disappears under each variant.
+  double latency_sensitivity() const {
+    return 1.0 - t_zero_latency / t_nominal;
+  }
+  double bandwidth_sensitivity() const {
+    return 1.0 - t_infinite_bandwidth / t_nominal;
+  }
+  double contention_sensitivity() const {
+    return 1.0 - t_no_contention / t_nominal;
+  }
+  /// The irreducible share: compute + dependency structure.
+  double network_bound_share() const {
+    return 1.0 - t_ideal_network / t_nominal;
+  }
+};
+
+/// Runs the five replays. The ideal-network variant is a lower envelope of
+/// the others by construction (strictly fewer constraints).
+WhatIfBreakdown whatif_network(const trace::Trace& trace,
+                               const dimemas::Platform& platform);
+
+}  // namespace osim::analysis

@@ -1,0 +1,44 @@
+#include "apps/app.hpp"
+
+#include "common/expect.hpp"
+#include "common/strings.hpp"
+
+namespace osim::apps {
+
+const MiniApp& sweep3d_app();
+const MiniApp& pop_app();
+const MiniApp& alya_app();
+const MiniApp& specfem3d_app();
+const MiniApp& nas_bt_app();
+const MiniApp& nas_cg_app();
+
+const std::vector<const MiniApp*>& registry() {
+  static const std::vector<const MiniApp*> apps = {
+      &sweep3d_app(), &pop_app(),    &alya_app(),
+      &specfem3d_app(), &nas_bt_app(), &nas_cg_app(),
+  };
+  return apps;
+}
+
+const MiniApp* find_app(std::string_view name) {
+  for (const MiniApp* app : registry()) {
+    if (app->name() == name) return app;
+  }
+  return nullptr;
+}
+
+tracer::TracedRun trace_app(const MiniApp& app, const AppConfig& config,
+                            const tracer::TracerOptions& options) {
+  if (!app.supports_ranks(config.ranks)) {
+    throw Error(strprintf("app %s does not support %d ranks",
+                          app.name().c_str(), config.ranks));
+  }
+  if (config.iterations <= 0) {
+    throw Error("AppConfig::iterations must be positive");
+  }
+  return tracer::run_traced(
+      config.ranks, options, app.name(),
+      [&](tracer::Process& p) { app.run(p, config); });
+}
+
+}  // namespace osim::apps

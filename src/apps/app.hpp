@@ -1,0 +1,67 @@
+// Mini-application framework.
+//
+// The paper's application pool — Sweep3D, POP, Alya, SPECFEM3D, NAS BT and
+// NAS CG — is reproduced here as six mini-apps that keep the original
+// codes' communication structure and production/consumption pattern shapes
+// (Table II) while doing real, verifiable arithmetic. Every app is written
+// against tracer::Process, so the whole pipeline (trace → overlap transform
+// → replay → analysis) runs on it unmodified.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tracer/process.hpp"
+#include "tracer/tracer.hpp"
+
+namespace osim::apps {
+
+struct AppConfig {
+  std::int32_t ranks = 16;
+  std::int32_t iterations = 10;
+  /// Problem-size multiplier: 1 = the default mini size. Buffer lengths and
+  /// per-cell compute scale with it.
+  std::int32_t scale = 1;
+  std::uint64_t seed = 42;
+};
+
+class MiniApp {
+ public:
+  virtual ~MiniApp() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string description() const = 0;
+
+  /// Rank body; called once per rank inside the traced runtime.
+  virtual void run(tracer::Process& p, const AppConfig& config) const = 0;
+
+  /// Bus count Table I of the paper reports for this application.
+  virtual std::int32_t paper_buses() const = 0;
+
+  /// Buffer whose access pattern Figure 5 plots (name as registered via
+  /// make_buffer), and whether the plot is of stores (production) or loads
+  /// (consumption). Empty name → no Figure 5 panel for this app.
+  virtual std::string pattern_buffer() const { return ""; }
+  virtual bool pattern_is_production() const { return true; }
+
+  /// Rank counts the app supports (e.g. sweep3d wants a square grid).
+  virtual bool supports_ranks(std::int32_t ranks) const { return ranks >= 2; }
+};
+
+/// All six paper applications, in the paper's Table I order.
+const std::vector<const MiniApp*>& registry();
+
+/// Lookup by name ("sweep3d", "pop", "alya", "specfem3d", "nas_bt",
+/// "nas_cg"); nullptr when unknown.
+const MiniApp* find_app(std::string_view name);
+
+/// Runs the full tracing stage for one app: executes it on the in-process
+/// MPI runtime with every rank traced, and returns the annotated trace
+/// (plus access logs when requested).
+tracer::TracedRun trace_app(const MiniApp& app, const AppConfig& config,
+                            const tracer::TracerOptions& options = {});
+
+}  // namespace osim::apps

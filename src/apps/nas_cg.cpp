@@ -1,0 +1,157 @@
+// NAS-CG mini-app.
+//
+// Conjugate gradient in a pipelined/fused formulation that follows the NPB
+// CG communication structure: the matrix of each rank pair is column-split,
+// so every iteration produces a partial result vector that is exchanged
+// with the partner rank ("transpose exchange") and combined, plus two
+// scalar allreduces per iteration for the dot products. The dot products
+// are computed during the fused kernel and applied one iteration later
+// (pipelined CG), which is what lets a single dominant loop both consume
+// the received partial vector and produce the next one.
+//
+// Pattern shapes (paper Table II, NAS-CG row — the one application whose
+// *measured* patterns are favourable for overlap):
+//   * production ~linear (paper: 4.0 / 28.0 / 52.0 / 100): q_part[i] is
+//     written row by row through the fused kernel;
+//   * consumption ~linear (paper: 2.2 / 18.4 / 34.5): q_recv[i] is read row
+//     by row through the same kernel.
+//
+// Numerics: a damped residual iteration on an SPD tridiagonal system; the
+// tests verify the residual norm decreases.
+#include <cmath>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace osim::apps {
+
+namespace {
+
+class NasCg final : public MiniApp {
+ public:
+  std::string name() const override { return "nas_cg"; }
+  std::string description() const override {
+    return "NPB CG (pipelined): partner exchange of matvec partial vectors "
+           "+ dot-product allreduces";
+  }
+  std::int32_t paper_buses() const override { return 6; }
+  std::string pattern_buffer() const override { return "q_part"; }
+  bool pattern_is_production() const override { return true; }
+  bool supports_ranks(std::int32_t ranks) const override {
+    return ranks >= 2 && ranks % 2 == 0;
+  }
+
+  void run(tracer::Process& p, const AppConfig& config) const override {
+    const int rank = p.rank();
+    const int partner = rank ^ 1;
+    const bool low_half = (rank % 2) == 0;
+    const std::size_t n = 2400u * static_cast<std::size_t>(config.scale);
+    const std::size_t half = n / 2;
+    const std::size_t row_begin = low_half ? 0 : half;   // dot-product rows
+    const std::size_t row_end = low_half ? half : n;
+    const std::size_t col_begin = low_half ? 0 : half;   // matvec columns
+    const std::size_t col_end = low_half ? half : n;
+
+    // A = tridiag(-1, 4, -1): SPD. Both pair members keep the full x, r, p
+    // redundantly; the matvec is column-split and reassembled via the
+    // exchange.
+    osim::Rng rng(config.seed + static_cast<std::uint64_t>(rank / 2));
+    std::vector<double> bvec(n);
+    for (double& v : bvec) v = rng.uniform(-1.0, 1.0);
+
+    std::vector<double> x(n, 0.0);
+    std::vector<double> r = bvec;  // r = b - A*0
+    std::vector<double> pvec = r;
+
+    auto q_part = p.make_buffer<double>(n, "q_part");
+    auto q_recv = p.make_buffer<double>(n, "q_recv");
+
+    // Column-split tridiagonal matvec row: sum over j in [col_begin,
+    // col_end) with |i - j| <= 1.
+    auto matvec_row = [&](std::size_t i) {
+      double sum = 0.0;
+      const std::size_t j_lo = i == 0 ? 0 : i - 1;
+      const std::size_t j_hi = i + 1 < n ? i + 1 : n - 1;
+      for (std::size_t j = j_lo; j <= j_hi; ++j) {
+        if (j < col_begin || j >= col_end) continue;
+        sum += ((i == j) ? 4.0 : -1.0) * pvec[j];
+      }
+      return sum;
+    };
+
+    // Iteration 0: compute the first partial result and exchange it.
+    for (std::size_t i = 0; i < n; ++i) {
+      q_part[i] = matvec_row(i);
+      p.compute(300);
+    }
+    exchange(p, q_part, q_recv, partner);
+
+    double rho = 0.0;
+    for (std::size_t i = row_begin; i < row_end; ++i) rho += r[i] * r[i];
+    p.compute(2 * half);
+    rho = p.allreduce_scalar(rho, mpisim::Op::kSum);
+
+    double alpha = 0.0;  // pipelined: applied one iteration behind
+    double beta = 0.0;
+    double initial_rr = rho;
+
+    for (std::int32_t iter = 0; iter < config.iterations; ++iter) {
+      // --- fused kernel: consume q_recv, update, produce next q_part -----
+      // Row i: assemble q_i from both column halves, take the (lagged)
+      // CG step, then compute the next partial matvec row — so the
+      // received buffer is consumed linearly and the outgoing buffer is
+      // produced linearly through this single dominant loop.
+      double pq = 0.0;
+      double rr = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double qi = q_part.load(i) + q_recv.load(i);
+        r[i] -= alpha * qi;
+        x[i] += alpha * pvec[i];
+        pvec[i] = r[i] + beta * pvec[i];
+        const double next_q = matvec_row(i);
+        q_part[i] = next_q;
+        if (i >= row_begin && i < row_end) {
+          pq += pvec[i] * next_q;
+          rr += r[i] * r[i];
+        }
+        p.compute(600);
+      }
+
+      // --- dot products for the next step (two scalar allreduces) --------
+      pq = p.allreduce_scalar(pq, mpisim::Op::kSum);
+      rr = p.allreduce_scalar(rr, mpisim::Op::kSum);
+      // Damped step keeps the lagged iteration contractive.
+      alpha = 0.5 * rr / pq;
+      beta = 0.25 * rr / rho;
+      rho = rr;
+
+      // --- transpose exchange of the new partial result -------------------
+      exchange(p, q_part, q_recv, partner);
+    }
+
+    double final_rr = 0.0;
+    for (std::size_t i = 0; i < n; ++i) final_rr += r[i] * r[i];
+    OSIM_CHECK_MSG(std::isfinite(final_rr) && final_rr < 4.0 * initial_rr,
+                   "nas_cg: residual diverged");
+  }
+
+ private:
+  static void exchange(tracer::Process& p,
+                       tracer::TrackedBuffer<double>& q_part,
+                       tracer::TrackedBuffer<double>& q_recv, int partner) {
+    tracer::Request req = p.irecv(q_recv, partner, /*tag=*/0);
+    p.send(q_part, partner, /*tag=*/0);
+    p.wait(req);
+  }
+};
+
+}  // namespace
+
+const MiniApp& nas_cg_app() {
+  static const NasCg app;
+  return app;
+}
+
+}  // namespace osim::apps

@@ -1,0 +1,31 @@
+// Multi-field message elements.
+//
+// The production codes exchange messages whose unit elements are not single
+// doubles: Sweep3D sends per-cell angle-flux pencils, POP halo rows carry a
+// depth column of many tracers, SPECFEM3D interface DOFs have several
+// components. Modelling an element as a fixed-size array keeps message
+// sizes in the real codes' tens-of-kilobytes range (bandwidth-dominated,
+// which is the regime the paper studies) without inflating the tracked
+// access count.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace osim::apps {
+
+template <std::size_t K>
+using Pencil = std::array<double, K>;
+
+/// A pencil whose fields are simple harmonics of `value` — keeps every slot
+/// deterministic and cheap to verify.
+template <std::size_t K>
+Pencil<K> make_pencil(double value) {
+  Pencil<K> p;
+  for (std::size_t k = 0; k < K; ++k) {
+    p[k] = value * (1.0 + 0.125 * static_cast<double>(k));
+  }
+  return p;
+}
+
+}  // namespace osim::apps

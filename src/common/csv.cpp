@@ -1,0 +1,55 @@
+#include "common/csv.hpp"
+
+#include "common/expect.hpp"
+
+namespace osim {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : columns_(header.size()), file_(path), has_file_(true) {
+  if (!file_) throw Error("cannot open CSV output file: " + path);
+  write_row(header);
+}
+
+CsvWriter::CsvWriter(const std::vector<std::string>& header)
+    : columns_(header.size()) {
+  write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  OSIM_CHECK_MSG(cells.size() == columns_, "CSV row width mismatch");
+  write_row(cells);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) buffer_.push_back(',');
+    buffer_.append(escape(cells[i]));
+  }
+  buffer_.push_back('\n');
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::flush() {
+  if (has_file_ && file_ && flushed_ < buffer_.size()) {
+    file_.write(buffer_.data() + flushed_,
+                static_cast<std::streamsize>(buffer_.size() - flushed_));
+    file_.flush();
+    flushed_ = buffer_.size();
+  }
+}
+
+CsvWriter::~CsvWriter() { flush(); }
+
+}  // namespace osim

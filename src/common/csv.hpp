@@ -1,0 +1,44 @@
+// CSV writer for experiment outputs (each bench also writes machine-readable
+// series next to the human-readable table).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace osim {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws osim::Error if the file cannot be created.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// In-memory mode (for tests): no file, contents via str().
+  explicit CsvWriter(const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Full contents written so far (valid in both modes).
+  const std::string& str() const { return buffer_; }
+
+  /// Flushes to disk (no-op in in-memory mode). Called by the destructor.
+  void flush();
+
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+  static std::string escape(const std::string& cell);
+
+  size_t columns_;
+  std::string buffer_;
+  size_t flushed_ = 0;  // bytes of buffer_ already written to file_
+  std::ofstream file_;
+  bool has_file_ = false;
+};
+
+}  // namespace osim

@@ -1,0 +1,54 @@
+// Invariant-checking macros used throughout overlapsim.
+//
+// OSIM_CHECK(cond)        — always-on invariant; aborts with a diagnostic.
+// OSIM_CHECK_MSG(cond, m) — same, with an extra human-readable message.
+// OSIM_UNREACHABLE(m)     — marks code paths that must never execute.
+// osim::Error             — exception type for user-facing configuration /
+//                           input errors (bad trace file, bad CLI flag...).
+//
+// Internal invariants abort (a broken simulator state is not recoverable);
+// user input problems throw osim::Error so callers can report them nicely.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace osim {
+
+/// Exception for user-facing errors (malformed input, bad configuration).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::fprintf(stderr, "OSIM_CHECK failed: %s\n  at %s:%d\n", cond, file,
+               line);
+  if (!msg.empty()) std::fprintf(stderr, "  %s\n", msg.c_str());
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace osim
+
+#define OSIM_CHECK(cond)                                             \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::osim::detail::check_failed(#cond, __FILE__, __LINE__, "");   \
+    }                                                                \
+  } while (false)
+
+#define OSIM_CHECK_MSG(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::osim::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                 \
+  } while (false)
+
+#define OSIM_UNREACHABLE(msg) \
+  ::osim::detail::check_failed("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,114 @@
+#include "common/flags.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/expect.hpp"
+#include "common/strings.hpp"
+
+namespace osim {
+
+Flags::Flags(std::string description) : description_(std::move(description)) {}
+
+void Flags::add(const std::string& name, std::string* target,
+                const std::string& help) {
+  entries_[name] = Entry{Kind::kString, target, help, "\"" + *target + "\""};
+}
+
+void Flags::add(const std::string& name, std::int64_t* target,
+                const std::string& help) {
+  entries_[name] = Entry{Kind::kInt, target, help, std::to_string(*target)};
+}
+
+void Flags::add(const std::string& name, double* target,
+                const std::string& help) {
+  entries_[name] = Entry{Kind::kDouble, target, help, cellrepr(*target)};
+}
+
+void Flags::add(const std::string& name, bool* target,
+                const std::string& help) {
+  entries_[name] =
+      Entry{Kind::kBool, target, help, *target ? "true" : "false"};
+}
+
+std::string Flags::cellrepr(double v) { return strprintf("%g", v); }
+
+void Flags::set_value(const std::string& name, Entry& entry,
+                      const std::string& value) {
+  switch (entry.kind) {
+    case Kind::kString:
+      *static_cast<std::string*>(entry.target) = value;
+      return;
+    case Kind::kInt: {
+      const auto parsed = parse_i64(value);
+      if (!parsed) throw Error("flag --" + name + ": bad integer '" + value + "'");
+      *static_cast<std::int64_t*>(entry.target) = *parsed;
+      return;
+    }
+    case Kind::kDouble: {
+      const auto parsed = parse_f64(value);
+      if (!parsed) throw Error("flag --" + name + ": bad number '" + value + "'");
+      *static_cast<double*>(entry.target) = *parsed;
+      return;
+    }
+    case Kind::kBool: {
+      if (value == "true" || value == "1" || value.empty()) {
+        *static_cast<bool*>(entry.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(entry.target) = false;
+      } else {
+        throw Error("flag --" + name + ": bad boolean '" + value + "'");
+      }
+      return;
+    }
+  }
+  OSIM_UNREACHABLE("bad flag kind");
+}
+
+bool Flags::parse(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      throw Error("unexpected positional argument '" + arg + "'\n" + usage());
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool have_value = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      throw Error("unknown flag --" + name + "\n" + usage());
+    }
+    if (!have_value && it->second.kind != Kind::kBool) {
+      if (i + 1 >= argc) throw Error("flag --" + name + " needs a value");
+      value = argv[++i];
+    }
+    set_value(name, it->second, value);
+  }
+  return true;
+}
+
+std::string Flags::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n";
+  if (!program_.empty()) os << "usage: " << program_ << " [flags]\n";
+  os << "flags:\n";
+  for (const auto& [name, entry] : entries_) {
+    os << "  --" << name << "  " << entry.help
+       << " (default: " << entry.default_repr << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace osim

@@ -1,0 +1,52 @@
+// Tiny command-line flag parser for the bench / example binaries.
+//
+// Accepted syntax: --name=value or --name value; bare --name for booleans.
+// Unknown flags raise osim::Error listing the registered flags, so every
+// binary gets a usable --help for free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace osim {
+
+class Flags {
+ public:
+  /// `description` is printed in --help output.
+  explicit Flags(std::string description);
+
+  /// Registration: call before parse(). The pointer must outlive parse().
+  void add(const std::string& name, std::string* target,
+           const std::string& help);
+  void add(const std::string& name, std::int64_t* target,
+           const std::string& help);
+  void add(const std::string& name, double* target, const std::string& help);
+  void add(const std::string& name, bool* target, const std::string& help);
+
+  /// Parses argv. On --help, prints usage and returns false (caller should
+  /// exit 0). Throws osim::Error on unknown flags or bad values.
+  bool parse(int argc, const char* const* argv);
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  struct Entry {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  void set_value(const std::string& name, Entry& entry,
+                 const std::string& value);
+  static std::string cellrepr(double v);
+
+  std::string description_;
+  std::string program_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace osim

@@ -1,0 +1,56 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace osim::log {
+
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_mutex;
+std::string* g_capture = nullptr;
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_capture(std::string* sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_capture = sink;
+}
+
+namespace detail {
+
+void emit(Level lvl, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_capture != nullptr) {
+    g_capture->append(level_name(lvl));
+    g_capture->append(": ");
+    g_capture->append(message);
+    g_capture->push_back('\n');
+    return;
+  }
+  std::fprintf(stderr, "[osim %s] %s\n", level_name(lvl), message.c_str());
+}
+
+}  // namespace detail
+}  // namespace osim::log

@@ -1,0 +1,72 @@
+// Minimal leveled logger. Single global sink (stderr by default); thread-safe.
+//
+// Usage:
+//   osim::log::info("replay finished in {} s", 1.25);   // {} placeholders
+//   osim::log::set_level(osim::log::Level::kDebug);
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace osim::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the minimum level that gets emitted. Default: kWarn (quiet for tests).
+void set_level(Level level);
+Level level();
+
+/// Redirects log output to an in-memory buffer (for tests). Pass nullptr to
+/// restore stderr.
+void set_capture(std::string* sink);
+
+namespace detail {
+
+void emit(Level level, const std::string& message);
+
+inline void format_into(std::ostringstream& os, std::string_view fmt) {
+  os << fmt;
+}
+
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, std::string_view fmt, const T& head,
+                 const Rest&... rest) {
+  const size_t pos = fmt.find("{}");
+  if (pos == std::string_view::npos) {
+    os << fmt;
+    return;
+  }
+  os << fmt.substr(0, pos) << head;
+  format_into(os, fmt.substr(pos + 2), rest...);
+}
+
+template <typename... Args>
+void logf(Level lvl, std::string_view fmt, const Args&... args) {
+  if (lvl < level()) return;
+  std::ostringstream os;
+  format_into(os, fmt, args...);
+  emit(lvl, os.str());
+}
+
+}  // namespace detail
+
+template <typename... Args>
+void debug(std::string_view fmt, const Args&... args) {
+  detail::logf(Level::kDebug, fmt, args...);
+}
+template <typename... Args>
+void info(std::string_view fmt, const Args&... args) {
+  detail::logf(Level::kInfo, fmt, args...);
+}
+template <typename... Args>
+void warn(std::string_view fmt, const Args&... args) {
+  detail::logf(Level::kWarn, fmt, args...);
+}
+template <typename... Args>
+void error(std::string_view fmt, const Args&... args) {
+  detail::logf(Level::kError, fmt, args...);
+}
+
+}  // namespace osim::log

@@ -1,0 +1,96 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace osim {
+
+double mean(std::span<const double> xs) {
+  OSIM_CHECK(!xs.empty());
+  double s = 0.0;
+  for (const double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  OSIM_CHECK(!xs.empty());
+  const double m = mean(xs);
+  double s = 0.0;
+  for (const double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min_of(std::span<const double> xs) {
+  OSIM_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  OSIM_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double p) {
+  OSIM_CHECK(!xs.empty());
+  OSIM_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double geomean(std::span<const double> xs) {
+  OSIM_CHECK(!xs.empty());
+  double log_sum = 0.0;
+  for (const double x : xs) {
+    OSIM_CHECK_MSG(x > 0.0, "geomean requires positive inputs");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double RunningStats::mean() const {
+  OSIM_CHECK(n_ > 0);
+  return sum_ / static_cast<double>(n_);
+}
+
+double RunningStats::variance() const {
+  OSIM_CHECK(n_ > 0);
+  const double m = mean();
+  const double v = sum_sq_ / static_cast<double>(n_) - m * m;
+  return v < 0.0 ? 0.0 : v;  // guard against rounding
+}
+
+double RunningStats::min() const {
+  OSIM_CHECK(n_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  OSIM_CHECK(n_ > 0);
+  return max_;
+}
+
+}  // namespace osim

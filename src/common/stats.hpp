@@ -1,0 +1,44 @@
+// Descriptive statistics over small samples (pattern percentiles, averages
+// across messages, etc.).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace osim {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // population variance
+double stddev(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. xs need not be sorted.
+double percentile(std::span<const double> xs, double p);
+
+double median(std::span<const double> xs);
+
+/// Geometric mean; all inputs must be > 0.
+double geomean(std::span<const double> xs);
+
+/// Online accumulator when samples stream in one at a time.
+class RunningStats {
+ public:
+  void add(double x);
+  size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  // population variance
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  size_t n_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace osim

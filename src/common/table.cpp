@@ -1,0 +1,76 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/expect.hpp"
+#include "common/strings.hpp"
+
+namespace osim {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  OSIM_CHECK(!headers_.empty());
+  aligns_.assign(headers_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void TextTable::set_align(size_t column, Align align) {
+  OSIM_CHECK(column < aligns_.size());
+  aligns_[column] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  OSIM_CHECK_MSG(cells.size() == headers_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      const size_t pad = widths[c] - row[c].size();
+      os << ' ';
+      if (aligns_[c] == Align::kRight) os << std::string(pad, ' ');
+      os << row[c];
+      if (aligns_[c] == Align::kLeft) os << std::string(pad, ' ');
+      os << " |";
+    }
+    os << "\n";
+  };
+
+  auto emit_rule = [&]() {
+    os << "+";
+    for (const size_t w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+
+  emit_rule();
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return os.str();
+}
+
+std::string cell(double value, int digits) {
+  return strprintf("%.*g", digits, value);
+}
+
+std::string cell_percent(double fraction, int decimals) {
+  return strprintf("%.*f%%", decimals, fraction * 100.0);
+}
+
+}  // namespace osim

@@ -1,0 +1,46 @@
+// ASCII table renderer used by the bench harness to print the paper's tables
+// (Table I, Table II) and figure data series in a readable fixed-width form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace osim {
+
+class TextTable {
+ public:
+  enum class Align { kLeft, kRight };
+
+  /// Creates a table with the given column headers. Columns default to
+  /// right-aligned except the first, which is left-aligned (row labels).
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Optional caption printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  void set_align(size_t column, Align align);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arbitrary cell values with to_string-like rules.
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return headers_.size(); }
+
+  /// Renders the full table, trailing newline included.
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (for table cells).
+std::string cell(double value, int digits = 4);
+
+/// Formats a percentage like the paper's Table II ("66.3%").
+std::string cell_percent(double fraction, int decimals = 2);
+
+}  // namespace osim

@@ -1,0 +1,46 @@
+// Physical units used across the simulator.
+//
+// Internal conventions (see DESIGN.md §6):
+//   * simulated time      — double, seconds
+//   * virtual time        — uint64_t, instructions (tracer clock)
+//   * message sizes       — uint64_t, bytes
+//   * bandwidth           — double, bytes per second
+//
+// The paper quotes bandwidth in MB/s (10^6 bytes/s, Myrinet 250 MB/s) and
+// latency in microseconds; helpers below convert to/from the internal units.
+#pragma once
+
+#include <cstdint>
+
+namespace osim {
+
+inline constexpr double kMega = 1.0e6;
+inline constexpr double kMicro = 1.0e-6;
+
+/// Converts MB/s (10^6 bytes per second, as in the paper) to bytes/second.
+constexpr double mbps_to_bytes_per_s(double mbps) { return mbps * kMega; }
+
+/// Converts bytes/second to MB/s.
+constexpr double bytes_per_s_to_mbps(double bps) { return bps / kMega; }
+
+/// Converts microseconds to seconds.
+constexpr double us_to_s(double us) { return us * kMicro; }
+
+/// Converts seconds to microseconds.
+constexpr double s_to_us(double s) { return s / kMicro; }
+
+/// Converts an instruction count to seconds given a MIPS rate
+/// (millions of instructions per second), as the paper's tracer does:
+/// "the tracer obtains time-stamps by scaling the number of executed
+/// instructions by the average MIPS rate observed in a real run".
+constexpr double instructions_to_s(std::uint64_t instructions, double mips) {
+  return static_cast<double>(instructions) / (mips * kMega);
+}
+
+/// Inverse of instructions_to_s (rounds down).
+constexpr std::uint64_t s_to_instructions(double seconds, double mips) {
+  const double instr = seconds * mips * kMega;
+  return instr <= 0.0 ? 0u : static_cast<std::uint64_t>(instr);
+}
+
+}  // namespace osim

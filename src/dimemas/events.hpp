@@ -1,0 +1,71 @@
+// Discrete-event simulation core: a time-ordered event queue with
+// deterministic FIFO tie-breaking for simultaneous events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace osim::dimemas {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `fn` at absolute simulated time `time` (>= now()).
+  void schedule(double time, Handler fn) {
+    OSIM_CHECK_MSG(time >= now_, "event scheduled in the past");
+    heap_.push(Entry{time, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` after a relative delay (>= 0).
+  void schedule_after(double delay, Handler fn) {
+    schedule(now_ + delay, std::move(fn));
+  }
+
+  double now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+  /// Pops and runs the earliest event. Returns false when the queue is empty.
+  bool run_one() {
+    if (heap_.empty()) return false;
+    // Entry's handler is moved out before pop; const_cast is confined here
+    // because std::priority_queue only exposes const top().
+    Entry& top = const_cast<Entry&>(heap_.top());
+    OSIM_CHECK(top.time >= now_);
+    now_ = top.time;
+    Handler fn = std::move(top.fn);
+    heap_.pop();
+    ++processed_;
+    fn();
+    return true;
+  }
+
+  void run_until_empty() {
+    while (run_one()) {
+    }
+  }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    Handler fn;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace osim::dimemas

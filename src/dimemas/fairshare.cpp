@@ -1,0 +1,104 @@
+#include "dimemas/fairshare.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/expect.hpp"
+
+namespace osim::dimemas {
+
+// Progressive filling: grow every unfrozen flow's rate uniformly until some
+// resource saturates; freeze the flows crossing that resource; repeat.
+// Implemented in closed form per round: the bottleneck resource is the one
+// with the smallest (remaining capacity / unfrozen flows crossing it).
+std::vector<double> maxmin_rates(const std::vector<FlowSpec>& flows,
+                                 const FairShareCaps& caps) {
+  const std::size_t n = flows.size();
+  std::vector<double> rates(n, 0.0);
+  if (n == 0) return rates;
+  OSIM_CHECK(caps.num_nodes > 0);
+  OSIM_CHECK(caps.link_out_Bps > 0.0 && caps.link_in_Bps > 0.0);
+
+  // Resources: out-links [0, N), in-links [N, 2N), fabric 2N (optional).
+  const std::size_t num_nodes = static_cast<std::size_t>(caps.num_nodes);
+  const bool has_fabric = caps.fabric_Bps > 0.0;
+  const std::size_t num_resources = 2 * num_nodes + (has_fabric ? 1 : 0);
+
+  std::vector<double> remaining(num_resources, 0.0);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    remaining[i] = caps.link_out_Bps;
+    remaining[num_nodes + i] = caps.link_in_Bps;
+  }
+  if (has_fabric) remaining[2 * num_nodes] = caps.fabric_Bps;
+
+  std::vector<std::size_t> active_count(num_resources, 0);
+  auto resources_of = [&](const FlowSpec& f, std::size_t out[3]) {
+    std::size_t k = 0;
+    OSIM_CHECK(f.src_node >= 0 && f.src_node < caps.num_nodes);
+    OSIM_CHECK(f.dst_node >= 0 && f.dst_node < caps.num_nodes);
+    out[k++] = static_cast<std::size_t>(f.src_node);
+    out[k++] = num_nodes + static_cast<std::size_t>(f.dst_node);
+    if (has_fabric) out[k++] = 2 * num_nodes;
+    return k;
+  };
+
+  std::vector<bool> frozen(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t res[3];
+    const std::size_t k = resources_of(flows[i], res);
+    for (std::size_t j = 0; j < k; ++j) ++active_count[res[j]];
+  }
+
+  std::size_t flows_left = n;
+  while (flows_left > 0) {
+    // Smallest fair share among resources with unfrozen flows.
+    double bottleneck_share = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < num_resources; ++r) {
+      if (active_count[r] == 0) continue;
+      const double share =
+          remaining[r] / static_cast<double>(active_count[r]);
+      bottleneck_share = std::min(bottleneck_share, share);
+    }
+    OSIM_CHECK(bottleneck_share < std::numeric_limits<double>::infinity());
+
+    // Raise all unfrozen flows by the bottleneck share and freeze the flows
+    // that cross a now-saturated resource.
+    std::vector<bool> saturated(num_resources, false);
+    for (std::size_t r = 0; r < num_resources; ++r) {
+      if (active_count[r] == 0) continue;
+      const double share =
+          remaining[r] / static_cast<double>(active_count[r]);
+      // Tolerance handles repeated-division rounding across rounds.
+      if (share <= bottleneck_share * (1.0 + 1e-12)) saturated[r] = true;
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      rates[i] += bottleneck_share;
+      std::size_t res[3];
+      const std::size_t k = resources_of(flows[i], res);
+      bool freeze = false;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (saturated[res[j]]) freeze = true;
+      }
+      if (!freeze) continue;
+      frozen[i] = true;
+      --flows_left;
+      for (std::size_t j = 0; j < k; ++j) {
+        remaining[res[j]] -= bottleneck_share;
+        --active_count[res[j]];
+      }
+    }
+    // Unfrozen flows consumed bottleneck_share from their resources too.
+    for (std::size_t r = 0; r < num_resources; ++r) {
+      if (active_count[r] > 0) {
+        remaining[r] -=
+            bottleneck_share * static_cast<double>(active_count[r]);
+        if (remaining[r] < 0.0) remaining[r] = 0.0;
+      }
+    }
+  }
+  return rates;
+}
+
+}  // namespace osim::dimemas

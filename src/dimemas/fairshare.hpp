@@ -1,0 +1,31 @@
+// Max-min fair bandwidth allocation (progressive filling / water-filling).
+//
+// Used by the detailed "reference machine" network model: concurrent
+// transfers share each node's injection link, each node's reception link,
+// and the switch fabric's aggregate capacity; rates are the classic max-min
+// fair allocation over those capacities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace osim::dimemas {
+
+struct FlowSpec {
+  std::int32_t src_node = 0;
+  std::int32_t dst_node = 0;
+};
+
+struct FairShareCaps {
+  std::int32_t num_nodes = 0;
+  double link_out_Bps = 0.0;   // per-node injection capacity
+  double link_in_Bps = 0.0;    // per-node reception capacity
+  double fabric_Bps = 0.0;     // aggregate switch capacity; <=0 → unlimited
+};
+
+/// Returns the max-min fair rate (bytes/s) for each flow. Every flow gets a
+/// strictly positive rate as long as all capacities are positive.
+std::vector<double> maxmin_rates(const std::vector<FlowSpec>& flows,
+                                 const FairShareCaps& caps);
+
+}  // namespace osim::dimemas

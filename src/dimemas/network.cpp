@@ -1,0 +1,241 @@
+#include "dimemas/network.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/expect.hpp"
+
+namespace osim::dimemas {
+
+// ---------------------------------------------------------------------------
+// BusNetwork
+// ---------------------------------------------------------------------------
+
+BusNetwork::BusNetwork(EventQueue& events, const Platform& platform)
+    : Network(events),
+      latency_s_(platform.latency_s()),
+      overhead_s_(platform.per_message_overhead_s()),
+      bytes_per_s_(platform.bandwidth_Bps()),
+      num_buses_(platform.num_buses),
+      out_in_use_(static_cast<std::size_t>(platform.num_nodes), 0),
+      in_in_use_(static_cast<std::size_t>(platform.num_nodes), 0),
+      output_ports_(platform.output_ports),
+      input_ports_(platform.input_ports) {
+  OSIM_CHECK(platform.num_nodes > 0);
+  OSIM_CHECK(bytes_per_s_ > 0.0);
+  OSIM_CHECK(latency_s_ >= 0.0);
+  OSIM_CHECK(num_buses_ >= 0);
+  OSIM_CHECK(output_ports_ > 0 && input_ports_ > 0);
+}
+
+double BusNetwork::wire_time(std::uint64_t bytes) const {
+  return latency_s_ + static_cast<double>(bytes) / bytes_per_s_;
+}
+
+double BusNetwork::serialization_time(std::uint64_t bytes) const {
+  return overhead_s_ + static_cast<double>(bytes) / bytes_per_s_;
+}
+
+bool BusNetwork::can_start(const Transfer& transfer) const {
+  if (num_buses_ > 0 && buses_in_use_ >= num_buses_) return false;
+  if (out_in_use_[static_cast<std::size_t>(transfer.src)] >= output_ports_)
+    return false;
+  if (in_in_use_[static_cast<std::size_t>(transfer.dst)] >= input_ports_)
+    return false;
+  return true;
+}
+
+void BusNetwork::start(Pending pending) {
+  const Transfer transfer = pending.transfer;
+  ++out_in_use_[static_cast<std::size_t>(transfer.src)];
+  ++in_in_use_[static_cast<std::size_t>(transfer.dst)];
+  if (num_buses_ > 0) ++buses_in_use_;
+  ++active_;
+  if (pending.on_start) pending.on_start(events_.now());
+  // Ports and buses are held for the serialization time (bytes/bandwidth);
+  // the wire latency is pipelined and does not occupy resources, so
+  // back-to-back messages pay the latency only once on the critical path.
+  const double release = events_.now() + serialization_time(transfer.bytes);
+  const double arrival = release + latency_s_;
+  events_.schedule(release, [this, transfer] {
+    --out_in_use_[static_cast<std::size_t>(transfer.src)];
+    --in_in_use_[static_cast<std::size_t>(transfer.dst)];
+    if (num_buses_ > 0) --buses_in_use_;
+    --active_;
+    // Freed resources may unblock queued transfers.
+    try_start_pending();
+  });
+  events_.schedule(arrival,
+                   [this, on_arrival = std::move(pending.on_arrival)] {
+                     on_arrival(events_.now());
+                   });
+}
+
+void BusNetwork::try_start_pending() {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (can_start(it->transfer)) {
+      Pending p = std::move(*it);
+      it = pending_.erase(it);
+      start(std::move(p));
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BusNetwork::submit(const Transfer& transfer, ArrivalFn on_arrival,
+                        StartFn on_start) {
+  OSIM_CHECK(transfer.src >= 0 &&
+             transfer.src < static_cast<trace::Rank>(out_in_use_.size()));
+  OSIM_CHECK(transfer.dst >= 0 &&
+             transfer.dst < static_cast<trace::Rank>(in_in_use_.size()));
+  Pending pending{transfer, std::move(on_arrival), std::move(on_start)};
+  if (pending_.empty() && can_start(transfer)) {
+    start(std::move(pending));
+  } else {
+    pending_.push_back(std::move(pending));
+    try_start_pending();  // first-fit: later transfers may still fit
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FairShareNetwork
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Sub-byte residue below which a flow counts as fully transferred.
+constexpr double kCompletionEpsBytes = 1e-3;
+
+FairShareCaps caps_from(const Platform& platform) {
+  FairShareCaps caps;
+  caps.num_nodes = platform.num_nodes;
+  caps.link_out_Bps = platform.bandwidth_Bps();
+  caps.link_in_Bps = platform.bandwidth_Bps();
+  caps.fabric_Bps = platform.fabric_capacity_links > 0.0
+                        ? platform.fabric_capacity_links *
+                              platform.bandwidth_Bps()
+                        : 0.0;
+  return caps;
+}
+
+}  // namespace
+
+FairShareNetwork::FairShareNetwork(EventQueue& events,
+                                   const Platform& platform)
+    // The fair-share model has no endpoint-occupancy stage; the per-message
+    // overhead is charged as additional fixed delay before the flow starts.
+    : Network(events),
+      latency_s_(platform.latency_s() + platform.per_message_overhead_s()),
+      caps_(caps_from(platform)) {
+  OSIM_CHECK(caps_.num_nodes > 0);
+  OSIM_CHECK(caps_.link_out_Bps > 0.0);
+}
+
+std::size_t FairShareNetwork::in_flight() const {
+  return active_.size() + latency_stage_;
+}
+
+void FairShareNetwork::submit(const Transfer& transfer, ArrivalFn on_arrival,
+                              StartFn on_start) {
+  OSIM_CHECK(transfer.src >= 0 && transfer.src < caps_.num_nodes);
+  OSIM_CHECK(transfer.dst >= 0 && transfer.dst < caps_.num_nodes);
+  if (on_start) on_start(events_.now());
+  if (transfer.bytes == 0) {
+    events_.schedule_after(latency_s_,
+                           [on_arrival = std::move(on_arrival), this] {
+                             on_arrival(events_.now());
+                           });
+    return;
+  }
+  Flow flow;
+  flow.transfer = transfer;
+  flow.remaining_bytes = static_cast<double>(transfer.bytes);
+  flow.on_arrival = std::move(on_arrival);
+  ++latency_stage_;
+  events_.schedule_after(latency_s_, [this, flow = std::move(flow)]() mutable {
+    --latency_stage_;
+    activate(std::move(flow));
+  });
+}
+
+void FairShareNetwork::activate(Flow flow) {
+  update_progress();
+  active_.push_back(std::move(flow));
+  rebalance();
+}
+
+void FairShareNetwork::update_progress() {
+  const double elapsed = events_.now() - last_update_;
+  if (elapsed > 0.0) {
+    for (Flow& flow : active_) {
+      flow.remaining_bytes =
+          std::max(0.0, flow.remaining_bytes - flow.rate * elapsed);
+    }
+  }
+  last_update_ = events_.now();
+}
+
+void FairShareNetwork::rebalance() {
+  ++generation_;  // invalidate any previously scheduled completion event
+  if (active_.empty()) return;
+
+  std::vector<FlowSpec> specs;
+  specs.reserve(active_.size());
+  for (const Flow& flow : active_) {
+    specs.push_back(FlowSpec{flow.transfer.src, flow.transfer.dst});
+  }
+  const std::vector<double> rates = maxmin_rates(specs, caps_);
+
+  double next_completion = std::numeric_limits<double>::infinity();
+  std::size_t i = 0;
+  for (Flow& flow : active_) {
+    flow.rate = rates[i++];
+    OSIM_CHECK(flow.rate > 0.0);
+    next_completion =
+        std::min(next_completion, flow.remaining_bytes / flow.rate);
+  }
+  const std::uint64_t generation = generation_;
+  events_.schedule_after(next_completion,
+                         [this, generation] { on_completion_event(generation); });
+}
+
+void FairShareNetwork::on_completion_event(std::uint64_t generation) {
+  if (generation != generation_) return;  // superseded by a rebalance
+  update_progress();
+
+  std::vector<ArrivalFn> done;
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const Flow& flow : active_) {
+    min_remaining = std::min(min_remaining, flow.remaining_bytes);
+  }
+  for (auto it = active_.begin(); it != active_.end();) {
+    // The minimum-residue flow always completes here, protecting against
+    // floating-point drift that could otherwise stall the event loop.
+    if (it->remaining_bytes <= kCompletionEpsBytes ||
+        it->remaining_bytes <= min_remaining) {
+      done.push_back(std::move(it->on_arrival));
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  OSIM_CHECK_MSG(!done.empty(), "completion event with no finished flow");
+  rebalance();
+  for (ArrivalFn& fn : done) fn(events_.now());
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Network> make_network(EventQueue& events,
+                                      const Platform& platform) {
+  switch (platform.model) {
+    case NetworkModelKind::kBus:
+      return std::make_unique<BusNetwork>(events, platform);
+    case NetworkModelKind::kFairShare:
+      return std::make_unique<FairShareNetwork>(events, platform);
+  }
+  OSIM_UNREACHABLE("bad NetworkModelKind");
+}
+
+}  // namespace osim::dimemas

@@ -1,0 +1,129 @@
+// Network models.
+//
+// BusNetwork implements the published Dimemas interconnect model: a message
+// occupies one output port at the source node, one input port at the
+// destination node, and one global bus for `latency + bytes/bandwidth`
+// seconds; messages queue FIFO (first-fit) when resources are exhausted.
+//
+// FairShareNetwork is the *detailed reference machine* of our reproduction
+// (DESIGN.md substitutions): concurrent transfers share per-node links and a
+// finite switch fabric with max-min fair rates that are recomputed whenever
+// a flow starts or finishes. It is used as the stand-in for "a real run on
+// the Marenostrum supercomputer" when calibrating the bus count (Table I).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <vector>
+
+#include "dimemas/events.hpp"
+#include "dimemas/fairshare.hpp"
+#include "dimemas/platform.hpp"
+#include "trace/record.hpp"
+
+namespace osim::dimemas {
+
+struct Transfer {
+  trace::Rank src = 0;
+  trace::Rank dst = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Invoked exactly once per submitted transfer, at arrival time, with the
+/// simulated arrival timestamp. A second callback reports when the wire
+/// time actually began (for visualization); it may be dropped.
+using ArrivalFn = std::function<void(double)>;
+using StartFn = std::function<void(double)>;
+
+class Network {
+ public:
+  explicit Network(EventQueue& events) : events_(events) {}
+  virtual ~Network() = default;
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Hands a message to the network at the current simulated time.
+  virtual void submit(const Transfer& transfer, ArrivalFn on_arrival,
+                      StartFn on_start = nullptr) = 0;
+
+  /// Transfers currently in flight or queued (diagnostics).
+  virtual std::size_t in_flight() const = 0;
+
+ protected:
+  EventQueue& events_;
+};
+
+class BusNetwork final : public Network {
+ public:
+  BusNetwork(EventQueue& events, const Platform& platform);
+
+  void submit(const Transfer& transfer, ArrivalFn on_arrival,
+              StartFn on_start = nullptr) override;
+  std::size_t in_flight() const override { return active_ + pending_.size(); }
+
+  /// End-to-end duration for `bytes` with no queueing: latency + bytes/bw.
+  double wire_time(std::uint64_t bytes) const;
+  /// Time the message occupies ports/buses: bytes/bw (latency pipelines).
+  double serialization_time(std::uint64_t bytes) const;
+
+ private:
+  struct Pending {
+    Transfer transfer;
+    ArrivalFn on_arrival;
+    StartFn on_start;
+  };
+
+  bool can_start(const Transfer& transfer) const;
+  void start(Pending pending);
+  void try_start_pending();
+
+  const double latency_s_;
+  const double overhead_s_;
+  const double bytes_per_s_;
+  const std::int32_t num_buses_;  // 0 = unlimited
+  std::vector<std::int32_t> out_in_use_;
+  std::vector<std::int32_t> in_in_use_;
+  const std::int32_t output_ports_;
+  const std::int32_t input_ports_;
+  std::int32_t buses_in_use_ = 0;
+  std::size_t active_ = 0;
+  std::list<Pending> pending_;
+};
+
+class FairShareNetwork final : public Network {
+ public:
+  FairShareNetwork(EventQueue& events, const Platform& platform);
+
+  void submit(const Transfer& transfer, ArrivalFn on_arrival,
+              StartFn on_start = nullptr) override;
+  std::size_t in_flight() const override;
+
+ private:
+  struct Flow {
+    Transfer transfer;
+    double remaining_bytes = 0.0;
+    double rate = 0.0;
+    ArrivalFn on_arrival;
+  };
+
+  void activate(Flow flow);
+  void update_progress();
+  void rebalance();
+  void on_completion_event(std::uint64_t generation);
+
+  const double latency_s_;
+  const FairShareCaps caps_;
+  std::list<Flow> active_;
+  std::size_t latency_stage_ = 0;  // flows still in their latency phase
+  double last_update_ = 0.0;
+  std::uint64_t generation_ = 0;
+};
+
+/// Factory dispatching on Platform::model.
+std::unique_ptr<Network> make_network(EventQueue& events,
+                                      const Platform& platform);
+
+}  // namespace osim::dimemas

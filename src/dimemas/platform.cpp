@@ -1,0 +1,43 @@
+#include "dimemas/platform.hpp"
+
+#include "common/strings.hpp"
+
+namespace osim::dimemas {
+
+Platform Platform::marenostrum(std::int32_t num_nodes, std::int32_t buses) {
+  Platform p;
+  p.num_nodes = num_nodes;
+  p.model = NetworkModelKind::kBus;
+  p.bandwidth_MBps = 250.0;  // Myrinet unidirectional bandwidth (paper §IV)
+  p.latency_us = 4.0;        // Myrinet/GM short-message latency class
+  p.num_buses = buses;
+  p.input_ports = 1;
+  p.output_ports = 1;
+  return p;
+}
+
+Platform Platform::reference_machine(std::int32_t num_nodes) {
+  Platform p;
+  p.num_nodes = num_nodes;
+  p.model = NetworkModelKind::kFairShare;
+  p.bandwidth_MBps = 250.0;
+  p.latency_us = 4.0;  // same link class as the bus-model platform
+  // A finite fabric: about half of the nodes can stream at full link rate
+  // simultaneously, which produces the global congestion the bus
+  // calibration (Table I) has to chase.
+  p.fabric_capacity_links = num_nodes <= 4 ? 2.0 : num_nodes / 2.0;
+  return p;
+}
+
+std::string Platform::describe() const {
+  const char* kind =
+      model == NetworkModelKind::kBus ? "bus" : "fair-share";
+  return strprintf(
+      "%d nodes, %s network, %.6g MB/s, %.6g us latency, buses=%d, "
+      "ports=%d/%d, eager<=%llu B",
+      num_nodes, kind, bandwidth_MBps, latency_us, num_buses, input_ports,
+      output_ports,
+      static_cast<unsigned long long>(eager_threshold_bytes));
+}
+
+}  // namespace osim::dimemas

@@ -1,0 +1,35 @@
+// Platform configuration files, in the spirit of Dimemas .cfg files: a
+// line-oriented `key value` format so replay experiments can be described
+// as data rather than code.
+//
+//   # overlapsim platform
+//   nodes 64
+//   model bus            # or: fairshare
+//   bandwidth_mbps 250
+//   latency_us 4
+//   buses 12             # 0 = unlimited
+//   input_ports 1
+//   output_ports 1
+//   eager_threshold 16384
+//   relative_cpu_speed 1.0
+//   fabric_links 8       # fairshare model only; 0 = unlimited
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dimemas/platform.hpp"
+
+namespace osim::dimemas {
+
+void write_platform(const Platform& platform, std::ostream& out);
+std::string write_platform(const Platform& platform);
+void write_platform_file(const Platform& platform, const std::string& path);
+
+/// Parses a platform description; unknown keys and malformed values raise
+/// osim::Error with a line number.
+Platform read_platform(std::istream& in);
+Platform read_platform(const std::string& text);
+Platform read_platform_file(const std::string& path);
+
+}  // namespace osim::dimemas

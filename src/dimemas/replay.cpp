@@ -1,0 +1,530 @@
+#include "dimemas/replay.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/expect.hpp"
+#include "common/strings.hpp"
+#include "dimemas/collectives.hpp"
+#include "dimemas/events.hpp"
+#include "dimemas/network.hpp"
+
+namespace osim::dimemas {
+
+using trace::CpuBurst;
+using trace::GlobalOp;
+using trace::kAnyRank;
+using trace::kAnyTag;
+using trace::Rank;
+using trace::Record;
+using trace::Recv;
+using trace::ReqId;
+using trace::Send;
+using trace::Tag;
+using trace::Wait;
+
+namespace {
+
+class Replayer {
+ public:
+  Replayer(const trace::Trace& trace, const Platform& platform,
+           const ReplayOptions& options)
+      : trace_(trace),
+        platform_(platform),
+        options_(options),
+        network_(make_network(events_, platform)) {
+    OSIM_CHECK_MSG(platform.num_nodes >= trace.num_ranks,
+                   "platform has fewer nodes than the trace has ranks");
+    procs_.resize(static_cast<std::size_t>(trace.num_ranks));
+    inbox_.resize(static_cast<std::size_t>(trace.num_ranks));
+    for (Rank r = 0; r < trace.num_ranks; ++r) {
+      procs_[static_cast<std::size_t>(r)].rank = r;
+    }
+  }
+
+  SimResult run() {
+    for (auto& proc : procs_) {
+      // All ranks start at t=0 (the paper replays one process per node).
+      events_.schedule(0.0, [this, &proc] { step(proc); });
+    }
+    while (events_.run_one()) {
+      if (events_.now() > options_.max_sim_time_s) {
+        throw Error(strprintf(
+            "replay exceeded max_sim_time (%.6g s); likely runaway trace",
+            options_.max_sim_time_s));
+      }
+    }
+    check_all_finished();
+
+    SimResult result;
+    result.rank_stats.reserve(procs_.size());
+    for (auto& proc : procs_) {
+      result.makespan = std::max(result.makespan, proc.stats.finish_time);
+      result.rank_stats.push_back(proc.stats);
+    }
+    if (options_.record_timeline) {
+      result.timelines.reserve(procs_.size());
+      for (auto& proc : procs_) {
+        result.timelines.push_back(std::move(proc.timeline));
+      }
+    }
+    if (options_.record_comms) {
+      result.comms.reserve(comms_.size());
+      for (const auto& comm : comms_) result.comms.push_back(*comm);
+    }
+    result.des_events = events_.events_processed();
+    return result;
+  }
+
+ private:
+  // --- bookkeeping types --------------------------------------------------
+
+  struct PostedRecv;
+
+  struct SendSide {
+    Rank src = 0;
+    Rank dst = 0;
+    Tag tag = 0;
+    std::uint64_t bytes = 0;
+    bool immediate = false;
+    ReqId request = trace::kNoRequest;
+    bool eager = false;
+    bool arrived = false;
+    double call_time = 0.0;  // when the sender reached the send record
+    PostedRecv* partner = nullptr;
+    CommEvent* comm = nullptr;  // owned by comms_; null unless recording
+  };
+
+  struct PostedRecv {
+    Rank src = kAnyRank;
+    Tag tag = kAnyTag;
+    std::uint64_t bytes = 0;
+    Rank dst = 0;
+    bool immediate = false;
+    ReqId request = trace::kNoRequest;
+    double post_time = 0.0;  // when the receiver posted the recv
+    SendSide* partner = nullptr;
+    bool complete = false;
+  };
+
+  struct Proc {
+    Rank rank = 0;
+    std::size_t pc = 0;
+    bool running = false;   // guards against re-entrant step()
+    bool finished = false;
+    // Block bookkeeping.
+    bool blocked = false;
+    RankState block_state = RankState::kCompute;
+    double block_begin = 0.0;
+    std::size_t outstanding = 0;  // incomplete requests a Wait waits on
+    PostedRecv* blocking_recv = nullptr;
+    // Cause of the most recent request completion (drives the causal link
+    // of wait blocks).
+    Rank pending_cause_rank = -1;
+    double pending_cause_time = 0.0;
+    std::unordered_map<ReqId, bool> request_complete;
+    RankStats stats;
+    std::vector<StateInterval> timeline;
+  };
+
+  struct Inbox {
+    std::deque<SendSide*> unmatched_sends;   // announce order
+    std::deque<PostedRecv*> unmatched_recvs; // post order
+  };
+
+  // --- helpers --------------------------------------------------------------
+
+  const std::vector<Record>& stream(const Proc& proc) const {
+    return replayed_->ranks[static_cast<std::size_t>(proc.rank)];
+  }
+
+  double now() const { return events_.now(); }
+
+  void add_interval(Proc& proc, double begin, double end, RankState state) {
+    if (!options_.record_timeline || end <= begin) return;
+    proc.timeline.push_back(StateInterval{begin, end, state});
+  }
+
+  void block(Proc& proc, RankState state) {
+    OSIM_CHECK(!proc.blocked);
+    proc.blocked = true;
+    proc.block_state = state;
+    proc.block_begin = now();
+  }
+
+  void unblock(Proc& proc, Rank cause_rank = -1, double cause_time = 0.0) {
+    OSIM_CHECK(proc.blocked);
+    proc.blocked = false;
+    const double blocked_for = now() - proc.block_begin;
+    switch (proc.block_state) {
+      case RankState::kSendBlocked:
+        proc.stats.send_blocked_s += blocked_for;
+        break;
+      case RankState::kRecvBlocked:
+        proc.stats.recv_blocked_s += blocked_for;
+        break;
+      case RankState::kWaitBlocked:
+        proc.stats.wait_blocked_s += blocked_for;
+        break;
+      default:
+        OSIM_UNREACHABLE("bad block state");
+    }
+    if (options_.record_timeline && now() > proc.block_begin) {
+      proc.timeline.push_back(StateInterval{proc.block_begin, now(),
+                                            proc.block_state, cause_rank,
+                                            cause_time});
+    }
+    if (!proc.running) {
+      // Resume the interpretation loop in a fresh event so the current
+      // callback stack unwinds first.
+      events_.schedule(now(), [this, &proc] { step(proc); });
+    }
+  }
+
+  void complete_request(Proc& proc, ReqId request, Rank cause_rank = -1,
+                        double cause_time = 0.0) {
+    proc.pending_cause_rank = cause_rank;
+    proc.pending_cause_time = cause_time;
+    auto it = proc.request_complete.find(request);
+    OSIM_CHECK_MSG(it != proc.request_complete.end(),
+                   "request completion for unknown request");
+    OSIM_CHECK(!it->second);
+    it->second = true;
+    if (proc.blocked && proc.block_state == RankState::kWaitBlocked) {
+      OSIM_CHECK(proc.outstanding > 0);
+      // Only decrement if this request is among the waited set — the wait
+      // installed `outstanding` as the count of incomplete waited requests
+      // and marked them in waited_requests_.
+      const auto waited = waited_.find(&proc);
+      if (waited != waited_.end() && waited->second.count(request) > 0) {
+        waited->second.erase(request);
+        if (--proc.outstanding == 0) {
+          waited_.erase(waited);
+          unblock(proc, proc.pending_cause_rank, proc.pending_cause_time);
+        }
+      }
+    }
+  }
+
+  // --- record interpretation -------------------------------------------
+
+  void step(Proc& proc) {
+    if (proc.finished || proc.blocked) return;
+    proc.running = true;
+    const auto& recs = stream(proc);
+    while (!proc.blocked && proc.pc < recs.size()) {
+      const Record& rec = recs[proc.pc++];
+      if (const auto* burst = std::get_if<CpuBurst>(&rec)) {
+        do_compute(proc, *burst);
+        proc.running = false;
+        return;  // resumes via the scheduled wake-up
+      } else if (const auto* send = std::get_if<Send>(&rec)) {
+        do_send(proc, *send);
+      } else if (const auto* recv = std::get_if<Recv>(&rec)) {
+        do_recv(proc, *recv);
+      } else if (const auto* wait = std::get_if<Wait>(&rec)) {
+        do_wait(proc, *wait);
+      } else {
+        OSIM_UNREACHABLE("GlobalOp survived collective expansion");
+      }
+    }
+    proc.running = false;
+    if (!proc.blocked && proc.pc >= recs.size()) {
+      proc.finished = true;
+      proc.stats.finish_time = now();
+    }
+  }
+
+  void do_compute(Proc& proc, const CpuBurst& burst) {
+    const double duration =
+        static_cast<double>(burst.instructions) /
+        (trace_.mips * 1.0e6 * platform_.node_cpu_speed(proc.rank));
+    proc.stats.compute_s += duration;
+    add_interval(proc, now(), now() + duration, RankState::kCompute);
+    events_.schedule(now() + duration, [this, &proc] { step(proc); });
+  }
+
+  bool is_eager(const Send& rec) const {
+    if (rec.synchronous) return false;
+    return rec.bytes <= platform_.eager_threshold_bytes;
+  }
+
+  void do_send(Proc& proc, const Send& rec) {
+    auto owned = std::make_unique<SendSide>();
+    SendSide* send = owned.get();
+    send_pool_.push_back(std::move(owned));
+    send->src = proc.rank;
+    send->dst = rec.dest;
+    send->tag = rec.tag;
+    send->bytes = rec.bytes;
+    send->immediate = rec.immediate;
+    send->request = rec.request;
+    send->eager = is_eager(rec);
+    send->call_time = now();
+    if (options_.record_comms) {
+      comms_.push_back(std::make_unique<CommEvent>());
+      send->comm = comms_.back().get();
+      send->comm->src = send->src;
+      send->comm->dst = send->dst;
+      send->comm->tag = send->tag;
+      send->comm->bytes = send->bytes;
+      send->comm->send_call_time = now();
+    }
+    proc.stats.messages_sent++;
+    proc.stats.bytes_sent += rec.bytes;
+
+    if (rec.immediate) {
+      const bool inserted =
+          proc.request_complete.emplace(rec.request, false).second;
+      OSIM_CHECK_MSG(inserted, "duplicate request id in trace");
+    }
+
+    match_send(send);
+
+    if (send->eager) {
+      // Eager: the message leaves immediately; local completion is instant.
+      submit_transfer(send);
+      if (rec.immediate) complete_request(proc, rec.request);
+      return;  // blocking eager send does not block
+    }
+    // Rendezvous: transfer starts when the partner recv is posted.
+    if (send->partner != nullptr) submit_transfer(send);
+    if (!rec.immediate) {
+      block(proc, RankState::kSendBlocked);  // until arrival
+    }
+    // Immediate rendezvous send: request completes at arrival.
+  }
+
+  void do_recv(Proc& proc, const Recv& rec) {
+    auto owned = std::make_unique<PostedRecv>();
+    PostedRecv* recv = owned.get();
+    recv_pool_.push_back(std::move(owned));
+    recv->src = rec.src;
+    recv->tag = rec.tag;
+    recv->bytes = rec.bytes;
+    recv->dst = proc.rank;
+    recv->immediate = rec.immediate;
+    recv->request = rec.request;
+    recv->post_time = now();
+    proc.stats.messages_received++;
+
+    if (rec.immediate) {
+      const bool inserted =
+          proc.request_complete.emplace(rec.request, false).second;
+      OSIM_CHECK_MSG(inserted, "duplicate request id in trace");
+    }
+
+    match_recv(recv);
+    if (recv->partner != nullptr) {
+      if (recv->partner->comm != nullptr) {
+        recv->partner->comm->recv_post_time = now();
+      }
+      if (recv->partner->arrived) {
+        // Message already fully here: the recv completes instantly.
+        finish_recv(*recv);
+        return;
+      }
+      if (!recv->partner->eager) submit_transfer(recv->partner);
+    }
+    if (!rec.immediate && !recv->complete) {
+      proc.blocking_recv = recv;
+      block(proc, RankState::kRecvBlocked);
+    }
+  }
+
+  void do_wait(Proc& proc, const Wait& rec) {
+    std::size_t incomplete = 0;
+    auto& waited = waited_[&proc];
+    for (const ReqId req : rec.requests) {
+      auto it = proc.request_complete.find(req);
+      OSIM_CHECK_MSG(it != proc.request_complete.end(),
+                     "wait on unknown request (trace not validated?)");
+      if (!it->second) {
+        waited.insert(req);
+        ++incomplete;
+      }
+      // Completed requests are consumed by the wait.
+    }
+    if (incomplete == 0) {
+      waited_.erase(&proc);
+      return;
+    }
+    proc.outstanding = incomplete;
+    block(proc, RankState::kWaitBlocked);
+  }
+
+  // --- matching ---------------------------------------------------------
+
+  static bool matches(const PostedRecv& recv, const SendSide& send) {
+    if (recv.src != kAnyRank && recv.src != send.src) return false;
+    if (recv.tag != kAnyTag && recv.tag != send.tag) return false;
+    return recv.bytes >= send.bytes;  // MPI allows a larger recv buffer
+  }
+
+  void match_send(SendSide* send) {
+    Inbox& inbox = inbox_[static_cast<std::size_t>(send->dst)];
+    for (auto it = inbox.unmatched_recvs.begin();
+         it != inbox.unmatched_recvs.end(); ++it) {
+      if (matches(**it, *send)) {
+        PostedRecv* recv = *it;
+        inbox.unmatched_recvs.erase(it);
+        send->partner = recv;
+        recv->partner = send;
+        if (send->comm != nullptr) {
+          // recv was posted before this send.
+          send->comm->recv_post_time = recv_post_times_[recv];
+        }
+        return;
+      }
+    }
+    inbox.unmatched_sends.push_back(send);
+  }
+
+  void match_recv(PostedRecv* recv) {
+    Inbox& inbox = inbox_[static_cast<std::size_t>(recv->dst)];
+    for (auto it = inbox.unmatched_sends.begin();
+         it != inbox.unmatched_sends.end(); ++it) {
+      if (matches(*recv, **it)) {
+        SendSide* send = *it;
+        inbox.unmatched_sends.erase(it);
+        recv->partner = send;
+        send->partner = recv;
+        return;
+      }
+    }
+    recv_post_times_[recv] = now();
+    inbox.unmatched_recvs.push_back(recv);
+  }
+
+  // --- transfers ----------------------------------------------------------
+
+  void submit_transfer(SendSide* send) {
+    Transfer transfer{send->src, send->dst, send->bytes};
+    CommEvent* comm = send->comm;
+    network_->submit(
+        transfer, [this, send](double time) { on_arrival(send, time); },
+        comm != nullptr
+            ? StartFn([comm](double time) { comm->transfer_start = time; })
+            : StartFn(nullptr));
+  }
+
+  void on_arrival(SendSide* send, double time) {
+    send->arrived = true;
+    if (send->comm != nullptr) send->comm->arrival_time = time;
+    Proc& sender = procs_[static_cast<std::size_t>(send->src)];
+    if (!send->eager) {
+      // Rendezvous completion on the sender side. The causal constraint is
+      // the receive post when it gated the transfer start.
+      Rank cause_rank = -1;
+      double cause_time = 0.0;
+      if (send->partner != nullptr &&
+          send->partner->post_time > send->call_time) {
+        cause_rank = send->dst;
+        cause_time = send->partner->post_time;
+      }
+      if (send->immediate) {
+        complete_request(sender, send->request, cause_rank, cause_time);
+      } else {
+        unblock(sender, cause_rank, cause_time);
+      }
+    }
+    if (send->partner != nullptr) finish_recv(*send->partner);
+  }
+
+  void finish_recv(PostedRecv& recv) {
+    OSIM_CHECK(!recv.complete);
+    OSIM_CHECK(recv.partner != nullptr && recv.partner->arrived);
+    recv.complete = true;
+    if (recv.partner->comm != nullptr) {
+      recv.partner->comm->recv_complete_time = now();
+    }
+    Proc& receiver = procs_[static_cast<std::size_t>(recv.dst)];
+    // The causal constraint is the sender's send call when it happened
+    // after this receive was posted (the receiver truly waited on it).
+    Rank cause_rank = -1;
+    double cause_time = 0.0;
+    if (recv.partner->call_time > recv.post_time) {
+      cause_rank = recv.partner->src;
+      cause_time = recv.partner->call_time;
+    }
+    if (recv.immediate) {
+      complete_request(receiver, recv.request, cause_rank, cause_time);
+      return;
+    }
+    if (receiver.blocking_recv == &recv) {
+      receiver.blocking_recv = nullptr;
+      if (receiver.blocked &&
+          receiver.block_state == RankState::kRecvBlocked) {
+        unblock(receiver, cause_rank, cause_time);
+      }
+      // If the receiver never blocked (message was already here when the
+      // recv posted), step() simply continues inline.
+    }
+  }
+
+  void check_all_finished() const {
+    std::vector<std::string> stuck;
+    for (const auto& proc : procs_) {
+      if (proc.finished) continue;
+      const auto& recs = stream(proc);
+      const std::size_t at = proc.pc == 0 ? 0 : proc.pc - 1;
+      stuck.push_back(strprintf(
+          "rank %d %s at record %zu/%zu: %s", proc.rank,
+          proc.blocked ? rank_state_name(proc.block_state) : "stalled", at,
+          recs.size(),
+          at < recs.size() ? trace::to_string(recs[at]).c_str() : "<end>"));
+    }
+    if (!stuck.empty()) {
+      throw Error("replay deadlock:\n  " + join(stuck, "\n  "));
+    }
+  }
+
+ public:
+  void prepare() {
+    if (!platform_.per_node_cpu_speed.empty()) {
+      OSIM_CHECK_MSG(platform_.per_node_cpu_speed.size() ==
+                         static_cast<std::size_t>(platform_.num_nodes),
+                     "per_node_cpu_speed must have num_nodes entries");
+      for (const double speed : platform_.per_node_cpu_speed) {
+        OSIM_CHECK_MSG(speed > 0.0, "per-node CPU speed must be positive");
+      }
+    }
+    if (options_.validate_input) trace::validate(trace_);
+    if (options_.auto_expand_collectives && has_collectives(trace_)) {
+      expanded_ = expand_collectives(trace_, options_.collective_algo);
+      replayed_ = &expanded_;
+    } else {
+      replayed_ = &trace_;
+    }
+  }
+
+ private:
+  const trace::Trace& trace_;
+  trace::Trace expanded_;
+  const trace::Trace* replayed_ = nullptr;
+  const Platform& platform_;
+  const ReplayOptions& options_;
+  EventQueue events_;
+  std::unique_ptr<Network> network_;
+  std::vector<Proc> procs_;
+  std::vector<Inbox> inbox_;
+  std::vector<std::unique_ptr<SendSide>> send_pool_;
+  std::vector<std::unique_ptr<PostedRecv>> recv_pool_;
+  std::vector<std::unique_ptr<CommEvent>> comms_;
+  std::unordered_map<const PostedRecv*, double> recv_post_times_;
+  std::unordered_map<Proc*, std::unordered_set<ReqId>> waited_;
+};
+
+}  // namespace
+
+SimResult replay(const trace::Trace& trace, const Platform& platform,
+                 const ReplayOptions& options) {
+  Replayer replayer(trace, platform, options);
+  replayer.prepare();
+  return replayer.run();
+}
+
+}  // namespace osim::dimemas

@@ -1,0 +1,55 @@
+// The trace-driven replay simulator (the Dimemas role in the paper's
+// pipeline): "Dimemas uses the traces obtained from each MPI process and
+// off-line reconstructs the application's time-behavior on a configurable
+// parallel platform."
+//
+// Semantics
+// ---------
+// Each rank is a logical process replaying its record stream:
+//
+//   CpuBurst  — advances the rank's clock by
+//               instructions / (trace MIPS * relative_cpu_speed).
+//   Send      — eager (bytes <= eager_threshold): the transfer enters the
+//               network at the call; a blocking send returns immediately
+//               (buffered) and an isend request completes immediately.
+//               rendezvous: the transfer enters the network when the
+//               matching receive is posted; a blocking send blocks until
+//               arrival, an isend request completes at arrival.
+//   Recv      — blocking: blocks until the matching message has fully
+//               arrived. Irecv posts the receive; the request completes at
+//               arrival.
+//   Wait      — blocks until every listed request has completed.
+//   GlobalOp  — expanded to point-to-point via expand_collectives()
+//               (done automatically unless disabled).
+//
+// Matching follows MPI ordering: receives match announced sends in post
+// order, sends match posted receives in announce order, with ANY_SOURCE /
+// ANY_TAG wildcards honoured. Transfer time and contention come from the
+// Network model (bus or fair-share).
+#pragma once
+
+#include <limits>
+
+#include "dimemas/collectives.hpp"
+#include "dimemas/platform.hpp"
+#include "dimemas/result.hpp"
+#include "trace/trace.hpp"
+
+namespace osim::dimemas {
+
+struct ReplayOptions {
+  bool record_timeline = false;  // populate SimResult::timelines
+  bool record_comms = false;     // populate SimResult::comms
+  bool auto_expand_collectives = true;
+  CollectiveAlgo collective_algo = CollectiveAlgo::kBinomialTree;
+  bool validate_input = true;
+  /// Abort with osim::Error if simulated time exceeds this (runaway guard).
+  double max_sim_time_s = std::numeric_limits<double>::infinity();
+};
+
+/// Replays `trace` on `platform`. Throws osim::Error on malformed traces or
+/// deadlock (with a per-rank diagnostic of where each rank is stuck).
+SimResult replay(const trace::Trace& trace, const Platform& platform,
+                 const ReplayOptions& options = {});
+
+}  // namespace osim::dimemas

@@ -1,0 +1,41 @@
+#include "dimemas/result.hpp"
+
+#include "common/expect.hpp"
+
+namespace osim::dimemas {
+
+const char* rank_state_name(RankState state) {
+  switch (state) {
+    case RankState::kCompute:
+      return "compute";
+    case RankState::kSendBlocked:
+      return "send";
+    case RankState::kRecvBlocked:
+      return "recv";
+    case RankState::kWaitBlocked:
+      return "wait";
+    case RankState::kCollective:
+      return "collective";
+  }
+  OSIM_UNREACHABLE("bad RankState");
+}
+
+double SimResult::total_compute_s() const {
+  double total = 0.0;
+  for (const auto& rs : rank_stats) total += rs.compute_s;
+  return total;
+}
+
+double SimResult::total_blocked_s() const {
+  double total = 0.0;
+  for (const auto& rs : rank_stats) total += rs.blocked_s();
+  return total;
+}
+
+double SimResult::efficiency() const {
+  if (rank_stats.empty() || makespan <= 0.0) return 0.0;
+  return total_compute_s() /
+         (static_cast<double>(rank_stats.size()) * makespan);
+}
+
+}  // namespace osim::dimemas

@@ -1,0 +1,83 @@
+// Replay outputs: per-rank activity timelines (for Paraver / ASCII
+// rendering), communication events (for synchronization lines), and summary
+// statistics per rank.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace osim::dimemas {
+
+/// What a rank is doing during a timeline interval. Mirrors the Paraver
+/// state semantics used in the paper's Figure 4 (Running vs Wait).
+enum class RankState : std::uint8_t {
+  kCompute,      // executing a CPU burst
+  kSendBlocked,  // inside a blocking send (rendezvous in flight)
+  kRecvBlocked,  // inside a blocking recv
+  kWaitBlocked,  // inside a wait on immediate requests
+  kCollective,   // inside an expanded collective region
+};
+
+const char* rank_state_name(RankState state);
+
+struct StateInterval {
+  double begin = 0.0;
+  double end = 0.0;
+  RankState state = RankState::kCompute;
+  /// For blocked intervals: the rank whose activity released this block
+  /// (the message sender for receive/wait blocks, the receive poster for
+  /// rendezvous send blocks) and the time on that rank from which the
+  /// causal chain continues (its send call / receive post). -1 when the
+  /// block was resolved by pure network time with no remote constraint.
+  trace::Rank cause_rank = -1;
+  double cause_time = 0.0;
+};
+
+struct CommEvent {
+  trace::Rank src = 0;
+  trace::Rank dst = 0;
+  trace::Tag tag = 0;
+  std::uint64_t bytes = 0;
+  double send_call_time = 0.0;   // sender reached the send record
+  double transfer_start = 0.0;   // resources acquired, wire time begins
+  double arrival_time = 0.0;     // message fully received
+  double recv_post_time = 0.0;   // receiver posted the matching recv
+  double recv_complete_time = 0.0;  // receiver's recv/wait satisfied
+};
+
+struct RankStats {
+  double compute_s = 0.0;
+  double send_blocked_s = 0.0;
+  double recv_blocked_s = 0.0;
+  double wait_blocked_s = 0.0;
+  double finish_time = 0.0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+
+  double blocked_s() const {
+    return send_blocked_s + recv_blocked_s + wait_blocked_s;
+  }
+};
+
+struct SimResult {
+  double makespan = 0.0;  // max finish time over ranks
+  std::vector<RankStats> rank_stats;
+  /// Per-rank state intervals; only populated when
+  /// ReplayOptions::record_timeline is set.
+  std::vector<std::vector<StateInterval>> timelines;
+  /// All point-to-point transfers; only populated when
+  /// ReplayOptions::record_comms is set.
+  std::vector<CommEvent> comms;
+  std::uint64_t des_events = 0;  // DES events processed (perf diagnostics)
+
+  double total_compute_s() const;
+  double total_blocked_s() const;
+  /// Parallel efficiency: total compute / (ranks * makespan).
+  double efficiency() const;
+};
+
+}  // namespace osim::dimemas

@@ -1,0 +1,166 @@
+#include <algorithm>
+#include <thread>
+
+#include "common/expect.hpp"
+#include "common/strings.hpp"
+#include "mpisim/context.hpp"
+#include "mpisim/mpisim.hpp"
+
+namespace osim::mpisim {
+
+int Comm::size() const { return context_->size(); }
+
+void Comm::send_bytes(const void* data, std::size_t bytes, int dest,
+                      int tag) {
+  context_->deliver(rank_, dest, tag, data, bytes);
+}
+
+Status Comm::recv_bytes(void* data, std::size_t capacity, int src, int tag) {
+  auto op = context_->post_recv(rank_, src, tag, data, capacity);
+  // wait_recv synchronizes on the mailbox mutex; an unlocked op->done
+  // fast path here would race with a concurrent deliver().
+  return context_->wait_recv(rank_, *op);
+}
+
+Request Comm::isend_bytes(const void* data, std::size_t bytes, int dest,
+                          int tag) {
+  // Buffered semantics: the payload is copied out immediately, so the
+  // request is trivially complete (see file comment in mpisim.hpp).
+  context_->deliver(rank_, dest, tag, data, bytes);
+  Request request;
+  request.send_complete_ = true;
+  return request;
+}
+
+Request Comm::irecv_bytes(void* data, std::size_t capacity, int src,
+                          int tag) {
+  Request request;
+  request.recv_ = context_->post_recv(rank_, src, tag, data, capacity);
+  return request;
+}
+
+Status Comm::wait(Request& request) {
+  OSIM_CHECK_MSG(request.valid(), "wait on an empty Request");
+  if (request.recv_ == nullptr) {
+    request.send_complete_ = false;  // consumed
+    return Status{};
+  }
+  auto op = std::move(request.recv_);
+  return context_->wait_recv(rank_, *op);
+}
+
+void Comm::wait_all(std::span<Request> requests) {
+  for (Request& request : requests) {
+    if (request.valid()) wait(request);
+  }
+}
+
+Status Comm::probe(int src, int tag) {
+  return context_->wait_peek(rank_, src, tag);
+}
+
+std::optional<Status> Comm::iprobe(int src, int tag) {
+  return context_->peek(rank_, src, tag);
+}
+
+int Comm::collective_tag(int phase) {
+  OSIM_CHECK(phase >= 0 && phase < 16);
+  // Internal tags are <= -2 so they can never collide with application tags
+  // (>= 0) or the kAnyTag wildcard (-1). All ranks must call collectives in
+  // the same order, so the per-rank sequence numbers agree.
+  const std::int64_t seq = collective_seq_++;
+  OSIM_CHECK_MSG(seq < (std::int64_t{1} << 26),
+                 "too many collectives for the internal tag space");
+  return static_cast<int>(-2 - (seq * 16 + phase));
+}
+
+void Comm::barrier() {
+  const int tag = collective_tag(0);
+  const int p = size();
+  // Binomial fan-in to rank 0, then fan-out, with empty payloads.
+  int mask = 1;
+  while (mask < p) {
+    if ((rank_ & mask) == 0) {
+      const int child = rank_ | mask;
+      if (child < p) recv_bytes(nullptr, 0, child, tag);
+    } else {
+      send_bytes(nullptr, 0, rank_ & ~mask, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  // Fan-out: mirror of the fan-in tree rooted at 0.
+  if (rank_ != 0) {
+    int parent_mask = 1;
+    while ((rank_ & parent_mask) == 0) parent_mask <<= 1;
+    recv_bytes(nullptr, 0, rank_ & ~parent_mask, tag);
+    mask = parent_mask >> 1;
+  } else {
+    mask = 1;
+    while (mask < p) mask <<= 1;
+    mask >>= 1;
+  }
+  for (; mask > 0; mask >>= 1) {
+    const int child = rank_ | mask;
+    if (child < p && child != rank_) send_bytes(nullptr, 0, child, tag);
+  }
+}
+
+void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
+  const int tag = collective_tag(1);
+  const int p = size();
+  const int vrank = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      const int parent = vrank & ~mask;
+      recv_bytes(data, bytes, (parent + root) % p, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  if (vrank == 0) {
+    mask = 1;
+    while (mask < p) mask <<= 1;
+  }
+  mask >>= 1;
+  for (; mask > 0; mask >>= 1) {
+    const int child = vrank | mask;
+    if (child < p && child != vrank) {
+      send_bytes(data, bytes, (child + root) % p, tag);
+    }
+  }
+}
+
+void Runtime::run(int num_ranks, const std::function<void(Comm&)>& body) {
+  OSIM_CHECK(num_ranks > 0);
+  detail::Context context(num_ranks);
+
+  std::mutex error_mu;
+  std::string first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(&context, r);
+      try {
+        body(comm);
+      } catch (const std::exception& e) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.empty()) {
+            first_error = strprintf("rank %d: %s", r, e.what());
+          }
+        }
+        context.abort(e.what());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  if (!first_error.empty()) {
+    throw Error("mpisim: " + first_error);
+  }
+}
+
+}  // namespace osim::mpisim

@@ -1,0 +1,162 @@
+#include "mpisim/context.hpp"
+
+#include <cstring>
+
+#include "common/expect.hpp"
+#include "common/strings.hpp"
+
+namespace osim::mpisim::detail {
+
+Context::Context(int num_ranks) : num_ranks_(num_ranks) {
+  OSIM_CHECK(num_ranks > 0);
+  mailboxes_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int i = 0; i < num_ranks; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+bool Context::match(const RecvOp& op, int src, int tag) {
+  if (op.src != kAnySource && op.src != src) return false;
+  if (op.tag != kAnyTag && op.tag != tag) return false;
+  return true;
+}
+
+void Context::deliver(int src, int dst, int tag, const void* data,
+                      std::size_t bytes) {
+  if (dst < 0 || dst >= num_ranks_) {
+    throw Error(strprintf("send to invalid rank %d (size %d)", dst,
+                          num_ranks_));
+  }
+  if (dst == src) throw Error("self-send is not supported");
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (auto it = box.pending.begin(); it != box.pending.end(); ++it) {
+    RecvOp& op = **it;
+    if (!match(op, src, tag)) continue;
+    if (op.capacity < bytes) {
+      throw Error(strprintf(
+          "message truncation: %zu bytes sent from rank %d tag %d but "
+          "receive buffer on rank %d holds %zu",
+          bytes, src, tag, dst, op.capacity));
+    }
+    if (bytes > 0) std::memcpy(op.dest, data, bytes);
+    op.status = Status{src, tag, bytes};
+    op.done = true;
+    box.pending.erase(it);
+    lock.unlock();
+    box.cv.notify_all();
+    return;
+  }
+  Message msg;
+  msg.src = src;
+  msg.tag = tag;
+  msg.payload.resize(bytes);
+  if (bytes > 0) {
+    std::memcpy(msg.payload.data(), data, bytes);
+  }
+  box.unexpected.push_back(std::move(msg));
+  lock.unlock();
+  box.cv.notify_all();  // wake blocked probes
+}
+
+std::shared_ptr<RecvOp> Context::post_recv(int dst_rank, int src, int tag,
+                                           void* dest,
+                                           std::size_t capacity) {
+  if (src != kAnySource && (src < 0 || src >= num_ranks_)) {
+    throw Error(strprintf("receive from invalid rank %d (size %d)", src,
+                          num_ranks_));
+  }
+  if (src == dst_rank) throw Error("self-receive is not supported");
+  auto op = std::make_shared<RecvOp>();
+  op->src = src;
+  op->tag = tag;
+  op->dest = dest;
+  op->capacity = capacity;
+
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst_rank)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
+    if (!match(*op, it->src, it->tag)) continue;
+    if (capacity < it->payload.size()) {
+      throw Error(strprintf(
+          "message truncation: %zu bytes from rank %d tag %d but receive "
+          "buffer on rank %d holds %zu",
+          it->payload.size(), it->src, it->tag, dst_rank, capacity));
+    }
+    if (!it->payload.empty()) {
+      std::memcpy(dest, it->payload.data(), it->payload.size());
+    }
+    op->status = Status{it->src, it->tag, it->payload.size()};
+    op->done = true;
+    box.unexpected.erase(it);
+    return op;
+  }
+  box.pending.push_back(op);
+  return op;
+}
+
+Status Context::wait_recv(int dst_rank, RecvOp& op) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst_rank)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  box.cv.wait(lock, [&] { return op.done || aborted(); });
+  check_abort_locked();
+  return op.status;
+}
+
+std::optional<Status> Context::peek(int dst_rank, int src, int tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst_rank)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  RecvOp probe_op;
+  probe_op.src = src;
+  probe_op.tag = tag;
+  for (const Message& msg : box.unexpected) {
+    if (match(probe_op, msg.src, msg.tag)) {
+      return Status{msg.src, msg.tag, msg.payload.size()};
+    }
+  }
+  return std::nullopt;
+}
+
+Status Context::wait_peek(int dst_rank, int src, int tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst_rank)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  RecvOp probe_op;
+  probe_op.src = src;
+  probe_op.tag = tag;
+  for (;;) {
+    for (const Message& msg : box.unexpected) {
+      if (match(probe_op, msg.src, msg.tag)) {
+        return Status{msg.src, msg.tag, msg.payload.size()};
+      }
+    }
+    check_abort_locked();
+    box.cv.wait(lock);
+  }
+}
+
+void Context::abort(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(abort_mu_);
+    if (aborted_) return;  // first failure wins
+    aborted_ = true;
+    abort_reason_ = reason;
+  }
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+}
+
+bool Context::aborted() const {
+  std::lock_guard<std::mutex> lock(abort_mu_);
+  return aborted_;
+}
+
+void Context::check_abort_locked() const {
+  std::lock_guard<std::mutex> lock(abort_mu_);
+  if (aborted_) {
+    throw Error("mpisim run aborted: " + abort_reason_);
+  }
+}
+
+}  // namespace osim::mpisim::detail

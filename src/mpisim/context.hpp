@@ -1,0 +1,82 @@
+// Internal machinery of the in-process MPI runtime: per-rank mailboxes with
+// MPI-ordered matching between arriving messages and posted receives.
+#pragma once
+
+#include <condition_variable>
+#include <optional>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mpisim/mpisim.hpp"
+
+namespace osim::mpisim::detail {
+
+struct Message {
+  int src = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+struct RecvOp {
+  int src = kAnySource;  // requested source (may be wildcard)
+  int tag = kAnyTag;     // requested tag (may be wildcard)
+  void* dest = nullptr;
+  std::size_t capacity = 0;
+  bool done = false;
+  Status status;
+};
+
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Message> unexpected;                 // arrival order
+  std::deque<std::shared_ptr<RecvOp>> pending;    // post order
+};
+
+class Context {
+ public:
+  explicit Context(int num_ranks);
+
+  int size() const { return num_ranks_; }
+
+  /// Buffered send: copies into the destination mailbox (or directly into a
+  /// matching posted receive) and returns immediately.
+  void deliver(int src, int dst, int tag, const void* data,
+               std::size_t bytes);
+
+  /// Posts a receive on `dst_rank`'s mailbox; may complete immediately
+  /// against an unexpected message.
+  std::shared_ptr<RecvOp> post_recv(int dst_rank, int src, int tag,
+                                    void* dest, std::size_t capacity);
+
+  /// Blocks until `op` completes (or the runtime aborts). `dst_rank` is the
+  /// rank whose mailbox `op` was posted to.
+  Status wait_recv(int dst_rank, RecvOp& op);
+
+  /// Non-consuming peek at `dst_rank`'s unexpected queue; nullopt when no
+  /// matching message has arrived.
+  std::optional<Status> peek(int dst_rank, int src, int tag);
+
+  /// Blocks until a matching message is available on `dst_rank`'s mailbox
+  /// without consuming it.
+  Status wait_peek(int dst_rank, int src, int tag);
+
+  /// Marks the run as failed; wakes every waiter so threads can unwind.
+  void abort(const std::string& reason);
+  bool aborted() const;
+
+ private:
+  static bool match(const RecvOp& op, int src, int tag);
+  void check_abort_locked() const;
+
+  const int num_ranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  mutable std::mutex abort_mu_;
+  bool aborted_ = false;
+  std::string abort_reason_;
+};
+
+}  // namespace osim::mpisim::detail

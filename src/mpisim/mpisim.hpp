@@ -1,0 +1,322 @@
+// In-process MPI-like runtime: each rank is a std::thread inside one
+// process, exchanging real data through per-rank mailboxes.
+//
+// This substrate plays the role of the 64-node testbed execution in the
+// paper: the tracer (src/tracer) observes applications running on it and
+// extracts Dimemas traces. Timing is irrelevant here — the tracer keeps its
+// own virtual clock — so sends use buffered (never-blocking) semantics,
+// which also makes every correctly-matched program deadlock-free.
+//
+// Supported surface (the subset large scientific MPI codes actually use,
+// per the LLNL MPI tutorial's "most MPI programs can be written using a
+// dozen or less routines"):
+//   * blocking send/recv with tags, MPI_ANY_SOURCE / MPI_ANY_TAG wildcards
+//   * isend/irecv/wait/wait_all with Request objects
+//   * sendrecv, probe / iprobe
+//   * barrier, bcast, reduce, allreduce, gather, allgather, scatter,
+//     alltoall, scan with sum/min/max/prod reduction ops
+//
+// Determinism: matching is deterministic for deterministic programs; the
+// collectives are tree-based with fixed shapes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace osim::mpisim {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Reduction operators for reduce/allreduce.
+enum class Op : std::uint8_t { kSum, kMax, kMin, kProd };
+
+struct Status {
+  int source = -1;
+  int tag = -1;
+  std::size_t bytes = 0;
+};
+
+namespace detail {
+struct RecvOp;
+class Context;
+}  // namespace detail
+
+/// Handle for an outstanding immediate operation. Send requests are
+/// complete on creation (buffered sends); receive requests complete when a
+/// matching message has been delivered into the user buffer.
+class Request {
+ public:
+  Request() = default;
+  bool valid() const { return recv_ != nullptr || send_complete_; }
+
+ private:
+  friend class Comm;
+  std::shared_ptr<detail::RecvOp> recv_;
+  bool send_complete_ = false;
+};
+
+/// Per-rank communicator handle. Obtained inside Runtime::run's body;
+/// not copyable, lives for the duration of the rank function.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  // --- point-to-point (typed convenience over the byte-level core) ------
+  template <typename T>
+  void send(std::span<const T> data, int dest, int tag) {
+    send_bytes(data.data(), data.size_bytes(), dest, tag);
+  }
+  template <typename T>
+  Status recv(std::span<T> data, int src, int tag) {
+    return recv_bytes(data.data(), data.size_bytes(), src, tag);
+  }
+  template <typename T>
+  Request isend(std::span<const T> data, int dest, int tag) {
+    return isend_bytes(data.data(), data.size_bytes(), dest, tag);
+  }
+  template <typename T>
+  Request irecv(std::span<T> data, int src, int tag) {
+    return irecv_bytes(data.data(), data.size_bytes(), src, tag);
+  }
+  template <typename T>
+  Status sendrecv(std::span<const T> send_data, int dest, int send_tag,
+                  std::span<T> recv_data, int src, int recv_tag) {
+    Request r = irecv(recv_data, src, recv_tag);
+    send(send_data, dest, send_tag);
+    return wait(r);
+  }
+
+  Status wait(Request& request);
+  void wait_all(std::span<Request> requests);
+
+  /// Blocks until a matching message is available without receiving it.
+  Status probe(int src, int tag);
+  /// Non-blocking probe: returns the status of a matching pending message,
+  /// or nullopt if none has arrived yet.
+  std::optional<Status> iprobe(int src, int tag);
+
+  // --- collectives --------------------------------------------------------
+  void barrier();
+  template <typename T>
+  void bcast(std::span<T> data, int root) {
+    bcast_bytes(data.data(), data.size_bytes(), root);
+  }
+  template <typename T>
+  void reduce(std::span<const T> in, std::span<T> out, Op op, int root);
+  template <typename T>
+  void allreduce(std::span<const T> in, std::span<T> out, Op op);
+  template <typename T>
+  T allreduce_scalar(T value, Op op) {
+    T out{};
+    allreduce(std::span<const T>(&value, 1), std::span<T>(&out, 1), op);
+    return out;
+  }
+  /// Root receives size()*in.size() elements in rank order.
+  template <typename T>
+  void gather(std::span<const T> in, std::span<T> out, int root);
+  template <typename T>
+  void allgather(std::span<const T> in, std::span<T> out);
+  /// Root distributes in rank order; each rank receives out.size() elements.
+  template <typename T>
+  void scatter(std::span<const T> in, std::span<T> out, int root);
+  /// in/out hold size() blocks of block elements each.
+  template <typename T>
+  void alltoall(std::span<const T> in, std::span<T> out, std::size_t block);
+  /// Inclusive prefix reduction: out on rank r combines ranks 0..r.
+  template <typename T>
+  void scan(std::span<const T> in, std::span<T> out, Op op);
+
+  // --- byte-level core ------------------------------------------------------
+  void send_bytes(const void* data, std::size_t bytes, int dest, int tag);
+  Status recv_bytes(void* data, std::size_t capacity, int src, int tag);
+  Request isend_bytes(const void* data, std::size_t bytes, int dest, int tag);
+  Request irecv_bytes(void* data, std::size_t capacity, int src, int tag);
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+ private:
+  friend class Runtime;
+  Comm(detail::Context* context, int rank) : context_(context), rank_(rank) {}
+
+  /// Tag for internal collective traffic; phase < 16.
+  int collective_tag(int phase);
+  void bcast_bytes(void* data, std::size_t bytes, int root);
+  template <typename T>
+  void reduce_tree(std::span<const T> in, std::span<T> scratch, Op op,
+                   int root, int tag);
+
+  detail::Context* context_ = nullptr;
+  int rank_ = -1;
+  std::int64_t collective_seq_ = 0;
+};
+
+/// Entry point: runs `body` on `num_ranks` concurrent threads. If any rank
+/// throws, the first exception is rethrown here after all threads join.
+class Runtime {
+ public:
+  static void run(int num_ranks, const std::function<void(Comm&)>& body);
+};
+
+namespace detail {
+
+template <typename T>
+T apply_op(Op op, T a, T b) {
+  switch (op) {
+    case Op::kSum:
+      return a + b;
+    case Op::kMax:
+      return a > b ? a : b;
+    case Op::kMin:
+      return a < b ? a : b;
+    case Op::kProd:
+      return a * b;
+  }
+  return a;
+}
+
+}  // namespace detail
+
+// --- template implementations ---------------------------------------------
+
+template <typename T>
+void Comm::reduce_tree(std::span<const T> in, std::span<T> scratch, Op op,
+                       int root, int tag) {
+  // Binomial fan-in over virtual ranks relative to root. `scratch` holds
+  // the running partial result (already seeded with `in` by the caller).
+  const int p = size();
+  const int vrank = (rank_ - root + p) % p;
+  std::vector<T> incoming(in.size());
+  int mask = 1;
+  while (mask < p) {
+    if ((vrank & mask) == 0) {
+      const int child = vrank | mask;
+      if (child < p) {
+        recv(std::span<T>(incoming), (child + root) % p, tag);
+        for (std::size_t i = 0; i < scratch.size(); ++i) {
+          scratch[i] = detail::apply_op(op, scratch[i], incoming[i]);
+        }
+      }
+    } else {
+      const int parent = vrank & ~mask;
+      send(std::span<const T>(scratch.data(), scratch.size()),
+           (parent + root) % p, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+template <typename T>
+void Comm::reduce(std::span<const T> in, std::span<T> out, Op op, int root) {
+  const int tag = collective_tag(2);
+  if (rank_ == root) {
+    std::copy(in.begin(), in.end(), out.begin());
+    reduce_tree(in, out, op, root, tag);
+  } else {
+    std::vector<T> scratch(in.begin(), in.end());
+    reduce_tree(in, std::span<T>(scratch), op, root, tag);
+  }
+}
+
+template <typename T>
+void Comm::allreduce(std::span<const T> in, std::span<T> out, Op op) {
+  reduce(in, out, op, 0);
+  bcast(out, 0);
+}
+
+template <typename T>
+void Comm::gather(std::span<const T> in, std::span<T> out, int root) {
+  const int tag = collective_tag(3);
+  const int p = size();
+  if (rank_ == root) {
+    std::copy(in.begin(), in.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(
+                                in.size() * static_cast<std::size_t>(root)));
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      recv(out.subspan(in.size() * static_cast<std::size_t>(r), in.size()),
+           r, tag);
+    }
+  } else {
+    send(in, root, tag);
+  }
+}
+
+template <typename T>
+void Comm::allgather(std::span<const T> in, std::span<T> out) {
+  gather(in, out, 0);
+  bcast(out, 0);
+}
+
+template <typename T>
+void Comm::scatter(std::span<const T> in, std::span<T> out, int root) {
+  const int tag = collective_tag(4);
+  const int p = size();
+  if (rank_ == root) {
+    for (int r = 0; r < p; ++r) {
+      const auto block =
+          in.subspan(out.size() * static_cast<std::size_t>(r), out.size());
+      if (r == root) {
+        std::copy(block.begin(), block.end(), out.begin());
+      } else {
+        send(block, r, tag);
+      }
+    }
+  } else {
+    recv(out, root, tag);
+  }
+}
+
+template <typename T>
+void Comm::scan(std::span<const T> in, std::span<T> out, Op op) {
+  // Linear chain: receive the prefix of ranks 0..rank-1, combine with the
+  // local contribution, forward to rank+1.
+  const int tag = collective_tag(6);
+  std::copy(in.begin(), in.end(), out.begin());
+  if (rank_ > 0) {
+    std::vector<T> prefix(in.size());
+    recv(std::span<T>(prefix), rank_ - 1, tag);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = detail::apply_op(op, prefix[i], out[i]);
+    }
+  }
+  if (rank_ + 1 < size()) {
+    send(std::span<const T>(out.data(), out.size()), rank_ + 1, tag);
+  }
+}
+
+template <typename T>
+void Comm::alltoall(std::span<const T> in, std::span<T> out,
+                    std::size_t block) {
+  const int tag = collective_tag(5);
+  const int p = size();
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(p));
+  for (int i = 1; i < p; ++i) {
+    const int src = (rank_ - i + p) % p;
+    requests.push_back(
+        irecv(out.subspan(block * static_cast<std::size_t>(src), block), src,
+              tag));
+  }
+  const auto own = in.subspan(block * static_cast<std::size_t>(rank_), block);
+  std::copy(own.begin(), own.end(),
+            out.begin() +
+                static_cast<std::ptrdiff_t>(block *
+                                            static_cast<std::size_t>(rank_)));
+  for (int i = 1; i < p; ++i) {
+    const int dst = (rank_ + i) % p;
+    send(in.subspan(block * static_cast<std::size_t>(dst), block), dst, tag);
+  }
+  wait_all(requests);
+}
+
+}  // namespace osim::mpisim

@@ -1,0 +1,95 @@
+#include "overlap/chunks.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "trace/annotated.hpp"
+
+namespace osim::overlap {
+
+using trace::kNeverAccessed;
+
+std::vector<std::uint64_t> chunk_bounds(std::uint64_t num_elements,
+                                        int chunks) {
+  OSIM_CHECK(chunks > 0);
+  OSIM_CHECK(static_cast<std::uint64_t>(chunks) <= num_elements);
+  std::vector<std::uint64_t> bounds(static_cast<std::size_t>(chunks) + 1);
+  for (int j = 0; j <= chunks; ++j) {
+    bounds[static_cast<std::size_t>(j)] =
+        num_elements * static_cast<std::uint64_t>(j) /
+        static_cast<std::uint64_t>(chunks);
+  }
+  return bounds;
+}
+
+std::vector<std::uint64_t> measured_send_times(
+    std::span<const std::uint64_t> elem_last_store,
+    std::span<const std::uint64_t> bounds, std::uint64_t interval_start,
+    std::uint64_t send_vclock) {
+  OSIM_CHECK(bounds.size() >= 2);
+  OSIM_CHECK(bounds.back() == elem_last_store.size());
+  std::vector<std::uint64_t> times(bounds.size() - 1);
+  for (std::size_t j = 0; j + 1 < bounds.size(); ++j) {
+    std::uint64_t ready = interval_start;
+    for (std::uint64_t e = bounds[j]; e < bounds[j + 1]; ++e) {
+      const std::uint64_t t = elem_last_store[e];
+      if (t == kNeverAccessed) continue;  // final since the interval start
+      ready = std::max(ready, t);
+    }
+    times[j] = std::min(std::max(ready, interval_start), send_vclock);
+  }
+  return times;
+}
+
+std::vector<std::uint64_t> ideal_send_times(int chunks,
+                                            std::uint64_t interval_start,
+                                            std::uint64_t send_vclock) {
+  OSIM_CHECK(chunks > 0);
+  OSIM_CHECK(send_vclock >= interval_start);
+  const std::uint64_t span = send_vclock - interval_start;
+  std::vector<std::uint64_t> times(static_cast<std::size_t>(chunks));
+  for (int j = 0; j < chunks; ++j) {
+    times[static_cast<std::size_t>(j)] =
+        interval_start + span * static_cast<std::uint64_t>(j + 1) /
+                             static_cast<std::uint64_t>(chunks);
+  }
+  return times;
+}
+
+std::vector<std::uint64_t> measured_wait_times(
+    std::span<const std::uint64_t> elem_first_load,
+    std::span<const std::uint64_t> bounds, std::uint64_t recv_vclock,
+    std::uint64_t interval_end) {
+  OSIM_CHECK(bounds.size() >= 2);
+  OSIM_CHECK(bounds.back() == elem_first_load.size());
+  OSIM_CHECK(interval_end >= recv_vclock);
+  std::vector<std::uint64_t> times(bounds.size() - 1);
+  for (std::size_t j = 0; j + 1 < bounds.size(); ++j) {
+    std::uint64_t needed = kNeverAccessed;
+    for (std::uint64_t e = bounds[j]; e < bounds[j + 1]; ++e) {
+      needed = std::min(needed, elem_first_load[e]);
+    }
+    if (needed == kNeverAccessed) {
+      needed = interval_end;  // never read: postpone to the interval end
+    }
+    times[j] = std::min(std::max(needed, recv_vclock), interval_end);
+  }
+  return times;
+}
+
+std::vector<std::uint64_t> ideal_wait_times(int chunks,
+                                            std::uint64_t recv_vclock,
+                                            std::uint64_t interval_end) {
+  OSIM_CHECK(chunks > 0);
+  OSIM_CHECK(interval_end >= recv_vclock);
+  const std::uint64_t span = interval_end - recv_vclock;
+  std::vector<std::uint64_t> times(static_cast<std::size_t>(chunks));
+  for (int j = 0; j < chunks; ++j) {
+    times[static_cast<std::size_t>(j)] =
+        recv_vclock + span * static_cast<std::uint64_t>(j) /
+                          static_cast<std::uint64_t>(chunks);
+  }
+  return times;
+}
+
+}  // namespace osim::overlap

@@ -1,0 +1,50 @@
+// Chunk geometry and per-chunk event times — the pure arithmetic core of
+// the overlap transformation, kept free of trace plumbing so it can be
+// tested directly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace osim::overlap {
+
+/// Balanced split of `num_elements` into `chunks` contiguous ranges.
+/// chunk j covers elements [bounds[j], bounds[j+1]); bounds has chunks+1
+/// entries, bounds[0] == 0, bounds[chunks] == num_elements.
+std::vector<std::uint64_t> chunk_bounds(std::uint64_t num_elements,
+                                        int chunks);
+
+/// Per-chunk *send* times for the measured pattern: chunk j can leave when
+/// its last element receives its final value, i.e. max over the chunk of
+/// elem_last_store. Elements never stored (kNeverAccessed) are final from
+/// the interval start. Results are clamped to [interval_start, send_vclock]
+/// and never decrease below the interval start.
+std::vector<std::uint64_t> measured_send_times(
+    std::span<const std::uint64_t> elem_last_store,
+    std::span<const std::uint64_t> bounds, std::uint64_t interval_start,
+    std::uint64_t send_vclock);
+
+/// Per-chunk send times for the ideal pattern: chunk j finishes production
+/// at fraction (j+1)/n of [interval_start, send_vclock].
+std::vector<std::uint64_t> ideal_send_times(int chunks,
+                                            std::uint64_t interval_start,
+                                            std::uint64_t send_vclock);
+
+/// Per-chunk *wait* times for the measured pattern: chunk j is first needed
+/// at the min over the chunk of elem_first_load. Elements never loaded
+/// (kNeverAccessed) allow postponing to the interval end. Clamped to
+/// [recv_vclock, interval_end].
+std::vector<std::uint64_t> measured_wait_times(
+    std::span<const std::uint64_t> elem_first_load,
+    std::span<const std::uint64_t> bounds, std::uint64_t recv_vclock,
+    std::uint64_t interval_end);
+
+/// Per-chunk wait times for the ideal pattern: chunk j is first needed at
+/// fraction j/n of [recv_vclock, interval_end] (nothing is needed before
+/// chunk 0 — the ideal consumption row of Table II).
+std::vector<std::uint64_t> ideal_wait_times(int chunks,
+                                            std::uint64_t recv_vclock,
+                                            std::uint64_t interval_end);
+
+}  // namespace osim::overlap

@@ -1,0 +1,273 @@
+#include "overlap/transform.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "common/expect.hpp"
+#include "overlap/chunks.hpp"
+#include "overlap/pairing.hpp"
+
+namespace osim::overlap {
+
+using trace::AnnEvent;
+using trace::CpuBurst;
+using trace::GlobalOp;
+using trace::Rank;
+using trace::Record;
+using trace::Recv;
+using trace::ReqId;
+using trace::Send;
+using trace::Tag;
+using trace::Wait;
+
+namespace {
+
+struct TimedOp {
+  std::uint64_t vclock = 0;
+  /// Tie-break class at equal virtual time: postings (sends, recvs,
+  /// collectives) run before waits, and trailing cleanup waits run last.
+  /// Without this, the final chunk of a pack loop can tie with the
+  /// receive-side waits at the end of the trace and linearize after them,
+  /// creating a symmetric circular wait across ranks.
+  int prio = 0;
+  Record rec;
+};
+
+constexpr int kPrioPost = 0;
+constexpr int kPrioWait = 1;
+constexpr int kPrioCleanup = 2;
+
+/// Orders ops by virtual time and reconstructs computation bursts from the
+/// gaps. Emission order is preserved among ops at the same instant
+/// (stable sort), which encodes all intra-rank dependencies: requests are
+/// always emitted before the waits that complete them.
+std::vector<Record> linearize(std::vector<TimedOp> ops,
+                              std::uint64_t final_vclock) {
+  std::stable_sort(ops.begin(), ops.end(),
+                   [](const TimedOp& a, const TimedOp& b) {
+                     if (a.vclock != b.vclock) return a.vclock < b.vclock;
+                     return a.prio < b.prio;
+                   });
+  std::vector<Record> records;
+  records.reserve(ops.size() * 2 + 1);
+  std::uint64_t prev = 0;
+  for (TimedOp& op : ops) {
+    OSIM_CHECK(op.vclock >= prev);
+    if (op.vclock > prev) records.push_back(CpuBurst{op.vclock - prev});
+    records.push_back(std::move(op.rec));
+    prev = op.vclock;
+  }
+  OSIM_CHECK(final_vclock >= prev);
+  if (final_vclock > prev) records.push_back(CpuBurst{final_vclock - prev});
+  return records;
+}
+
+Record to_record(const AnnEvent& ev) {
+  switch (ev.kind) {
+    case AnnEvent::Kind::kSend:
+      return Send{ev.peer, ev.tag, ev.bytes, false, trace::kNoRequest};
+    case AnnEvent::Kind::kIsend:
+      return Send{ev.peer, ev.tag, ev.bytes, true, ev.request};
+    case AnnEvent::Kind::kRecv:
+      return Recv{ev.peer, ev.tag, ev.bytes, false, trace::kNoRequest};
+    case AnnEvent::Kind::kIrecv:
+      return Recv{ev.peer, ev.tag, ev.bytes, true, ev.request};
+    case AnnEvent::Kind::kWait:
+      return Wait{ev.wait_requests};
+    case AnnEvent::Kind::kGlobalOp:
+      return GlobalOp{ev.coll, ev.root, ev.bytes, ev.coll_sequence};
+  }
+  OSIM_UNREACHABLE("bad AnnEvent kind");
+}
+
+ReqId max_app_request(const trace::AnnotatedRank& rank) {
+  ReqId max_id = -1;
+  for (const AnnEvent& ev : rank.events) {
+    if (ev.kind == AnnEvent::Kind::kIsend ||
+        ev.kind == AnnEvent::Kind::kIrecv) {
+      max_id = std::max(max_id, ev.request);
+    }
+  }
+  return max_id;
+}
+
+}  // namespace
+
+trace::Trace lower_original(const trace::AnnotatedTrace& annotated) {
+  trace::Trace out =
+      trace::Trace::make(annotated.num_ranks, annotated.mips, annotated.app);
+  for (Rank rank = 0; rank < annotated.num_ranks; ++rank) {
+    const auto& arank = annotated.ranks[static_cast<std::size_t>(rank)];
+    std::vector<TimedOp> ops;
+    ops.reserve(arank.events.size());
+    for (const AnnEvent& ev : arank.events) {
+      ops.push_back(TimedOp{ev.vclock, kPrioPost, to_record(ev)});
+    }
+    out.ranks[static_cast<std::size_t>(rank)] =
+        linearize(std::move(ops), arank.final_vclock);
+  }
+  return out;
+}
+
+trace::Trace transform(const trace::AnnotatedTrace& annotated,
+                       const OverlapOptions& options) {
+  const Pairing pairing = pair_messages(annotated, options);
+
+  trace::Trace out =
+      trace::Trace::make(annotated.num_ranks, annotated.mips, annotated.app);
+
+  for (Rank rank = 0; rank < annotated.num_ranks; ++rank) {
+    const auto& arank = annotated.ranks[static_cast<std::size_t>(rank)];
+    const auto& plans = pairing.plans[static_cast<std::size_t>(rank)];
+    std::vector<TimedOp> ops;
+    ops.reserve(arank.events.size() * 2);
+
+    ReqId next_request = max_app_request(arank) + 1;
+    // Chunk-send requests still in flight, per send buffer (sender-side
+    // rotation between two buffers: the previous message must be fully out
+    // before the next message's first chunk leaves).
+    std::map<std::int64_t, std::vector<ReqId>> outstanding_sends;
+    // App-level requests whose operations were replaced by chunked ones;
+    // dropped from app wait lists.
+    std::unordered_set<ReqId> replaced;
+
+    for (std::size_t i = 0; i < arank.events.size(); ++i) {
+      const AnnEvent& ev = arank.events[i];
+      const EventPlan& plan = plans[i];
+
+      switch (ev.kind) {
+        case AnnEvent::Kind::kSend:
+        case AnnEvent::Kind::kIsend: {
+          if (plan.chunks <= 0) {
+            ops.push_back(TimedOp{ev.vclock, kPrioPost, to_record(ev)});
+            break;
+          }
+          const std::uint64_t elems = ev.bytes / ev.elem_bytes;
+          const auto bounds = chunk_bounds(elems, plan.chunks);
+          std::vector<std::uint64_t> times;
+          if (!options.advance_sends) {
+            times.assign(static_cast<std::size_t>(plan.chunks), ev.vclock);
+          } else if (options.pattern == PatternMode::kIdeal) {
+            times = ideal_send_times(plan.chunks, ev.interval_start,
+                                     ev.vclock);
+          } else {
+            times = measured_send_times(ev.elem_last_store, bounds,
+                                        ev.interval_start, ev.vclock);
+          }
+          const std::uint64_t first_time =
+              *std::min_element(times.begin(), times.end());
+          auto& outstanding = outstanding_sends[ev.buffer_id];
+          if (!outstanding.empty()) {
+            ops.push_back(TimedOp{first_time, kPrioPost,
+                                  Wait{std::move(outstanding)}});
+            outstanding.clear();
+          }
+          for (int j = 0; j < plan.chunks; ++j) {
+            const std::uint64_t chunk_bytes =
+                (bounds[static_cast<std::size_t>(j) + 1] -
+                 bounds[static_cast<std::size_t>(j)]) *
+                ev.elem_bytes;
+            const ReqId req = next_request++;
+            ops.push_back(TimedOp{
+                times[static_cast<std::size_t>(j)], kPrioPost,
+                Send{ev.peer, chunk_tag(ev.tag, plan.pair_seq, j),
+                     chunk_bytes, true, req,
+                     /*synchronous=*/!options.double_buffering}});
+            outstanding.push_back(req);
+          }
+          if (ev.kind == AnnEvent::Kind::kIsend) replaced.insert(ev.request);
+          break;
+        }
+
+        case AnnEvent::Kind::kRecv:
+        case AnnEvent::Kind::kIrecv: {
+          if (plan.chunks <= 0) {
+            ops.push_back(TimedOp{ev.vclock, kPrioPost, to_record(ev)});
+            break;
+          }
+          const std::uint64_t elems = ev.bytes / ev.elem_bytes;
+          const auto bounds = chunk_bounds(elems, plan.chunks);
+          // Consumption cannot begin before the app-level blocking point:
+          // the recv call itself, or the wait that completes an irecv.
+          std::uint64_t consume_start = ev.vclock;
+          if (ev.kind == AnnEvent::Kind::kIrecv &&
+              ev.wait_event_index >= 0) {
+            consume_start =
+                arank.events[static_cast<std::size_t>(ev.wait_event_index)]
+                    .vclock;
+          }
+          const std::uint64_t interval_end =
+              std::max(ev.interval_end, consume_start);
+          std::vector<std::uint64_t> times;
+          if (!options.postpone_receptions) {
+            times.assign(static_cast<std::size_t>(plan.chunks),
+                         consume_start);
+          } else if (options.pattern == PatternMode::kIdeal) {
+            times = ideal_wait_times(plan.chunks, consume_start,
+                                     interval_end);
+          } else {
+            times = measured_wait_times(ev.elem_first_load, bounds,
+                                        consume_start, interval_end);
+          }
+          // Post every chunk receive at the original receive call ("it
+          // initiates the transfers of chunks and proceeds, waiting for the
+          // chunks to be received as late as possible").
+          std::vector<ReqId> chunk_reqs(
+              static_cast<std::size_t>(plan.chunks));
+          for (int j = 0; j < plan.chunks; ++j) {
+            const std::uint64_t chunk_bytes =
+                (bounds[static_cast<std::size_t>(j) + 1] -
+                 bounds[static_cast<std::size_t>(j)]) *
+                ev.elem_bytes;
+            const ReqId req = next_request++;
+            chunk_reqs[static_cast<std::size_t>(j)] = req;
+            ops.push_back(TimedOp{
+                ev.vclock, kPrioPost,
+                Recv{ev.peer, chunk_tag(ev.tag, plan.pair_seq, j),
+                     chunk_bytes, true, req}});
+          }
+          for (int j = 0; j < plan.chunks; ++j) {
+            ops.push_back(
+                TimedOp{times[static_cast<std::size_t>(j)], kPrioWait,
+                        Wait{{chunk_reqs[static_cast<std::size_t>(j)]}}});
+          }
+          if (ev.kind == AnnEvent::Kind::kIrecv) replaced.insert(ev.request);
+          break;
+        }
+
+        case AnnEvent::Kind::kWait: {
+          std::vector<ReqId> remaining;
+          remaining.reserve(ev.wait_requests.size());
+          for (const ReqId req : ev.wait_requests) {
+            if (replaced.count(req) == 0) remaining.push_back(req);
+          }
+          if (!remaining.empty()) {
+            ops.push_back(
+                TimedOp{ev.vclock, kPrioPost, Wait{std::move(remaining)}});
+          }
+          break;
+        }
+
+        case AnnEvent::Kind::kGlobalOp:
+          ops.push_back(TimedOp{ev.vclock, kPrioPost, to_record(ev)});
+          break;
+      }
+    }
+
+    // Trailing cleanup: complete any chunk sends still in flight at the end
+    // of the rank's execution (MPI_Finalize semantics).
+    for (auto& [buffer, outstanding] : outstanding_sends) {
+      if (!outstanding.empty()) {
+        ops.push_back(TimedOp{arank.final_vclock, kPrioCleanup,
+                              Wait{std::move(outstanding)}});
+      }
+    }
+
+    out.ranks[static_cast<std::size_t>(rank)] =
+        linearize(std::move(ops), arank.final_vclock);
+  }
+  return out;
+}
+
+}  // namespace osim::overlap

@@ -1,0 +1,275 @@
+#include "paraver/paraver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/expect.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace osim::paraver {
+
+using dimemas::RankState;
+using dimemas::SimResult;
+using dimemas::StateInterval;
+
+PrvState to_prv_state(RankState state) {
+  switch (state) {
+    case RankState::kCompute:
+      return PrvState::kRunning;
+    case RankState::kSendBlocked:
+      return PrvState::kBlockedSend;
+    case RankState::kRecvBlocked:
+      return PrvState::kWaitingMessage;
+    case RankState::kWaitBlocked:
+      return PrvState::kWaitingRequests;
+    case RankState::kCollective:
+      return PrvState::kCollective;
+  }
+  OSIM_UNREACHABLE("bad RankState");
+}
+
+namespace {
+
+std::int64_t to_ns(double seconds) {
+  return static_cast<std::int64_t>(std::llround(seconds * 1e9));
+}
+
+}  // namespace
+
+void write_prv_bundle(const SimResult& result, const std::string& base,
+                      const std::string& app_name) {
+  OSIM_CHECK_MSG(!result.timelines.empty(),
+                 "write_prv_bundle requires recorded timelines");
+  const std::size_t ranks = result.rank_stats.size();
+
+  // --- .prv -------------------------------------------------------------
+  std::ofstream prv(base + ".prv");
+  if (!prv) throw Error("cannot open " + base + ".prv");
+  // Header: #Paraver (date):ftime:nNodes(cpus):nAppl:task_list
+  // One node per task, one thread per task, one application.
+  prv << "#Paraver (01/01/26 at 00:00):" << to_ns(result.makespan) << ":"
+      << ranks << "(";
+  for (std::size_t i = 0; i < ranks; ++i) prv << (i ? "," : "") << 1;
+  prv << "):1:" << ranks << "(";
+  for (std::size_t i = 0; i < ranks; ++i) {
+    prv << (i ? "," : "") << "1:" << (i + 1);
+  }
+  prv << ")\n";
+
+  // State records: 1:cpu:appl:task:thread:begin:end:state
+  for (std::size_t r = 0; r < result.timelines.size(); ++r) {
+    for (const StateInterval& interval : result.timelines[r]) {
+      prv << "1:" << (r + 1) << ":1:" << (r + 1) << ":1:"
+          << to_ns(interval.begin) << ":" << to_ns(interval.end) << ":"
+          << static_cast<int>(to_prv_state(interval.state)) << "\n";
+    }
+  }
+  // Communication records:
+  // 3:cpu_s:appl:task_s:thread:log_send:phys_send:
+  //   cpu_r:appl:task_r:thread:log_recv:phys_recv:size:tag
+  for (const auto& comm : result.comms) {
+    prv << "3:" << (comm.src + 1) << ":1:" << (comm.src + 1) << ":1:"
+        << to_ns(comm.send_call_time) << ":" << to_ns(comm.transfer_start)
+        << ":" << (comm.dst + 1) << ":1:" << (comm.dst + 1) << ":1:"
+        << to_ns(comm.recv_post_time) << ":" << to_ns(comm.arrival_time)
+        << ":" << comm.bytes << ":" << comm.tag << "\n";
+  }
+  if (!prv) throw Error("error writing " + base + ".prv");
+
+  // --- .pcf -------------------------------------------------------------
+  std::ofstream pcf(base + ".pcf");
+  if (!pcf) throw Error("cannot open " + base + ".pcf");
+  pcf << "DEFAULT_OPTIONS\n\nLEVEL               THREAD\nUNITS"
+         "               NANOSEC\n\n"
+         "STATES\n"
+         "0    Idle\n"
+         "1    Running\n"
+         "3    Waiting a message\n"
+         "4    Blocked send\n"
+         "5    Waiting requests\n"
+         "9    Group Communication\n\n"
+         "STATES_COLOR\n"
+         "0    {117,195,255}\n"
+         "1    {0,0,255}\n"
+         "3    {255,0,0}\n"
+         "4    {255,146,24}\n"
+         "5    {255,0,174}\n"
+         "9    {172,174,41}\n";
+  if (!pcf) throw Error("error writing " + base + ".pcf");
+
+  // --- .row -------------------------------------------------------------
+  std::ofstream row(base + ".row");
+  if (!row) throw Error("cannot open " + base + ".row");
+  row << "LEVEL THREAD SIZE " << ranks << "\n";
+  for (std::size_t r = 0; r < ranks; ++r) {
+    row << app_name << "." << (r + 1) << "\n";
+  }
+  if (!row) throw Error("error writing " + base + ".row");
+}
+
+namespace {
+
+char state_char(RankState state) {
+  switch (state) {
+    case RankState::kCompute:
+      return '#';
+    case RankState::kSendBlocked:
+      return 'S';
+    case RankState::kRecvBlocked:
+      return 'r';
+    case RankState::kWaitBlocked:
+      return 'w';
+    case RankState::kCollective:
+      return 'C';
+  }
+  return '?';
+}
+
+void render_rows(std::ostringstream& os, const SimResult& result,
+                 double horizon, int width, bool show_stats) {
+  const double bucket = horizon / width;
+  for (std::size_t r = 0; r < result.timelines.size(); ++r) {
+    os << strprintf("rank %2zu |", r);
+    // Majority state per bucket.
+    std::size_t cursor = 0;  // intervals are chronologically ordered
+    const auto& intervals = result.timelines[r];
+    for (int b = 0; b < width; ++b) {
+      const double t0 = bucket * b;
+      const double t1 = t0 + bucket;
+      double occupancy[5] = {0, 0, 0, 0, 0};
+      while (cursor < intervals.size() && intervals[cursor].end <= t0) {
+        ++cursor;
+      }
+      for (std::size_t k = cursor;
+           k < intervals.size() && intervals[k].begin < t1; ++k) {
+        const double overlap = std::min(t1, intervals[k].end) -
+                               std::max(t0, intervals[k].begin);
+        if (overlap > 0) {
+          occupancy[static_cast<int>(intervals[k].state)] += overlap;
+        }
+      }
+      double best = 0.0;
+      int best_state = -1;
+      for (int s = 0; s < 5; ++s) {
+        if (occupancy[s] > best) {
+          best = occupancy[s];
+          best_state = s;
+        }
+      }
+      os << (best_state < 0 ? '.'
+                            : state_char(static_cast<RankState>(best_state)));
+    }
+    os << "|";
+    if (show_stats) {
+      const auto& stats = result.rank_stats[r];
+      const double total = stats.finish_time;
+      if (total > 0) {
+        os << strprintf(" %5.1f%% compute, %5.1f%% blocked",
+                        100.0 * stats.compute_s / total,
+                        100.0 * stats.blocked_s() / total);
+      }
+    }
+    os << "\n";
+  }
+}
+
+void render_axis(std::ostringstream& os, double horizon, int width) {
+  OSIM_CHECK(width >= 20);
+  os << "        +" << std::string(static_cast<std::size_t>(width), '-')
+     << "+\n";
+  os << "         0" << std::string(static_cast<std::size_t>(width) - 10, ' ')
+     << format_seconds(horizon) << "\n";
+}
+
+}  // namespace
+
+std::string render_ascii(const SimResult& result,
+                         const AsciiOptions& options) {
+  OSIM_CHECK_MSG(!result.timelines.empty(),
+                 "render_ascii requires recorded timelines");
+  const double horizon =
+      options.horizon_s > 0 ? options.horizon_s : result.makespan;
+  OSIM_CHECK(horizon > 0);
+  std::ostringstream os;
+  render_rows(os, result, horizon, options.width, options.show_stats);
+  render_axis(os, horizon, options.width);
+  if (options.show_legend) {
+    os << "legend: # compute   r wait-recv   S blocked-send   w wait   "
+          ". idle\n";
+  }
+  return os.str();
+}
+
+std::string render_comparison(const SimResult& a, const std::string& label_a,
+                              const SimResult& b, const std::string& label_b,
+                              const AsciiOptions& options) {
+  const double horizon =
+      options.horizon_s > 0 ? options.horizon_s
+                            : std::max(a.makespan, b.makespan);
+  std::ostringstream os;
+  os << label_a << strprintf(" (total %s)\n",
+                             format_seconds(a.makespan).c_str());
+  render_rows(os, a, horizon, options.width, options.show_stats);
+  os << "\n"
+     << label_b
+     << strprintf(" (total %s)\n", format_seconds(b.makespan).c_str());
+  render_rows(os, b, horizon, options.width, options.show_stats);
+  render_axis(os, horizon, options.width);
+  if (options.show_legend) {
+    os << "legend: # compute   r wait-recv   S blocked-send   w wait   "
+          ". idle\n";
+  }
+  return os.str();
+}
+
+std::string render_profile(const SimResult& result) {
+  OSIM_CHECK_MSG(!result.timelines.empty(),
+                 "render_profile requires recorded timelines");
+  TextTable table({"rank", "compute", "blocked send", "blocked recv",
+                   "wait", "idle", "total"});
+  table.set_title("state profile (% of each rank's runtime)");
+  for (std::size_t r = 0; r < result.timelines.size(); ++r) {
+    double per_state[5] = {0, 0, 0, 0, 0};
+    for (const StateInterval& interval : result.timelines[r]) {
+      per_state[static_cast<int>(interval.state)] +=
+          interval.end - interval.begin;
+    }
+    const double total = result.rank_stats[r].finish_time;
+    const double accounted = per_state[0] + per_state[1] + per_state[2] +
+                             per_state[3] + per_state[4];
+    const double idle = std::max(0.0, total - accounted);
+    auto pct = [total](double x) {
+      return total > 0 ? strprintf("%5.1f%%", 100.0 * x / total)
+                       : std::string("-");
+    };
+    table.add_row(
+        {std::to_string(r),
+         pct(per_state[static_cast<int>(RankState::kCompute)]),
+         pct(per_state[static_cast<int>(RankState::kSendBlocked)]),
+         pct(per_state[static_cast<int>(RankState::kRecvBlocked)]),
+         pct(per_state[static_cast<int>(RankState::kWaitBlocked)]),
+         pct(idle), format_seconds(total)});
+  }
+  return table.render();
+}
+
+CommSummary summarize_comms(const SimResult& result) {
+  CommSummary summary;
+  if (result.comms.empty()) return summary;
+  double flight = 0.0;
+  double lead = 0.0;
+  for (const auto& comm : result.comms) {
+    flight += comm.arrival_time - comm.transfer_start;
+    lead += comm.recv_complete_time - comm.send_call_time;
+    summary.total_bytes += static_cast<double>(comm.bytes);
+  }
+  summary.messages = result.comms.size();
+  summary.mean_flight_s = flight / static_cast<double>(summary.messages);
+  summary.mean_send_lead_s = lead / static_cast<double>(summary.messages);
+  return summary;
+}
+
+}  // namespace osim::paraver

@@ -1,0 +1,74 @@
+// Paraver output and terminal visualization of replay results — the third
+// stage of the paper's pipeline ("Paraver visualizes the obtained
+// time-behaviors, allowing to study the effects of the
+// communication-computation overlap").
+//
+// write_prv_bundle emits a Paraver trace (.prv), the state/colour
+// configuration (.pcf) and object names (.row), loadable in the real
+// Paraver tool. render_ascii draws the same state timeline as a terminal
+// Gantt chart, and render_comparison stacks two runs on a common time axis
+// (the paper's Figure 4 layout: non-overlapped above, overlapped below).
+#pragma once
+
+#include <string>
+
+#include "dimemas/result.hpp"
+
+namespace osim::paraver {
+
+/// Paraver state codes used in .prv state records (documented in the .pcf).
+enum class PrvState : int {
+  kIdle = 0,
+  kRunning = 1,
+  kWaitingMessage = 3,
+  kBlockedSend = 4,
+  kWaitingRequests = 5,
+  kCollective = 9,
+};
+
+PrvState to_prv_state(dimemas::RankState state);
+
+/// Writes `base`.prv, `base`.pcf and `base`.row. The SimResult must carry
+/// timelines (ReplayOptions::record_timeline); communication records are
+/// emitted when comms were recorded too. Times are nanoseconds.
+void write_prv_bundle(const dimemas::SimResult& result,
+                      const std::string& base,
+                      const std::string& app_name);
+
+struct AsciiOptions {
+  int width = 100;        // columns for the time axis
+  bool show_legend = true;
+  bool show_stats = true;  // per-rank compute/blocked percentages
+  /// Render this time span [0, horizon_s]; <= 0 → the result's makespan.
+  double horizon_s = 0.0;
+};
+
+/// Terminal Gantt chart: one row per rank, one character per time bucket,
+/// majority state per bucket. Requires timelines.
+std::string render_ascii(const dimemas::SimResult& result,
+                         const AsciiOptions& options = {});
+
+/// The Figure 4 layout: two runs stacked on a common time axis.
+std::string render_comparison(const dimemas::SimResult& a,
+                              const std::string& label_a,
+                              const dimemas::SimResult& b,
+                              const std::string& label_b,
+                              const AsciiOptions& options = {});
+
+/// Paraver-style 2D profile: one row per rank, one column per state, cells
+/// are the percentage of that rank's runtime spent in the state (the view
+/// analysts use alongside the Figure 4 timelines). Requires timelines.
+std::string render_profile(const dimemas::SimResult& result);
+
+/// Summary of communication behaviour (how far sends were advanced, how
+/// long messages spent in flight) — quantifies the "longer synchronization
+/// lines" the paper reads off the Figure 4 timelines. Requires comms.
+struct CommSummary {
+  std::size_t messages = 0;
+  double mean_flight_s = 0.0;      // arrival - transfer start
+  double mean_send_lead_s = 0.0;   // recv_complete - send_call
+  double total_bytes = 0.0;
+};
+CommSummary summarize_comms(const dimemas::SimResult& result);
+
+}  // namespace osim::paraver

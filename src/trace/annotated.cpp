@@ -1,0 +1,125 @@
+#include "trace/annotated.hpp"
+
+#include "common/expect.hpp"
+#include "common/strings.hpp"
+
+namespace osim::trace {
+
+AnnotatedTrace AnnotatedTrace::make(std::int32_t num_ranks, double mips,
+                                    std::string app) {
+  OSIM_CHECK(num_ranks > 0);
+  OSIM_CHECK(mips > 0.0);
+  AnnotatedTrace t;
+  t.num_ranks = num_ranks;
+  t.mips = mips;
+  t.app = std::move(app);
+  t.ranks.resize(static_cast<std::size_t>(num_ranks));
+  return t;
+}
+
+namespace {
+
+[[noreturn]] void fail(Rank rank, std::size_t index, const std::string& why) {
+  throw Error(strprintf("annotated trace validation: rank %d event %zu: %s",
+                        rank, index, why.c_str()));
+}
+
+bool is_send(const AnnEvent& ev) {
+  return ev.kind == AnnEvent::Kind::kSend ||
+         ev.kind == AnnEvent::Kind::kIsend;
+}
+
+bool is_recv(const AnnEvent& ev) {
+  return ev.kind == AnnEvent::Kind::kRecv ||
+         ev.kind == AnnEvent::Kind::kIrecv;
+}
+
+}  // namespace
+
+void validate(const AnnotatedTrace& trace) {
+  if (trace.num_ranks <= 0) throw Error("annotated trace has no ranks");
+  if (trace.ranks.size() != static_cast<std::size_t>(trace.num_ranks)) {
+    throw Error("annotated trace rank count mismatch");
+  }
+  for (Rank rank = 0; rank < trace.num_ranks; ++rank) {
+    const auto& stream = trace.ranks[static_cast<std::size_t>(rank)];
+    std::uint64_t prev_vclock = 0;
+    for (std::size_t i = 0; i < stream.events.size(); ++i) {
+      const AnnEvent& ev = stream.events[i];
+      if (ev.vclock < prev_vclock) fail(rank, i, "vclock went backwards");
+      prev_vclock = ev.vclock;
+
+      if (is_send(ev) || is_recv(ev)) {
+        if (ev.elem_bytes == 0) fail(rank, i, "elem_bytes is zero");
+        if (ev.bytes % ev.elem_bytes != 0) {
+          fail(rank, i, "bytes not a multiple of elem_bytes");
+        }
+      }
+      const std::uint64_t num_elems =
+          ev.elem_bytes == 0 ? 0 : ev.bytes / ev.elem_bytes;
+
+      if (is_send(ev)) {
+        if (!ev.elem_last_store.empty()) {
+          if (ev.elem_last_store.size() != num_elems) {
+            fail(rank, i,
+                 strprintf("elem_last_store has %zu entries, expected %llu",
+                           ev.elem_last_store.size(),
+                           static_cast<unsigned long long>(num_elems)));
+          }
+          if (ev.interval_start > ev.vclock) {
+            fail(rank, i, "production interval starts after the send");
+          }
+          for (const std::uint64_t t : ev.elem_last_store) {
+            if (t == kNeverAccessed) continue;
+            if (t < ev.interval_start || t > ev.vclock) {
+              fail(rank, i, "element last-store outside production interval");
+            }
+          }
+        }
+        if (ev.chunkable && ev.elem_last_store.empty()) {
+          fail(rank, i, "chunkable send without production annotations");
+        }
+      } else if (is_recv(ev)) {
+        if (!ev.elem_first_load.empty()) {
+          if (ev.elem_first_load.size() != num_elems) {
+            fail(rank, i,
+                 strprintf("elem_first_load has %zu entries, expected %llu",
+                           ev.elem_first_load.size(),
+                           static_cast<unsigned long long>(num_elems)));
+          }
+          if (ev.interval_end < ev.vclock) {
+            fail(rank, i, "consumption interval ends before the recv");
+          }
+          for (const std::uint64_t t : ev.elem_first_load) {
+            if (t == kNeverAccessed) continue;
+            if (t < ev.vclock || t > ev.interval_end) {
+              fail(rank, i, "element first-load outside consumption interval");
+            }
+          }
+        }
+        if (ev.chunkable && ev.elem_first_load.empty()) {
+          fail(rank, i, "chunkable recv without consumption annotations");
+        }
+        if (ev.kind == AnnEvent::Kind::kIrecv && ev.wait_event_index >= 0) {
+          const auto widx = static_cast<std::size_t>(ev.wait_event_index);
+          if (widx >= stream.events.size() ||
+              stream.events[widx].kind != AnnEvent::Kind::kWait) {
+            fail(rank, i, "irecv wait_event_index does not point at a wait");
+          }
+          if (widx <= i) fail(rank, i, "irecv wait precedes the irecv");
+        }
+      } else if (ev.kind == AnnEvent::Kind::kWait) {
+        if (ev.wait_requests.empty()) {
+          fail(rank, i, "wait event with no requests");
+        }
+      }
+    }
+    if (!stream.events.empty() &&
+        stream.final_vclock < stream.events.back().vclock) {
+      fail(rank, stream.events.size() - 1,
+           "final_vclock precedes the last event");
+    }
+  }
+}
+
+}  // namespace osim::trace

@@ -1,0 +1,305 @@
+#include "trace/annotated_io.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "common/expect.hpp"
+#include "common/strings.hpp"
+
+namespace osim::trace {
+
+namespace {
+
+constexpr const char* kHeader = "#OSIM-ANNTRACE v1";
+
+void write_times(std::ostream& out,
+                 const std::vector<std::uint64_t>& times) {
+  for (const std::uint64_t t : times) {
+    if (t == kNeverAccessed) {
+      out << " -";
+    } else {
+      out << ' ' << t;
+    }
+  }
+}
+
+std::optional<CollectiveKind> collective_from_name(std::string_view name) {
+  static constexpr CollectiveKind kAll[] = {
+      CollectiveKind::kBarrier,  CollectiveKind::kBcast,
+      CollectiveKind::kReduce,   CollectiveKind::kAllreduce,
+      CollectiveKind::kGather,   CollectiveKind::kAllgather,
+      CollectiveKind::kScatter,  CollectiveKind::kAlltoall,
+      CollectiveKind::kScan,
+  };
+  for (const CollectiveKind kind : kAll) {
+    if (name == collective_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void write_annotated(const AnnotatedTrace& trace, std::ostream& out) {
+  out << kHeader << "\n";
+  out << "meta app " << (trace.app.empty() ? "-" : trace.app) << "\n";
+  out << "meta ranks " << trace.num_ranks << "\n";
+  out << "meta mips " << strprintf("%.17g", trace.mips) << "\n";
+  for (Rank rank = 0; rank < trace.num_ranks; ++rank) {
+    const AnnotatedRank& arank = trace.ranks[static_cast<std::size_t>(rank)];
+    out << "rank " << rank << " final " << arank.final_vclock << "\n";
+    for (const AnnEvent& ev : arank.events) {
+      switch (ev.kind) {
+        case AnnEvent::Kind::kSend:
+        case AnnEvent::Kind::kIsend:
+          if (ev.kind == AnnEvent::Kind::kIsend) {
+            out << "is " << ev.vclock << ' ' << ev.request;
+          } else {
+            out << "s " << ev.vclock;
+          }
+          out << ' ' << ev.peer << ' ' << ev.tag << ' ' << ev.elem_bytes
+              << ' ' << ev.bytes / ev.elem_bytes << ' ' << ev.buffer_id
+              << ' ' << (ev.chunkable ? 1 : 0) << ' ' << ev.interval_start;
+          write_times(out, ev.elem_last_store);
+          out << "\n";
+          break;
+        case AnnEvent::Kind::kRecv:
+        case AnnEvent::Kind::kIrecv:
+          if (ev.kind == AnnEvent::Kind::kIrecv) {
+            out << "ir " << ev.vclock << ' ' << ev.request;
+          } else {
+            out << "r " << ev.vclock;
+          }
+          out << ' ' << ev.peer << ' ' << ev.tag << ' ' << ev.elem_bytes
+              << ' ' << ev.bytes / ev.elem_bytes << ' ' << ev.buffer_id
+              << ' ' << (ev.chunkable ? 1 : 0) << ' ' << ev.interval_end
+              << ' ' << ev.wait_event_index;
+          write_times(out, ev.elem_first_load);
+          out << "\n";
+          break;
+        case AnnEvent::Kind::kWait:
+          out << "w " << ev.vclock;
+          for (const ReqId req : ev.wait_requests) out << ' ' << req;
+          out << "\n";
+          break;
+        case AnnEvent::Kind::kGlobalOp:
+          out << "g " << ev.vclock << ' ' << collective_name(ev.coll) << ' '
+              << ev.root << ' ' << ev.bytes << ' ' << ev.coll_sequence
+              << "\n";
+          break;
+      }
+    }
+  }
+}
+
+std::string write_annotated(const AnnotatedTrace& trace) {
+  std::ostringstream os;
+  write_annotated(trace, os);
+  return os.str();
+}
+
+void write_annotated_file(const AnnotatedTrace& trace,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open annotated trace file: " + path);
+  write_annotated(trace, out);
+  if (!out) throw Error("error writing annotated trace file: " + path);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::istream& in) : in_(in) {}
+
+  AnnotatedTrace parse() {
+    expect_header();
+    parse_meta();
+    AnnotatedTrace trace = AnnotatedTrace::make(ranks_, mips_, app_);
+    Rank current = -1;
+    std::string line;
+    while (next_line(line)) {
+      const auto tokens = split_ws(line);
+      if (tokens.empty()) continue;
+      const std::string& op = tokens[0];
+      if (op == "rank") {
+        require_min(tokens, 4);
+        if (tokens[2] != "final") fail("expected 'rank N final CLOCK'");
+        current = to_i<Rank>(tokens[1]);
+        if (current < 0 || current >= ranks_) fail("rank out of range");
+        trace.ranks[static_cast<std::size_t>(current)].final_vclock =
+            to_u64(tokens[3]);
+        continue;
+      }
+      if (current < 0) fail("event before any 'rank' directive");
+      auto& events =
+          trace.ranks[static_cast<std::size_t>(current)].events;
+
+      AnnEvent ev;
+      std::size_t i = 1;
+      if (op == "s" || op == "is") {
+        ev.kind = op == "is" ? AnnEvent::Kind::kIsend : AnnEvent::Kind::kSend;
+        ev.vclock = to_u64(field(tokens, i++));
+        if (op == "is") ev.request = to_i<ReqId>(field(tokens, i++));
+        ev.peer = to_i<Rank>(field(tokens, i++));
+        ev.tag = to_i<Tag>(field(tokens, i++));
+        ev.elem_bytes = to_i<std::uint32_t>(field(tokens, i++));
+        const std::uint64_t nelems = to_u64(field(tokens, i++));
+        ev.bytes = nelems * ev.elem_bytes;
+        ev.buffer_id = to_i<std::int64_t>(field(tokens, i++));
+        ev.chunkable = to_u64(field(tokens, i++)) != 0;
+        ev.interval_start = to_u64(field(tokens, i++));
+        read_times(tokens, i, nelems, &ev.elem_last_store);
+      } else if (op == "r" || op == "ir") {
+        ev.kind =
+            op == "ir" ? AnnEvent::Kind::kIrecv : AnnEvent::Kind::kRecv;
+        ev.vclock = to_u64(field(tokens, i++));
+        if (op == "ir") ev.request = to_i<ReqId>(field(tokens, i++));
+        ev.peer = to_i<Rank>(field(tokens, i++));
+        ev.tag = to_i<Tag>(field(tokens, i++));
+        ev.elem_bytes = to_i<std::uint32_t>(field(tokens, i++));
+        const std::uint64_t nelems = to_u64(field(tokens, i++));
+        ev.bytes = nelems * ev.elem_bytes;
+        ev.buffer_id = to_i<std::int64_t>(field(tokens, i++));
+        ev.chunkable = to_u64(field(tokens, i++)) != 0;
+        ev.interval_end = to_u64(field(tokens, i++));
+        ev.wait_event_index = to_i<std::int64_t>(field(tokens, i++));
+        read_times(tokens, i, nelems, &ev.elem_first_load);
+      } else if (op == "w") {
+        ev.kind = AnnEvent::Kind::kWait;
+        ev.vclock = to_u64(field(tokens, i++));
+        while (i < tokens.size()) {
+          ev.wait_requests.push_back(to_i<ReqId>(tokens[i++]));
+        }
+        if (ev.wait_requests.empty()) fail("wait with no requests");
+      } else if (op == "g") {
+        ev.kind = AnnEvent::Kind::kGlobalOp;
+        ev.vclock = to_u64(field(tokens, i++));
+        const auto kind = collective_from_name(field(tokens, i++));
+        if (!kind) fail("unknown collective");
+        ev.coll = *kind;
+        ev.root = to_i<Rank>(field(tokens, i++));
+        ev.bytes = to_u64(field(tokens, i++));
+        ev.coll_sequence = to_i<std::int64_t>(field(tokens, i++));
+      } else {
+        fail("unknown event type '" + op + "'");
+      }
+      events.push_back(std::move(ev));
+    }
+    validate(trace);
+    return trace;
+  }
+
+ private:
+  void read_times(const std::vector<std::string>& tokens, std::size_t from,
+                  std::uint64_t nelems, std::vector<std::uint64_t>* out) {
+    if (from >= tokens.size()) return;  // untracked: no trailer
+    if (tokens.size() - from != nelems) {
+      fail(strprintf("expected %llu per-element times, got %zu",
+                     static_cast<unsigned long long>(nelems),
+                     tokens.size() - from));
+    }
+    out->reserve(nelems);
+    for (std::size_t i = from; i < tokens.size(); ++i) {
+      out->push_back(tokens[i] == "-" ? kNeverAccessed : to_u64(tokens[i]));
+    }
+  }
+
+  bool next_line(std::string& line) {
+    while (std::getline(in_, line)) {
+      ++line_number_;
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      if (!trim(line).empty()) return true;
+    }
+    return false;
+  }
+
+  void expect_header() {
+    std::string line;
+    if (!std::getline(in_, line)) fail("empty annotated trace file");
+    ++line_number_;
+    if (trim(line) != kHeader) fail("missing '#OSIM-ANNTRACE v1' header");
+  }
+
+  void parse_meta() {
+    std::string line;
+    while (in_.peek() != EOF) {
+      const auto pos = in_.tellg();
+      if (!next_line(line)) break;
+      const auto tokens = split_ws(line);
+      if (tokens.empty()) continue;
+      if (tokens[0] != "meta") {
+        in_.seekg(pos);
+        --line_number_;
+        break;
+      }
+      require_min(tokens, 3);
+      if (tokens[1] == "app") {
+        app_ = tokens[2] == "-" ? "" : tokens[2];
+      } else if (tokens[1] == "ranks") {
+        ranks_ = to_i<Rank>(tokens[2]);
+        if (ranks_ <= 0) fail("ranks must be positive");
+      } else if (tokens[1] == "mips") {
+        const auto parsed = parse_f64(tokens[2]);
+        if (!parsed || *parsed <= 0.0) fail("bad mips value");
+        mips_ = *parsed;
+      } else {
+        fail("unknown meta key '" + tokens[1] + "'");
+      }
+    }
+    if (ranks_ <= 0) fail("annotated trace missing 'meta ranks'");
+  }
+
+  const std::string& field(const std::vector<std::string>& tokens,
+                           std::size_t index) {
+    if (index >= tokens.size()) fail("missing field");
+    return tokens[index];
+  }
+
+  void require_min(const std::vector<std::string>& tokens,
+                   std::size_t count) {
+    if (tokens.size() < count) fail("too few fields");
+  }
+
+  template <typename T>
+  T to_i(const std::string& text) {
+    const auto parsed = parse_i64(text);
+    if (!parsed) fail("bad integer '" + text + "'");
+    return static_cast<T>(*parsed);
+  }
+
+  std::uint64_t to_u64(const std::string& text) {
+    const auto parsed = parse_u64(text);
+    if (!parsed) fail("bad unsigned integer '" + text + "'");
+    return *parsed;
+  }
+
+  [[noreturn]] void fail(const std::string& why) {
+    throw Error(strprintf("annotated trace parse error at line %d: %s",
+                          line_number_, why.c_str()));
+  }
+
+  std::istream& in_;
+  int line_number_ = 0;
+  Rank ranks_ = 0;
+  double mips_ = 1000.0;
+  std::string app_;
+};
+
+}  // namespace
+
+AnnotatedTrace read_annotated(std::istream& in) { return Parser(in).parse(); }
+
+AnnotatedTrace read_annotated(const std::string& text) {
+  std::istringstream is(text);
+  return read_annotated(is);
+}
+
+AnnotatedTrace read_annotated_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open annotated trace file: " + path);
+  return read_annotated(in);
+}
+
+}  // namespace osim::trace

@@ -1,0 +1,276 @@
+#include "trace/binary_io.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/expect.hpp"
+#include "common/strings.hpp"
+#include "trace/io.hpp"
+
+static_assert(std::endian::native == std::endian::little,
+              "binary trace format assumes a little-endian host");
+
+namespace osim::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'S', 'I', 'M', 'B', 'T', '0', '1'};
+
+constexpr std::uint8_t kKindCpu = 0;
+constexpr std::uint8_t kKindSend = 1;
+constexpr std::uint8_t kKindRecv = 2;
+constexpr std::uint8_t kKindWait = 3;
+constexpr std::uint8_t kKindGlobal = 4;
+
+constexpr std::uint8_t kFlagImmediate = 1;
+constexpr std::uint8_t kFlagSynchronous = 2;
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  /// LEB128 variable-length unsigned integer.
+  void put_varint(std::uint64_t value) {
+    while (value >= 0x80) {
+      put_byte(static_cast<std::uint8_t>(value) | 0x80);
+      value >>= 7;
+    }
+    put_byte(static_cast<std::uint8_t>(value));
+  }
+
+  /// Zigzag-encoded signed integer (small magnitudes stay small).
+  void put_svarint(std::int64_t value) {
+    put_varint((static_cast<std::uint64_t>(value) << 1) ^
+               static_cast<std::uint64_t>(value >> 63));
+  }
+
+  void put_byte(std::uint8_t byte) {
+    out_.put(static_cast<char>(byte));
+  }
+
+  void put_double(double value) {
+    out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  }
+
+  void put_bytes(const char* data, std::size_t n) {
+    out_.write(data, static_cast<std::streamsize>(n));
+  }
+
+  std::ostream& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  std::uint64_t get_varint() {
+    std::uint64_t value = 0;
+    int shift = 0;
+    for (;;) {
+      const std::uint8_t byte = get_byte();
+      if (shift >= 64) throw Error("binary trace: varint overflow");
+      value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return value;
+      shift += 7;
+    }
+  }
+
+  std::int64_t get_svarint() {
+    const std::uint64_t raw = get_varint();
+    return static_cast<std::int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+  }
+
+  std::uint8_t get_byte() {
+    const int c = in_.get();
+    if (c == EOF) throw Error("binary trace: unexpected end of file");
+    return static_cast<std::uint8_t>(c);
+  }
+
+  double get_double() {
+    double value = 0.0;
+    in_.read(reinterpret_cast<char*>(&value), sizeof(value));
+    if (!in_) throw Error("binary trace: unexpected end of file");
+    return value;
+  }
+
+  std::string get_string(std::size_t n) {
+    std::string s(n, '\0');
+    in_.read(s.data(), static_cast<std::streamsize>(n));
+    if (!in_) throw Error("binary trace: unexpected end of file");
+    return s;
+  }
+
+  std::istream& in_;
+};
+
+}  // namespace
+
+void write_binary(const Trace& trace, std::ostream& out) {
+  Writer w(out);
+  w.put_bytes(kMagic, sizeof(kMagic));
+  w.put_double(trace.mips);
+  w.put_varint(static_cast<std::uint64_t>(trace.num_ranks));
+  w.put_varint(trace.app.size());
+  w.put_bytes(trace.app.data(), trace.app.size());
+  for (const auto& stream : trace.ranks) {
+    w.put_varint(stream.size());
+    for (const Record& rec : stream) {
+      std::visit(
+          [&w](const auto& r) {
+            using T = std::decay_t<decltype(r)>;
+            if constexpr (std::is_same_v<T, CpuBurst>) {
+              w.put_byte(kKindCpu);
+              w.put_varint(r.instructions);
+            } else if constexpr (std::is_same_v<T, Send>) {
+              w.put_byte(kKindSend);
+              w.put_svarint(r.dest);
+              w.put_svarint(r.tag);
+              w.put_varint(r.bytes);
+              std::uint8_t flags = 0;
+              if (r.immediate) flags |= kFlagImmediate;
+              if (r.synchronous) flags |= kFlagSynchronous;
+              w.put_byte(flags);
+              w.put_svarint(r.request);
+            } else if constexpr (std::is_same_v<T, Recv>) {
+              w.put_byte(kKindRecv);
+              w.put_svarint(r.src);
+              w.put_svarint(r.tag);
+              w.put_varint(r.bytes);
+              w.put_byte(r.immediate ? kFlagImmediate : 0);
+              w.put_svarint(r.request);
+            } else if constexpr (std::is_same_v<T, Wait>) {
+              w.put_byte(kKindWait);
+              w.put_varint(r.requests.size());
+              for (const ReqId req : r.requests) {
+                w.put_svarint(req);
+              }
+            } else if constexpr (std::is_same_v<T, GlobalOp>) {
+              w.put_byte(kKindGlobal);
+              w.put_byte(static_cast<std::uint8_t>(r.kind));
+              w.put_svarint(r.root);
+              w.put_varint(r.bytes);
+              w.put_svarint(r.sequence);
+            }
+          },
+          rec);
+    }
+  }
+  if (!out) throw Error("binary trace: write error");
+}
+
+void write_binary_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open binary trace file: " + path);
+  write_binary(trace, out);
+}
+
+Trace read_binary(std::istream& in) {
+  Reader r(in);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw Error("binary trace: bad magic (not an OSIMBT01 file)");
+  }
+  const double mips = r.get_double();
+  const std::uint64_t num_ranks = r.get_varint();
+  if (num_ranks == 0 || num_ranks > 1'000'000) {
+    throw Error("binary trace: implausible rank count");
+  }
+  if (mips <= 0.0) throw Error("binary trace: invalid MIPS rate");
+  const std::uint64_t app_len = r.get_varint();
+  if (app_len > 4096) throw Error("binary trace: implausible app name");
+  Trace trace = Trace::make(static_cast<std::int32_t>(num_ranks), mips,
+                            r.get_string(app_len));
+
+  for (auto& stream : trace.ranks) {
+    const std::uint64_t count = r.get_varint();
+    if (count > (std::uint64_t{1} << 40)) {
+      throw Error("binary trace: implausible record count");
+    }
+    stream.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint8_t kind = r.get_byte();
+      switch (kind) {
+        case kKindCpu:
+          stream.push_back(CpuBurst{r.get_varint()});
+          break;
+        case kKindSend: {
+          Send send;
+          send.dest = static_cast<Rank>(r.get_svarint());
+          send.tag = r.get_svarint();
+          send.bytes = r.get_varint();
+          const std::uint8_t flags = r.get_byte();
+          send.immediate = (flags & kFlagImmediate) != 0;
+          send.synchronous = (flags & kFlagSynchronous) != 0;
+          send.request = r.get_svarint();
+          stream.push_back(send);
+          break;
+        }
+        case kKindRecv: {
+          Recv recv;
+          recv.src = static_cast<Rank>(r.get_svarint());
+          recv.tag = r.get_svarint();
+          recv.bytes = r.get_varint();
+          recv.immediate = (r.get_byte() & kFlagImmediate) != 0;
+          recv.request = r.get_svarint();
+          stream.push_back(recv);
+          break;
+        }
+        case kKindWait: {
+          const std::uint64_t n = r.get_varint();
+          if (n == 0 || n > 1'000'000) {
+            throw Error("binary trace: implausible wait size");
+          }
+          Wait wait;
+          wait.requests.reserve(n);
+          for (std::uint64_t k = 0; k < n; ++k) {
+            wait.requests.push_back(r.get_svarint());
+          }
+          stream.push_back(std::move(wait));
+          break;
+        }
+        case kKindGlobal: {
+          GlobalOp op;
+          const std::uint8_t coll = r.get_byte();
+          if (coll > static_cast<std::uint8_t>(CollectiveKind::kScan)) {
+            throw Error("binary trace: unknown collective kind");
+          }
+          op.kind = static_cast<CollectiveKind>(coll);
+          op.root = static_cast<Rank>(r.get_svarint());
+          op.bytes = r.get_varint();
+          op.sequence = r.get_svarint();
+          stream.push_back(op);
+          break;
+        }
+        default:
+          throw Error(strprintf("binary trace: unknown record kind %u",
+                                static_cast<unsigned>(kind)));
+      }
+    }
+  }
+  return trace;
+}
+
+Trace read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open binary trace file: " + path);
+  return read_binary(in);
+}
+
+Trace read_any_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open trace file: " + path);
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  in.clear();
+  in.seekg(0);
+  if (in.gcount() == sizeof(magic) &&
+      std::memcmp(magic, kMagic, sizeof(kMagic)) == 0) {
+    return read_binary(in);
+  }
+  return read_text(in);
+}
+
+}  // namespace osim::trace

@@ -1,0 +1,39 @@
+// Text (de)serialization of replayable traces.
+//
+// Format (line oriented, whitespace separated, '#' comments):
+//
+//   #OSIM-TRACE v1
+//   meta app nas_cg
+//   meta ranks 4
+//   meta mips 2300
+//   rank 0
+//   c 123456                 # cpu burst, instructions
+//   s 3 7 65536              # blocking send: dest tag bytes
+//   is 3 7 65536 12          # immediate send: dest tag bytes request
+//   r 2 7 65536              # blocking recv: src tag bytes
+//   ir 2 7 65536 13          # immediate recv: src tag bytes request
+//   w 12 13                  # wait: request ids
+//   g allreduce 0 8 4        # global op: kind root bytes sequence
+//
+// This mirrors the role of the Dimemas trace file between the paper's
+// Valgrind tool and the Dimemas simulator: the pipeline stages can run as
+// separate processes exchanging files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace osim::trace {
+
+void write_text(const Trace& trace, std::ostream& out);
+std::string write_text(const Trace& trace);
+void write_text_file(const Trace& trace, const std::string& path);
+
+/// Parses a trace; throws osim::Error with a line number on malformed input.
+Trace read_text(std::istream& in);
+Trace read_text(const std::string& text);
+Trace read_text_file(const std::string& path);
+
+}  // namespace osim::trace

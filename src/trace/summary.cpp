@@ -1,0 +1,112 @@
+#include "trace/summary.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <bit>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "common/units.hpp"
+
+namespace osim::trace {
+
+double TraceSummary::total_compute_s() const {
+  return instructions_to_s(total_instructions, mips);
+}
+
+double TraceSummary::mean_message_bytes() const {
+  if (total_messages == 0) return 0.0;
+  return static_cast<double>(total_bytes) /
+         static_cast<double>(total_messages);
+}
+
+namespace {
+
+std::size_t bucket_of(std::uint64_t bytes) {
+  if (bytes <= 1) return 0;
+  return std::min<std::size_t>(
+      static_cast<std::size_t>(std::bit_width(bytes) - 1), 31);
+}
+
+}  // namespace
+
+TraceSummary summarize(const Trace& trace) {
+  TraceSummary s;
+  s.num_ranks = trace.num_ranks;
+  s.mips = trace.mips;
+  s.app = trace.app;
+  s.ranks.resize(static_cast<std::size_t>(trace.num_ranks));
+  s.min_message_bytes = std::numeric_limits<std::uint64_t>::max();
+
+  for (Rank rank = 0; rank < trace.num_ranks; ++rank) {
+    RankSummary& rs = s.ranks[static_cast<std::size_t>(rank)];
+    for (const Record& rec : trace.ranks[static_cast<std::size_t>(rank)]) {
+      ++rs.records;
+      if (const auto* burst = std::get_if<CpuBurst>(&rec)) {
+        rs.instructions += burst->instructions;
+      } else if (const auto* send = std::get_if<Send>(&rec)) {
+        ++rs.sends;
+        rs.bytes_sent += send->bytes;
+        s.size_histogram[bucket_of(send->bytes)]++;
+        s.min_message_bytes = std::min(s.min_message_bytes, send->bytes);
+        s.max_message_bytes = std::max(s.max_message_bytes, send->bytes);
+      } else if (std::holds_alternative<Recv>(rec)) {
+        ++rs.recvs;
+      } else if (std::holds_alternative<Wait>(rec)) {
+        ++rs.waits;
+      } else if (std::holds_alternative<GlobalOp>(rec)) {
+        ++rs.collectives;
+      }
+    }
+    s.total_records += rs.records;
+    s.total_instructions += rs.instructions;
+    s.total_messages += rs.sends;
+    s.total_bytes += rs.bytes_sent;
+    s.total_collectives += rs.collectives;
+  }
+  if (s.total_messages == 0) s.min_message_bytes = 0;
+  return s;
+}
+
+std::string render(const TraceSummary& s) {
+  std::ostringstream os;
+  os << "trace: app=" << (s.app.empty() ? "-" : s.app)
+     << " ranks=" << s.num_ranks << " mips=" << strprintf("%g", s.mips)
+     << "\n";
+  os << strprintf("  records: %zu total, %zu p2p messages, %zu collective "
+                  "op instances\n",
+                  s.total_records, s.total_messages, s.total_collectives);
+  os << strprintf("  compute: %llu instructions (%s sequential)\n",
+                  static_cast<unsigned long long>(s.total_instructions),
+                  format_seconds(s.total_compute_s()).c_str());
+  os << strprintf("  volume:  %s across p2p messages (min %s, mean %s, "
+                  "max %s)\n",
+                  format_bytes(static_cast<double>(s.total_bytes)).c_str(),
+                  format_bytes(static_cast<double>(s.min_message_bytes))
+                      .c_str(),
+                  format_bytes(s.mean_message_bytes()).c_str(),
+                  format_bytes(static_cast<double>(s.max_message_bytes))
+                      .c_str());
+  os << "  message sizes:\n";
+  for (std::size_t b = 0; b < s.size_histogram.size(); ++b) {
+    if (s.size_histogram[b] == 0) continue;
+    os << strprintf("    [%8s, %8s): %zu\n",
+                    format_bytes(static_cast<double>(1ull << b)).c_str(),
+                    format_bytes(static_cast<double>(2ull << b)).c_str(),
+                    s.size_histogram[b]);
+  }
+  os << "  per rank:\n";
+  for (std::size_t r = 0; r < s.ranks.size(); ++r) {
+    const RankSummary& rs = s.ranks[r];
+    os << strprintf(
+        "    rank %3zu: %7zu records, %6zu sends (%s), %6zu recvs, "
+        "%5zu waits, %5zu collectives, compute %s\n",
+        r, rs.records, rs.sends,
+        format_bytes(static_cast<double>(rs.bytes_sent)).c_str(), rs.recvs,
+        rs.waits, rs.collectives,
+        format_seconds(instructions_to_s(rs.instructions, s.mips)).c_str());
+  }
+  return os.str();
+}
+
+}  // namespace osim::trace

@@ -1,0 +1,52 @@
+// Aggregate statistics of a replayable trace, independent of any platform:
+// record counts, communication volumes, message-size distribution, and the
+// compute/communication structure per rank. Used by the osim_inspect tool
+// and available as a library API.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace osim::trace {
+
+struct RankSummary {
+  std::uint64_t instructions = 0;
+  std::size_t records = 0;
+  std::size_t sends = 0;
+  std::size_t recvs = 0;
+  std::size_t waits = 0;
+  std::size_t collectives = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+struct TraceSummary {
+  std::int32_t num_ranks = 0;
+  double mips = 0.0;
+  std::string app;
+  std::size_t total_records = 0;
+  std::uint64_t total_instructions = 0;
+  std::size_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+  std::size_t total_collectives = 0;  // per-rank op instances
+  std::uint64_t min_message_bytes = 0;
+  std::uint64_t max_message_bytes = 0;
+  /// Message-size histogram with power-of-two buckets: bucket i counts
+  /// messages with bytes in [2^i, 2^(i+1)); bucket 0 includes empty
+  /// messages.
+  std::array<std::size_t, 32> size_histogram{};
+  std::vector<RankSummary> ranks;
+
+  /// Sequential compute time implied by the trace's MIPS rate (seconds).
+  double total_compute_s() const;
+  double mean_message_bytes() const;
+};
+
+TraceSummary summarize(const Trace& trace);
+
+/// Human-readable multi-line report of the summary.
+std::string render(const TraceSummary& summary);
+
+}  // namespace osim::trace

@@ -1,0 +1,66 @@
+// The replayable trace: per-rank record streams plus the metadata the
+// replay simulator needs (rank count, MIPS rate used to convert instruction
+// counts into seconds — the paper's tracer "obtains time-stamps by scaling
+// the number of executed instructions by the average MIPS rate").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace osim::trace {
+
+struct Trace {
+  std::int32_t num_ranks = 0;
+  double mips = 1000.0;  // millions of instructions per second
+  std::string app;       // application name (informational)
+  std::vector<std::vector<Record>> ranks;
+
+  /// Creates an empty trace with `num_ranks` empty record streams.
+  static Trace make(std::int32_t num_ranks, double mips,
+                    std::string app = "");
+
+  /// Total number of records across all ranks.
+  std::size_t total_records() const;
+
+  /// Sum of CpuBurst instructions on `rank`.
+  std::uint64_t total_instructions(Rank rank) const;
+
+  /// Total bytes sent from `rank` via point-to-point records.
+  std::uint64_t total_p2p_bytes_sent(Rank rank) const;
+};
+
+/// Structural validation: every referenced rank exists, waits reference
+/// requests that were previously issued and not yet completed, request ids
+/// are unique per rank, and sends/recvs match pairwise per (src, dest, tag)
+/// in count and size. Throws osim::Error describing the first problem.
+void validate(const Trace& trace);
+
+/// Fluent builder used by tests and by the overlap transformation to
+/// assemble per-rank record streams.
+class TraceBuilder {
+ public:
+  TraceBuilder(std::int32_t num_ranks, double mips, std::string app = "");
+
+  TraceBuilder& compute(Rank rank, std::uint64_t instructions);
+  TraceBuilder& send(Rank rank, Rank dest, Tag tag, std::uint64_t bytes);
+  TraceBuilder& isend(Rank rank, Rank dest, Tag tag, std::uint64_t bytes,
+                      ReqId request);
+  TraceBuilder& recv(Rank rank, Rank src, Tag tag, std::uint64_t bytes);
+  TraceBuilder& irecv(Rank rank, Rank src, Tag tag, std::uint64_t bytes,
+                      ReqId request);
+  TraceBuilder& wait(Rank rank, std::vector<ReqId> requests);
+  TraceBuilder& global(Rank rank, CollectiveKind kind, Rank root,
+                       std::uint64_t bytes, std::int64_t sequence);
+
+  Trace build() &&;
+  const Trace& peek() const { return trace_; }
+
+ private:
+  std::vector<Record>& stream(Rank rank);
+  Trace trace_;
+};
+
+}  // namespace osim::trace

@@ -1,0 +1,223 @@
+#include "tracer/context.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace osim::tracer {
+
+using trace::AnnEvent;
+using trace::kNeverAccessed;
+
+TraceContext::TraceContext(std::int32_t rank, const TracerOptions& options)
+    : rank_(rank), options_(options) {
+  OSIM_CHECK(rank >= 0);
+  OSIM_CHECK(options.mips > 0.0);
+}
+
+std::int64_t TraceContext::register_buffer(std::size_t num_elements,
+                                           std::uint32_t elem_bytes,
+                                           std::string name) {
+  OSIM_CHECK(num_elements > 0);
+  OSIM_CHECK(elem_bytes > 0);
+  BufferState state;
+  state.elem_bytes = elem_bytes;
+  state.num_elements = num_elements;
+  state.name = std::move(name);
+  state.last_store.assign(num_elements, kNeverAccessed);
+  state.prod_interval_start = vclock_;
+  buffers_.push_back(std::move(state));
+  return static_cast<std::int64_t>(buffers_.size()) - 1;
+}
+
+TraceContext::BufferState& TraceContext::buffer(std::int64_t id) {
+  OSIM_CHECK(id >= 0 && id < static_cast<std::int64_t>(buffers_.size()));
+  return buffers_[static_cast<std::size_t>(id)];
+}
+
+void TraceContext::log_access(std::int64_t buf, std::size_t element,
+                              std::uint32_t interval, bool is_store) {
+  if (!options_.record_access_log ||
+      access_log_.size() >= options_.access_log_limit) {
+    return;
+  }
+  access_log_.push_back(AccessSample{buf, static_cast<std::uint32_t>(element),
+                                     interval, vclock_, is_store});
+}
+
+void TraceContext::on_load(std::int64_t buf, std::size_t element) {
+  vclock_ += options_.load_cost;
+  BufferState& state = buffer(buf);
+  OSIM_CHECK(element < state.num_elements);
+  if (state.active_recv_event >= 0 && element >= state.recv_offset &&
+      element < state.recv_offset + state.recv_count) {
+    AnnEvent& ev = events_[static_cast<std::size_t>(state.active_recv_event)];
+    std::uint64_t& first = ev.elem_first_load[element - state.recv_offset];
+    if (first == kNeverAccessed) first = vclock_;
+  }
+  // Loads belong to the consumption interval of the most recent recv
+  // (0-based ordinal); loads before any recv carry the ~0u sentinel.
+  log_access(buf, element,
+             state.cons_intervals == 0 ? ~std::uint32_t{0}
+                                       : state.cons_intervals - 1,
+             /*is_store=*/false);
+}
+
+void TraceContext::on_store(std::int64_t buf, std::size_t element) {
+  vclock_ += options_.store_cost;
+  BufferState& state = buffer(buf);
+  OSIM_CHECK(element < state.num_elements);
+  state.last_store[element] = vclock_;
+  log_access(buf, element, state.prod_intervals, /*is_store=*/true);
+}
+
+void TraceContext::record_send(std::int64_t buf, std::size_t offset,
+                               std::size_t count, std::uint32_t elem_bytes,
+                               std::int32_t dest, std::int64_t tag,
+                               bool immediate, trace::ReqId request) {
+  OSIM_CHECK(!finalized_);
+  OSIM_CHECK_MSG(tag >= 0, "application tags must be non-negative");
+  AnnEvent ev;
+  ev.kind = immediate ? AnnEvent::Kind::kIsend : AnnEvent::Kind::kSend;
+  ev.vclock = vclock_;
+  ev.peer = dest;
+  ev.tag = tag;
+  ev.elem_bytes = elem_bytes;
+  ev.bytes = static_cast<std::uint64_t>(count) * elem_bytes;
+  ev.buffer_id = buf;
+  ev.request = request;
+  if (buf >= 0) {
+    BufferState& state = buffer(buf);
+    OSIM_CHECK(offset + count <= state.num_elements);
+    OSIM_CHECK(elem_bytes == state.elem_bytes);
+    ev.interval_start = state.prod_interval_start;
+    ev.elem_last_store.assign(state.last_store.begin() +
+                                  static_cast<std::ptrdiff_t>(offset),
+                              state.last_store.begin() +
+                                  static_cast<std::ptrdiff_t>(offset + count));
+    // Elements written before this production interval began keep their
+    // final value from earlier; clamp their "last update" to the interval
+    // start so they count as available immediately.
+    for (std::uint64_t& t : ev.elem_last_store) {
+      if (t != kNeverAccessed && t < ev.interval_start) {
+        t = ev.interval_start;
+      }
+    }
+    ev.chunkable = count > 1;
+    // A new production interval begins at this send.
+    std::fill(state.last_store.begin() +
+                  static_cast<std::ptrdiff_t>(offset),
+              state.last_store.begin() +
+                  static_cast<std::ptrdiff_t>(offset + count),
+              kNeverAccessed);
+    state.prod_interval_start = vclock_;
+    state.prod_intervals++;
+  }
+  events_.push_back(std::move(ev));
+}
+
+void TraceContext::close_consumption(BufferState& state) {
+  if (state.active_recv_event < 0) return;
+  AnnEvent& ev = events_[static_cast<std::size_t>(state.active_recv_event)];
+  ev.interval_end = vclock_;
+  state.active_recv_event = -1;
+}
+
+void TraceContext::record_recv(std::int64_t buf, std::size_t offset,
+                               std::size_t count, std::uint32_t elem_bytes,
+                               std::int32_t src, std::int64_t tag,
+                               bool immediate, trace::ReqId request) {
+  OSIM_CHECK(!finalized_);
+  OSIM_CHECK_MSG(tag >= 0 || tag == trace::kAnyTag,
+                 "application tags must be non-negative");
+  AnnEvent ev;
+  ev.kind = immediate ? AnnEvent::Kind::kIrecv : AnnEvent::Kind::kRecv;
+  ev.vclock = vclock_;
+  ev.peer = src;
+  ev.tag = tag;
+  ev.elem_bytes = elem_bytes;
+  ev.bytes = static_cast<std::uint64_t>(count) * elem_bytes;
+  ev.buffer_id = buf;
+  ev.request = request;
+  if (buf >= 0) {
+    BufferState& state = buffer(buf);
+    OSIM_CHECK(offset + count <= state.num_elements);
+    OSIM_CHECK(elem_bytes == state.elem_bytes);
+    close_consumption(state);
+    ev.elem_first_load.assign(count, kNeverAccessed);
+    ev.interval_end = vclock_;  // provisional; closed by the next recv
+    ev.chunkable = count > 1 && src != trace::kAnyRank &&
+                   tag != trace::kAnyTag;
+    events_.push_back(std::move(ev));
+    state.active_recv_event =
+        static_cast<std::int64_t>(events_.size()) - 1;
+    state.recv_offset = offset;
+    state.recv_count = count;
+    state.cons_intervals++;
+  } else {
+    events_.push_back(std::move(ev));
+  }
+  if (immediate) {
+    irecv_event_[request] = events_.size() - 1;
+  }
+}
+
+void TraceContext::record_wait(std::span<const trace::ReqId> requests) {
+  OSIM_CHECK(!finalized_);
+  OSIM_CHECK(!requests.empty());
+  AnnEvent ev;
+  ev.kind = AnnEvent::Kind::kWait;
+  ev.vclock = vclock_;
+  ev.wait_requests.assign(requests.begin(), requests.end());
+  events_.push_back(std::move(ev));
+  const std::int64_t wait_index =
+      static_cast<std::int64_t>(events_.size()) - 1;
+  for (const trace::ReqId req : requests) {
+    const auto it = irecv_event_.find(req);
+    if (it != irecv_event_.end()) {
+      events_[it->second].wait_event_index = wait_index;
+      irecv_event_.erase(it);
+    }
+  }
+}
+
+void TraceContext::record_global(trace::CollectiveKind kind,
+                                 std::int32_t root, std::uint64_t bytes) {
+  OSIM_CHECK(!finalized_);
+  AnnEvent ev;
+  ev.kind = AnnEvent::Kind::kGlobalOp;
+  ev.vclock = vclock_;
+  ev.coll = kind;
+  ev.root = root;
+  ev.bytes = bytes;
+  ev.coll_sequence = collective_seq_++;
+  events_.push_back(std::move(ev));
+}
+
+void TraceContext::finalize() {
+  OSIM_CHECK(!finalized_);
+  finalized_ = true;
+  final_vclock_ = vclock_;
+  for (BufferState& state : buffers_) close_consumption(state);
+}
+
+trace::AnnotatedRank TraceContext::take_rank() {
+  OSIM_CHECK_MSG(finalized_, "take_rank before finalize");
+  trace::AnnotatedRank out;
+  out.events = std::move(events_);
+  out.final_vclock = final_vclock_;
+  return out;
+}
+
+std::vector<AccessSample> TraceContext::take_access_log() {
+  return std::move(access_log_);
+}
+
+std::vector<std::string> TraceContext::buffer_names() const {
+  std::vector<std::string> names;
+  names.reserve(buffers_.size());
+  for (const BufferState& state : buffers_) names.push_back(state.name);
+  return names;
+}
+
+}  // namespace osim::tracer

@@ -1,0 +1,126 @@
+// Per-rank tracing context: the core of the "Valgrind tool" the paper
+// describes in §III-C. It maintains a virtual instruction clock, intercepts
+// every tracked load/store ("the tool ... tracks each memory activity to
+// monitor accesses to the transferred data"), and records every MPI call
+// with production/consumption annotations, producing one AnnotatedRank per
+// rank.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/annotated.hpp"
+
+namespace osim::tracer {
+
+struct TracerOptions {
+  /// MIPS rate used to convert instruction counts to seconds ("scaling the
+  /// number of executed instructions by the average MIPS rate observed in a
+  /// real run" — 2.3 GHz PPC970, about one instruction per cycle).
+  double mips = 2300.0;
+  /// Virtual instructions charged per tracked element load / store. The
+  /// surrounding arithmetic is charged via Process::compute().
+  std::uint64_t load_cost = 1;
+  std::uint64_t store_cost = 1;
+  /// Record every tracked access (for Figure 5 scatter plots). Costly;
+  /// capped per rank by access_log_limit.
+  bool record_access_log = false;
+  std::uint64_t access_log_limit = 4u << 20;
+};
+
+/// One tracked memory access (only collected under record_access_log).
+struct AccessSample {
+  std::int64_t buffer = -1;
+  std::uint32_t element = 0;
+  /// Ordinal of the production interval (stores) or consumption interval
+  /// (loads) this access falls into, counted per buffer.
+  std::uint32_t interval = 0;
+  std::uint64_t vclock = 0;
+  bool is_store = false;
+};
+
+class TraceContext {
+ public:
+  TraceContext(std::int32_t rank, const TracerOptions& options);
+
+  std::int32_t rank() const { return rank_; }
+  std::uint64_t vclock() const { return vclock_; }
+
+  /// Advances the virtual clock (explicit computation).
+  void advance(std::uint64_t instructions) { vclock_ += instructions; }
+
+  // --- tracked buffers ------------------------------------------------------
+  std::int64_t register_buffer(std::size_t num_elements,
+                               std::uint32_t elem_bytes, std::string name);
+  void on_load(std::int64_t buffer, std::size_t element);
+  void on_store(std::int64_t buffer, std::size_t element);
+
+  // --- MPI event recording -------------------------------------------------
+  /// `buffer` may be -1 for untracked transfers (annotations omitted,
+  /// transfer not chunkable).
+  void record_send(std::int64_t buffer, std::size_t offset,
+                   std::size_t count, std::uint32_t elem_bytes,
+                   std::int32_t dest, std::int64_t tag, bool immediate,
+                   trace::ReqId request);
+  void record_recv(std::int64_t buffer, std::size_t offset,
+                   std::size_t count, std::uint32_t elem_bytes,
+                   std::int32_t src, std::int64_t tag, bool immediate,
+                   trace::ReqId request);
+  void record_wait(std::span<const trace::ReqId> requests);
+  void record_global(trace::CollectiveKind kind, std::int32_t root,
+                     std::uint64_t bytes);
+
+  trace::ReqId new_request() { return next_request_++; }
+
+  /// Closes open consumption intervals and stamps final_vclock. Call once,
+  /// after the rank function returns.
+  void finalize();
+
+  /// Moves the per-rank results out (post-finalize).
+  trace::AnnotatedRank take_rank();
+  std::vector<AccessSample> take_access_log();
+
+  /// Registration-ordered names of the rank's tracked buffers (index =
+  /// buffer id); used to locate a named buffer for pattern plots.
+  std::vector<std::string> buffer_names() const;
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+ private:
+  struct BufferState {
+    std::uint32_t elem_bytes = 0;
+    std::size_t num_elements = 0;
+    std::string name;
+    std::vector<std::uint64_t> last_store;  // kNeverAccessed when untouched
+    std::uint64_t prod_interval_start = 0;
+    // Active consumption interval, if any.
+    std::int64_t active_recv_event = -1;  // index into events_
+    std::size_t recv_offset = 0;
+    std::size_t recv_count = 0;
+    std::uint32_t prod_intervals = 0;  // sends seen so far
+    std::uint32_t cons_intervals = 0;  // recvs seen so far
+  };
+
+  BufferState& buffer(std::int64_t id);
+  void close_consumption(BufferState& state);
+  void log_access(std::int64_t buffer, std::size_t element,
+                  std::uint32_t interval, bool is_store);
+
+  const std::int32_t rank_;
+  const TracerOptions options_;
+  std::uint64_t vclock_ = 0;
+  std::vector<BufferState> buffers_;
+  std::vector<trace::AnnEvent> events_;
+  trace::ReqId next_request_ = 0;
+  std::int64_t collective_seq_ = 0;
+  std::unordered_map<trace::ReqId, std::size_t> irecv_event_;  // req → event
+  std::vector<AccessSample> access_log_;
+  bool finalized_ = false;
+  std::uint64_t final_vclock_ = 0;
+};
+
+}  // namespace osim::tracer

@@ -1,0 +1,179 @@
+// Process: the per-rank façade applications are written against. It
+// forwards every MPI call to the in-process runtime (mpisim) while the
+// tracer records it — the equivalent of the paper's "the tool wraps each
+// MPI call to read the parameters of the transfer".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "mpisim/mpisim.hpp"
+#include "tracer/context.hpp"
+#include "tracer/tracked_buffer.hpp"
+
+namespace osim::tracer {
+
+/// Outstanding immediate operation: pairs the tracer-side request id with
+/// the runtime-side handle.
+struct Request {
+  trace::ReqId id = trace::kNoRequest;
+  mpisim::Request inner;
+};
+
+class Process {
+ public:
+  Process(mpisim::Comm& comm, TraceContext& context)
+      : comm_(comm), context_(context) {
+    OSIM_CHECK(comm.rank() == context.rank());
+  }
+
+  int rank() const { return comm_.rank(); }
+  int size() const { return comm_.size(); }
+
+  /// Explicit computation: advances the virtual clock by `instructions`
+  /// (arithmetic not expressed through tracked-buffer accesses).
+  void compute(std::uint64_t instructions) { context_.advance(instructions); }
+
+  std::uint64_t vclock() const { return context_.vclock(); }
+
+  template <typename T>
+  TrackedBuffer<T> make_buffer(std::size_t n, std::string name) {
+    const std::int64_t id = context_.register_buffer(
+        n, static_cast<std::uint32_t>(sizeof(T)), std::move(name));
+    return TrackedBuffer<T>(&context_, id, n);
+  }
+
+  // --- tracked point-to-point ---------------------------------------------
+  template <typename T>
+  void send(const TrackedBuffer<T>& buf, int dest, int tag) {
+    send(buf, 0, buf.size(), dest, tag);
+  }
+  template <typename T>
+  void send(const TrackedBuffer<T>& buf, std::size_t offset,
+            std::size_t count, int dest, int tag) {
+    context_.record_send(buf.id(), offset, count, sizeof(T), dest, tag,
+                         /*immediate=*/false, trace::kNoRequest);
+    comm_.send(buf.raw().subspan(offset, count), dest, tag);
+  }
+  template <typename T>
+  Request isend(const TrackedBuffer<T>& buf, int dest, int tag) {
+    const trace::ReqId id = context_.new_request();
+    context_.record_send(buf.id(), 0, buf.size(), sizeof(T), dest, tag,
+                         /*immediate=*/true, id);
+    return Request{id, comm_.isend(buf.raw(), dest, tag)};
+  }
+  template <typename T>
+  void recv(TrackedBuffer<T>& buf, int src, int tag) {
+    recv(buf, 0, buf.size(), src, tag);
+  }
+  template <typename T>
+  void recv(TrackedBuffer<T>& buf, std::size_t offset, std::size_t count,
+            int src, int tag) {
+    context_.record_recv(buf.id(), offset, count, sizeof(T), src, tag,
+                         /*immediate=*/false, trace::kNoRequest);
+    comm_.recv(buf.raw().subspan(offset, count), src, tag);
+  }
+  template <typename T>
+  Request irecv(TrackedBuffer<T>& buf, int src, int tag) {
+    const trace::ReqId id = context_.new_request();
+    context_.record_recv(buf.id(), 0, buf.size(), sizeof(T), src, tag,
+                         /*immediate=*/true, id);
+    return Request{id, comm_.irecv(buf.raw(), src, tag)};
+  }
+
+  // --- untracked point-to-point (control data, small payloads) -------------
+  template <typename T>
+  void send_raw(std::span<const T> data, int dest, int tag) {
+    context_.record_send(-1, 0, data.size(), sizeof(T), dest, tag,
+                         /*immediate=*/false, trace::kNoRequest);
+    comm_.send(data, dest, tag);
+  }
+  template <typename T>
+  void recv_raw(std::span<T> data, int src, int tag) {
+    context_.record_recv(-1, 0, data.size(), sizeof(T), src, tag,
+                         /*immediate=*/false, trace::kNoRequest);
+    comm_.recv(data, src, tag);
+  }
+
+  void wait(Request& request) {
+    context_.record_wait(std::span<const trace::ReqId>(&request.id, 1));
+    comm_.wait(request.inner);
+  }
+  void wait_all(std::span<Request> requests) {
+    if (requests.empty()) return;
+    std::vector<trace::ReqId> ids;
+    ids.reserve(requests.size());
+    for (const Request& r : requests) ids.push_back(r.id);
+    context_.record_wait(ids);
+    for (Request& r : requests) {
+      if (r.inner.valid()) comm_.wait(r.inner);
+    }
+  }
+
+  // --- collectives ----------------------------------------------------------
+  void barrier() {
+    context_.record_global(trace::CollectiveKind::kBarrier, 0, 0);
+    comm_.barrier();
+  }
+  template <typename T>
+  void bcast(std::span<T> data, int root) {
+    context_.record_global(trace::CollectiveKind::kBcast, root,
+                           data.size_bytes());
+    comm_.bcast(data, root);
+  }
+  template <typename T>
+  void allreduce(std::span<const T> in, std::span<T> out, mpisim::Op op) {
+    context_.record_global(trace::CollectiveKind::kAllreduce, 0,
+                           in.size_bytes());
+    comm_.allreduce(in, out, op);
+  }
+  template <typename T>
+  T allreduce_scalar(T value, mpisim::Op op) {
+    T out{};
+    allreduce(std::span<const T>(&value, 1), std::span<T>(&out, 1), op);
+    return out;
+  }
+  template <typename T>
+  void reduce(std::span<const T> in, std::span<T> out, mpisim::Op op,
+              int root) {
+    context_.record_global(trace::CollectiveKind::kReduce, root,
+                           in.size_bytes());
+    comm_.reduce(in, out, op, root);
+  }
+  template <typename T>
+  void gather(std::span<const T> in, std::span<T> out, int root) {
+    context_.record_global(trace::CollectiveKind::kGather, root,
+                           in.size_bytes());
+    comm_.gather(in, out, root);
+  }
+  template <typename T>
+  void allgather(std::span<const T> in, std::span<T> out) {
+    context_.record_global(trace::CollectiveKind::kAllgather, 0,
+                           in.size_bytes());
+    comm_.allgather(in, out);
+  }
+  template <typename T>
+  void alltoall(std::span<const T> in, std::span<T> out, std::size_t block) {
+    context_.record_global(trace::CollectiveKind::kAlltoall, 0,
+                           block * sizeof(T));
+    comm_.alltoall(in, out, block);
+  }
+  template <typename T>
+  void scan(std::span<const T> in, std::span<T> out, mpisim::Op op) {
+    context_.record_global(trace::CollectiveKind::kScan, 0,
+                           in.size_bytes());
+    comm_.scan(in, out, op);
+  }
+
+  mpisim::Comm& comm() { return comm_; }
+  TraceContext& context() { return context_; }
+
+ private:
+  mpisim::Comm& comm_;
+  TraceContext& context_;
+};
+
+}  // namespace osim::tracer

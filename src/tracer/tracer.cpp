@@ -1,0 +1,64 @@
+#include "tracer/tracer.hpp"
+
+#include "common/expect.hpp"
+#include "mpisim/mpisim.hpp"
+
+namespace osim::tracer {
+
+Tracer::Tracer(std::int32_t num_ranks, const TracerOptions& options,
+               std::string app)
+    : num_ranks_(num_ranks), options_(options), app_(std::move(app)) {
+  OSIM_CHECK(num_ranks > 0);
+  contexts_.reserve(static_cast<std::size_t>(num_ranks));
+  for (std::int32_t r = 0; r < num_ranks; ++r) {
+    contexts_.push_back(std::make_unique<TraceContext>(r, options));
+  }
+}
+
+TraceContext& Tracer::context(std::int32_t rank) {
+  OSIM_CHECK(rank >= 0 && rank < num_ranks_);
+  return *contexts_[static_cast<std::size_t>(rank)];
+}
+
+TracedRun Tracer::finish() {
+  TracedRun run;
+  run.annotated =
+      trace::AnnotatedTrace::make(num_ranks_, options_.mips, app_);
+  run.access_logs.resize(static_cast<std::size_t>(num_ranks_));
+  run.buffer_names.resize(static_cast<std::size_t>(num_ranks_));
+  for (std::int32_t r = 0; r < num_ranks_; ++r) {
+    TraceContext& ctx = *contexts_[static_cast<std::size_t>(r)];
+    ctx.finalize();
+    run.buffer_names[static_cast<std::size_t>(r)] = ctx.buffer_names();
+    run.annotated.ranks[static_cast<std::size_t>(r)] = ctx.take_rank();
+    run.access_logs[static_cast<std::size_t>(r)] = ctx.take_access_log();
+  }
+  trace::validate(run.annotated);
+  return run;
+}
+
+std::int64_t TracedRun::find_buffer(std::int32_t rank,
+                                    const std::string& name) const {
+  if (rank < 0 ||
+      static_cast<std::size_t>(rank) >= buffer_names.size()) {
+    return -1;
+  }
+  const auto& names = buffer_names[static_cast<std::size_t>(rank)];
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<std::int64_t>(i);
+  }
+  return -1;
+}
+
+TracedRun run_traced(std::int32_t num_ranks, const TracerOptions& options,
+                     const std::string& app,
+                     const std::function<void(Process&)>& body) {
+  Tracer tracer(num_ranks, options, app);
+  mpisim::Runtime::run(num_ranks, [&](mpisim::Comm& comm) {
+    Process process(comm, tracer.context(comm.rank()));
+    body(process);
+  });
+  return tracer.finish();
+}
+
+}  // namespace osim::tracer

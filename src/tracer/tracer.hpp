@@ -1,0 +1,53 @@
+// Tracer: the whole-run coordinator. Owns one TraceContext per rank, runs
+// the application on the in-process MPI runtime with each rank observed by
+// its context ("each process running on its own Valgrind virtual machine"),
+// and assembles the AnnotatedTrace.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tracer/context.hpp"
+#include "tracer/process.hpp"
+#include "trace/annotated.hpp"
+
+namespace osim::tracer {
+
+struct TracedRun {
+  trace::AnnotatedTrace annotated;
+  /// Per-rank access logs; empty unless TracerOptions::record_access_log.
+  std::vector<std::vector<AccessSample>> access_logs;
+  /// Per-rank tracked-buffer names, indexed by buffer id.
+  std::vector<std::vector<std::string>> buffer_names;
+
+  /// Buffer id of `name` on `rank`, or -1 if absent.
+  std::int64_t find_buffer(std::int32_t rank, const std::string& name) const;
+};
+
+class Tracer {
+ public:
+  Tracer(std::int32_t num_ranks, const TracerOptions& options,
+         std::string app);
+
+  TraceContext& context(std::int32_t rank);
+
+  /// Finalizes all contexts and assembles the results. Call once, after the
+  /// application has finished running.
+  TracedRun finish();
+
+ private:
+  const std::int32_t num_ranks_;
+  const TracerOptions options_;
+  const std::string app_;
+  std::vector<std::unique_ptr<TraceContext>> contexts_;
+};
+
+/// Convenience wrapper: trace `body` over `num_ranks` ranks in one call.
+/// This is the full "Valgrind stage" of the paper's pipeline.
+TracedRun run_traced(std::int32_t num_ranks, const TracerOptions& options,
+                     const std::string& app,
+                     const std::function<void(Process&)>& body);
+
+}  // namespace osim::tracer

@@ -1,0 +1,91 @@
+// TrackedBuffer<T>: an owning array whose element accesses are observed by
+// the tracer, standing in for Valgrind's load/store interception.
+//
+// Every read or write through operator[] advances the rank's virtual clock
+// and updates the production (last store) / consumption (first load)
+// bookkeeping for the buffer. Applications do their real arithmetic through
+// these accessors; initialization and other untimed work can use raw().
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "tracer/context.hpp"
+
+namespace osim::tracer {
+
+template <typename T>
+class TrackedBuffer {
+ public:
+  /// Created via Process::make_buffer().
+  TrackedBuffer(TraceContext* context, std::int64_t id, std::size_t n)
+      : context_(context), id_(id), data_(n) {}
+
+  std::int64_t id() const { return id_; }
+  std::size_t size() const { return data_.size(); }
+
+  /// Tracked read of element i.
+  T load(std::size_t i) const {
+    OSIM_CHECK(i < data_.size());
+    context_->on_load(id_, i);
+    return data_[i];
+  }
+
+  /// Tracked write of element i.
+  void store(std::size_t i, T value) {
+    OSIM_CHECK(i < data_.size());
+    context_->on_store(id_, i);
+    data_[i] = value;
+  }
+
+  /// Proxy giving natural `buf[i]` syntax with tracking on both sides.
+  class Proxy {
+   public:
+    Proxy(TrackedBuffer& buffer, std::size_t index)
+        : buffer_(buffer), index_(index) {}
+    operator T() const { return buffer_.load(index_); }
+    Proxy& operator=(T value) {
+      buffer_.store(index_, value);
+      return *this;
+    }
+    Proxy& operator+=(T value) {
+      buffer_.store(index_, buffer_.load(index_) + value);
+      return *this;
+    }
+    Proxy& operator-=(T value) {
+      buffer_.store(index_, buffer_.load(index_) - value);
+      return *this;
+    }
+    Proxy& operator*=(T value) {
+      buffer_.store(index_, buffer_.load(index_) * value);
+      return *this;
+    }
+
+   private:
+    TrackedBuffer& buffer_;
+    std::size_t index_;
+  };
+
+  Proxy operator[](std::size_t i) { return Proxy(*this, i); }
+  T operator[](std::size_t i) const { return load(i); }
+
+  /// Untracked access to the storage (initialization, verification, and the
+  /// MPI runtime's internal copies — Valgrind's tool likewise excludes
+  /// MPI-internal activity from the application's access stream).
+  std::span<T> raw() { return std::span<T>(data_); }
+  std::span<const T> raw() const { return std::span<const T>(data_); }
+
+  TrackedBuffer(TrackedBuffer&&) noexcept = default;
+  TrackedBuffer& operator=(TrackedBuffer&&) noexcept = default;
+  TrackedBuffer(const TrackedBuffer&) = delete;
+  TrackedBuffer& operator=(const TrackedBuffer&) = delete;
+
+ private:
+  TraceContext* context_;
+  std::int64_t id_;
+  std::vector<T> data_;
+};
+
+}  // namespace osim::tracer

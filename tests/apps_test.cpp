@@ -1,0 +1,254 @@
+// Tests for the six mini-applications: registry plumbing, trace validity,
+// determinism, and — most importantly — that each app's measured
+// production/consumption patterns fall in the qualitative bands the paper's
+// Table II reports for it.
+#include <gtest/gtest.h>
+
+#include "analysis/patterns.hpp"
+#include "apps/app.hpp"
+#include "common/expect.hpp"
+
+namespace osim::apps {
+namespace {
+
+AppConfig small_config(const MiniApp& app) {
+  AppConfig config;
+  config.ranks = 4;
+  while (!app.supports_ranks(config.ranks)) ++config.ranks;
+  config.iterations = 3;
+  return config;
+}
+
+TEST(Apps, RegistryHasAllSixPaperApps) {
+  const auto& apps = registry();
+  ASSERT_EQ(apps.size(), 6u);
+  for (const char* name :
+       {"sweep3d", "pop", "alya", "specfem3d", "nas_bt", "nas_cg"}) {
+    EXPECT_NE(find_app(name), nullptr) << name;
+  }
+  EXPECT_EQ(find_app("unknown"), nullptr);
+}
+
+TEST(Apps, PaperBusCountsMatchTableI) {
+  EXPECT_EQ(find_app("sweep3d")->paper_buses(), 12);
+  EXPECT_EQ(find_app("pop")->paper_buses(), 12);
+  EXPECT_EQ(find_app("alya")->paper_buses(), 11);
+  EXPECT_EQ(find_app("specfem3d")->paper_buses(), 8);
+  EXPECT_EQ(find_app("nas_bt")->paper_buses(), 22);
+  EXPECT_EQ(find_app("nas_cg")->paper_buses(), 6);
+}
+
+TEST(Apps, UnsupportedRankCountThrows) {
+  const MiniApp* cg = find_app("nas_cg");
+  AppConfig config;
+  config.ranks = 3;  // nas_cg needs even ranks
+  EXPECT_THROW(trace_app(*cg, config), Error);
+}
+
+TEST(Apps, ZeroIterationsThrows) {
+  const MiniApp* pop = find_app("pop");
+  AppConfig config;
+  config.ranks = 4;
+  config.iterations = 0;
+  EXPECT_THROW(trace_app(*pop, config), Error);
+}
+
+class EveryApp : public ::testing::TestWithParam<const MiniApp*> {};
+
+TEST_P(EveryApp, TracesValidate) {
+  const MiniApp& app = *GetParam();
+  const tracer::TracedRun run = trace_app(app, small_config(app));
+  EXPECT_NO_THROW(trace::validate(run.annotated));
+  EXPECT_EQ(run.annotated.app, app.name());
+  // Every rank did something.
+  for (const auto& rank : run.annotated.ranks) {
+    EXPECT_FALSE(rank.events.empty());
+    EXPECT_GT(rank.final_vclock, 0u);
+  }
+}
+
+TEST_P(EveryApp, Deterministic) {
+  const MiniApp& app = *GetParam();
+  const tracer::TracedRun a = trace_app(app, small_config(app));
+  const tracer::TracedRun b = trace_app(app, small_config(app));
+  for (std::size_t r = 0; r < a.annotated.ranks.size(); ++r) {
+    EXPECT_EQ(a.annotated.ranks[r].final_vclock,
+              b.annotated.ranks[r].final_vclock);
+    ASSERT_EQ(a.annotated.ranks[r].events.size(),
+              b.annotated.ranks[r].events.size());
+  }
+}
+
+TEST_P(EveryApp, PatternBufferExists) {
+  const MiniApp& app = *GetParam();
+  if (app.pattern_buffer().empty()) return;
+  const tracer::TracedRun run = trace_app(app, small_config(app));
+  EXPECT_GE(run.find_buffer(0, app.pattern_buffer()), 0)
+      << app.pattern_buffer();
+}
+
+TEST_P(EveryApp, ScaleKnobGrowsTheProblem) {
+  const MiniApp& app = *GetParam();
+  AppConfig small = small_config(app);
+  AppConfig big = small;
+  big.scale = 2;
+  const auto a = trace_app(app, small);
+  const auto b = trace_app(app, big);
+  // A larger problem means more virtual work and bigger messages.
+  EXPECT_GT(b.annotated.ranks[0].final_vclock,
+            a.annotated.ranks[0].final_vclock);
+  // Message volume grows with the problem for apps with multi-element
+  // messages (Alya's one-element coupling scalars stay one element).
+  std::uint64_t bytes_small = 0;
+  std::uint64_t bytes_big = 0;
+  bool has_chunkable = false;
+  for (const auto& ev : a.annotated.ranks[0].events) {
+    bytes_small += ev.bytes;
+    has_chunkable |= ev.chunkable;
+  }
+  for (const auto& ev : b.annotated.ranks[0].events) bytes_big += ev.bytes;
+  if (has_chunkable) {
+    EXPECT_GT(bytes_big, bytes_small);
+  } else {
+    EXPECT_EQ(bytes_big, bytes_small);
+  }
+}
+
+TEST_P(EveryApp, ScalesWithIterations) {
+  const MiniApp& app = *GetParam();
+  AppConfig short_run = small_config(app);
+  AppConfig long_run = short_run;
+  long_run.iterations = 6;
+  const auto a = trace_app(app, short_run);
+  const auto b = trace_app(app, long_run);
+  EXPECT_GT(b.annotated.ranks[0].final_vclock,
+            a.annotated.ranks[0].final_vclock);
+  EXPECT_GT(b.annotated.ranks[0].events.size(),
+            a.annotated.ranks[0].events.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, EveryApp, ::testing::ValuesIn(registry()),
+    [](const ::testing::TestParamInfo<const MiniApp*>& info) {
+      return info.param->name();
+    });
+
+// --- Table II qualitative bands per application --------------------------------
+
+struct PatternCase {
+  const char* app;
+  // production bands (fractions)
+  double first_min, first_max;
+  double whole_min;
+  // consumption bands
+  double nothing_min, nothing_max;
+};
+
+class PatternBands : public ::testing::TestWithParam<PatternCase> {};
+
+TEST_P(PatternBands, MatchesPaperBand) {
+  const PatternCase& expected = GetParam();
+  const MiniApp& app = *find_app(expected.app);
+  AppConfig config;
+  config.ranks = 8;
+  config.iterations = 5;
+  const tracer::TracedRun run = trace_app(app, config);
+
+  const auto prod = analysis::production_stats(run.annotated);
+  const auto cons = analysis::consumption_stats(run.annotated);
+  ASSERT_GT(prod.messages, 0u) << "no chunkable sends traced";
+  ASSERT_GT(cons.messages, 0u);
+
+  EXPECT_GE(prod.first_element, expected.first_min);
+  EXPECT_LE(prod.first_element, expected.first_max);
+  EXPECT_GE(prod.whole, expected.whole_min);
+  EXPECT_LE(prod.whole, 1.0 + 1e-9);
+  // Production statistics are monotone in the portion.
+  EXPECT_LE(prod.first_element, prod.quarter + 1e-9);
+  EXPECT_LE(prod.quarter, prod.half + 1e-9);
+  EXPECT_LE(prod.half, prod.whole + 1e-9);
+
+  EXPECT_GE(cons.nothing, expected.nothing_min);
+  EXPECT_LE(cons.nothing, expected.nothing_max);
+  EXPECT_LE(cons.nothing, cons.quarter + 1e-9);
+  EXPECT_LE(cons.quarter, cons.half + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableII, PatternBands,
+    ::testing::Values(
+        // paper: 66.3 / ... / 99.8 production; ~0 consumption
+        PatternCase{"sweep3d", 0.55, 0.90, 0.97, 0.0, 0.02},
+        // paper: 95.5 production; 3.5% consumption (independent work)
+        PatternCase{"pop", 0.90, 0.99, 0.99, 0.02, 0.08},
+        // paper: 95.3 production; ~0 consumption
+        PatternCase{"specfem3d", 0.90, 0.99, 0.98, 0.0, 0.02},
+        // paper: 99.1 production; 13.7% consumption
+        PatternCase{"nas_bt", 0.97, 1.0, 0.99, 0.10, 0.18},
+        // paper: ~4% production (linear); ~2% consumption
+        PatternCase{"nas_cg", 0.0, 0.10, 0.95, 0.0, 0.05}),
+    [](const ::testing::TestParamInfo<PatternCase>& info) {
+      return std::string(info.param.app);
+    });
+
+TEST(PatternBands, AlyaIsUnchunkable) {
+  // The paper: Alya's one-element reduction payloads "cannot be chunked
+  // into partial ones"; its tracked point-to-point scalars are produced at
+  // the very end of the phase and consumed immediately.
+  const MiniApp& app = *find_app("alya");
+  AppConfig config;
+  config.ranks = 8;
+  config.iterations = 5;
+  const tracer::TracedRun run = trace_app(app, config);
+  const auto prod = analysis::production_stats(run.annotated);
+  const auto cons = analysis::consumption_stats(run.annotated);
+  EXPECT_EQ(prod.messages, 0u);  // nothing chunkable
+  EXPECT_GT(prod.unchunkable_messages, 0u);
+  EXPECT_GT(prod.unchunkable_whole, 0.95);
+  EXPECT_EQ(cons.messages, 0u);
+  EXPECT_GT(cons.unchunkable_messages, 0u);
+  EXPECT_LT(cons.unchunkable_nothing, 0.05);
+}
+
+TEST(PatternBands, AlyaDominatedByCollectives) {
+  const MiniApp& app = *find_app("alya");
+  AppConfig config;
+  config.ranks = 4;
+  config.iterations = 3;
+  const tracer::TracedRun run = trace_app(app, config);
+  std::size_t collectives = 0;
+  std::size_t p2p = 0;
+  for (const auto& ev : run.annotated.ranks[0].events) {
+    if (ev.kind == trace::AnnEvent::Kind::kGlobalOp) {
+      ++collectives;
+    } else if (ev.kind != trace::AnnEvent::Kind::kWait) {
+      ++p2p;
+    }
+  }
+  EXPECT_GT(collectives, p2p);
+}
+
+TEST(PatternBands, BtConsumesInFourPasses) {
+  // Figure 5(b): the received face is loaded exactly four times per
+  // element per iteration.
+  const MiniApp& app = *find_app("nas_bt");
+  AppConfig config;
+  config.ranks = 4;
+  config.iterations = 2;
+  tracer::TracerOptions options;
+  options.record_access_log = true;
+  const tracer::TracedRun run = trace_app(app, config, options);
+  const std::int64_t buffer = run.find_buffer(0, "face_in");
+  ASSERT_GE(buffer, 0);
+  std::size_t loads_of_element0 = 0;
+  for (const auto& sample : run.access_logs[0]) {
+    if (sample.buffer == buffer && !sample.is_store &&
+        sample.element == 0 && sample.interval == 1) {
+      ++loads_of_element0;
+    }
+  }
+  EXPECT_EQ(loads_of_element0, 4u);
+}
+
+}  // namespace
+}  // namespace osim::apps

@@ -1,0 +1,146 @@
+// Tests for the critical-path analysis: analytic two-rank chains, the
+// telescoping/partition property, and the overlap comparison on a real app.
+#include <gtest/gtest.h>
+
+#include "analysis/critical_path.hpp"
+#include "analysis/speedup.hpp"
+#include "apps/app.hpp"
+#include "common/expect.hpp"
+#include "dimemas/replay.hpp"
+#include "overlap/transform.hpp"
+
+namespace osim::analysis {
+namespace {
+
+using trace::Rank;
+using trace::TraceBuilder;
+
+dimemas::Platform platform(std::int32_t nodes) {
+  dimemas::Platform p;
+  p.num_nodes = nodes;
+  p.bandwidth_MBps = 100.0;
+  p.latency_us = 10.0;
+  return p;
+}
+
+dimemas::SimResult run(const trace::Trace& t, std::int32_t nodes) {
+  dimemas::ReplayOptions options;
+  options.record_timeline = true;
+  return dimemas::replay(t, platform(nodes), options);
+}
+
+TEST(CriticalPath, ComputeOnlySingleSegment) {
+  TraceBuilder b(2, 1000.0);
+  b.compute(0, 10'000).compute(1, 200'000);
+  const auto result = run(std::move(b).build(), 2);
+  const CriticalPath path = critical_path(result);
+  EXPECT_DOUBLE_EQ(path.makespan, result.makespan);
+  EXPECT_NEAR(path.compute_s, 200e-6, 1e-12);
+  EXPECT_NEAR(path.communication_s, 0.0, 1e-12);
+  ASSERT_FALSE(path.segments.empty());
+  for (const auto& segment : path.segments) {
+    EXPECT_EQ(segment.rank, 1);  // the slow rank carries the whole path
+  }
+}
+
+TEST(CriticalPath, ProducerConsumerChain) {
+  // Rank 1 computes 200 us, then sends 2 MB (rendezvous, 20 ms + 10 us) to
+  // rank 0 which was waiting from t=0 and computes 50 us afterwards.
+  // Critical path: rank1 compute -> transfer -> rank0 compute.
+  TraceBuilder b(2, 1000.0);
+  b.recv(0, 1, 0, 2'000'000).compute(0, 50'000);
+  b.compute(1, 200'000).send(1, 0, 0, 2'000'000);
+  const auto result = run(std::move(b).build(), 2);
+  const CriticalPath path = critical_path(result);
+  EXPECT_NEAR(path.makespan, 200e-6 + 0.02 + 10e-6 + 50e-6, 1e-9);
+  // Compute on the path: rank1's 200us + rank0's tail 50us.
+  EXPECT_NEAR(path.compute_s, 250e-6, 1e-9);
+  EXPECT_NEAR(path.communication_s, 0.02 + 10e-6, 1e-9);
+  EXPECT_EQ(path.ranks_visited(), 2u);
+  // The path visits rank 1 before rank 0 in forward order.
+  EXPECT_EQ(path.segments.front().rank, 1);
+  EXPECT_EQ(path.segments.back().rank, 0);
+}
+
+TEST(CriticalPath, SegmentsPartitionMakespan) {
+  // Telescoping property on a multi-round exchange.
+  TraceBuilder b(3, 1000.0);
+  for (Rank r = 0; r < 3; ++r) {
+    const Rank next = static_cast<Rank>((r + 1) % 3);
+    const Rank prev = static_cast<Rank>((r + 2) % 3);
+    for (int i = 0; i < 4; ++i) {
+      b.compute(r, 20'000 + 7'000 * static_cast<std::uint64_t>(r));
+      b.irecv(r, prev, i, 100'000, i + 1);
+      b.send(r, next, i, 100'000);
+      b.wait(r, {i + 1});
+    }
+  }
+  const auto result = run(std::move(b).build(), 3);
+  const CriticalPath path = critical_path(result);
+  double total = 0.0;
+  double cursor = 0.0;
+  for (const auto& segment : path.segments) {
+    EXPECT_GE(segment.begin, cursor - 1e-12);  // forward, non-overlapping
+    total += segment.end - segment.begin;
+    cursor = segment.end;
+  }
+  EXPECT_NEAR(total, path.makespan, 1e-9);
+  EXPECT_NEAR(path.compute_s + path.communication_s, path.makespan, 1e-9);
+  EXPECT_NEAR(cursor, path.makespan, 1e-9);
+}
+
+TEST(CriticalPath, RendezvousSenderBlockedOnLateReceiver) {
+  // The receiver posts late: the sender's blocked span must chase the
+  // receiver's compute (cause = receive post).
+  TraceBuilder b(2, 1000.0);
+  b.send(0, 1, 0, 2'000'000);
+  b.compute(1, 500'000).recv(1, 0, 0, 2'000'000);
+  const auto result = run(std::move(b).build(), 2);
+  const CriticalPath path = critical_path(result);
+  EXPECT_NEAR(path.makespan, 500e-6 + 0.02 + 10e-6, 1e-9);
+  // 500us of the path is the receiver's compute.
+  EXPECT_NEAR(path.compute_s, 500e-6, 1e-9);
+  EXPECT_EQ(path.ranks_visited(), 2u);
+}
+
+TEST(CriticalPath, RequiresTimelines) {
+  dimemas::SimResult empty;
+  empty.rank_stats.resize(1);
+  EXPECT_DEATH(critical_path(empty), "timelines");
+}
+
+TEST(CriticalPath, RenderMentionsShares) {
+  TraceBuilder b(2, 1000.0);
+  b.compute(0, 1'000).compute(1, 2'000);
+  const CriticalPath path = critical_path(run(std::move(b).build(), 2));
+  const std::string text = render(path);
+  EXPECT_NE(text.find("critical path"), std::string::npos);
+  EXPECT_NE(text.find("compute"), std::string::npos);
+  EXPECT_NE(text.find("per-rank shares"), std::string::npos);
+}
+
+TEST(CriticalPath, OverlapRemovesCommunicationForCg) {
+  const apps::MiniApp& app = *apps::find_app("nas_cg");
+  apps::AppConfig config;
+  config.ranks = 4;
+  config.iterations = 4;
+  const tracer::TracedRun traced = apps::trace_app(app, config);
+  const dimemas::Platform p =
+      dimemas::Platform::marenostrum(config.ranks, app.paper_buses());
+  dimemas::ReplayOptions options;
+  options.record_timeline = true;
+  const auto original = dimemas::replay(
+      overlap::lower_original(traced.annotated), p, options);
+  const auto overlapped = dimemas::replay(
+      overlap::transform(traced.annotated, {}), p, options);
+  const CriticalPath path_orig = critical_path(original);
+  const CriticalPath path_ovlp = critical_path(overlapped);
+  // Overlap removes communication from the path; compute on the path does
+  // not grow.
+  EXPECT_LT(path_ovlp.communication_s, path_orig.communication_s);
+  EXPECT_NEAR(path_ovlp.compute_s, path_orig.compute_s,
+              0.25 * path_orig.compute_s);
+}
+
+}  // namespace
+}  // namespace osim::analysis

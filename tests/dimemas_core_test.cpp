@@ -1,0 +1,370 @@
+// Unit tests for the DES core: event queue, max-min fair allocation, and
+// the two network models driven directly (no replay on top).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dimemas/events.hpp"
+#include "dimemas/fairshare.hpp"
+#include "dimemas/network.hpp"
+#include "dimemas/platform.hpp"
+
+namespace osim::dimemas {
+namespace {
+
+// --- EventQueue -----------------------------------------------------------
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run_until_empty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.events_processed(), 3u);
+}
+
+TEST(EventQueue, FifoAmongSimultaneous) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_until_empty();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, HandlersMayScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] {
+    ++fired;
+    q.schedule_after(1.0, [&] { ++fired; });
+  });
+  q.run_until_empty();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueueDeathTest, PastSchedulingAborts) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run_one();
+  EXPECT_DEATH(q.schedule(1.0, [] {}), "scheduled in the past");
+}
+
+// --- max-min fair allocation ----------------------------------------------
+
+FairShareCaps caps(std::int32_t nodes, double link, double fabric = 0.0) {
+  return FairShareCaps{nodes, link, link, fabric};
+}
+
+TEST(MaxMin, SingleFlowGetsLinkRate) {
+  const auto rates = maxmin_rates({{0, 1}}, caps(2, 100.0));
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 100.0);
+}
+
+TEST(MaxMin, TwoFlowsShareOutLink) {
+  const auto rates = maxmin_rates({{0, 1}, {0, 2}}, caps(3, 100.0));
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+  EXPECT_DOUBLE_EQ(rates[1], 50.0);
+}
+
+TEST(MaxMin, IndependentFlowsUnaffected) {
+  const auto rates = maxmin_rates({{0, 1}, {2, 3}}, caps(4, 100.0));
+  EXPECT_DOUBLE_EQ(rates[0], 100.0);
+  EXPECT_DOUBLE_EQ(rates[1], 100.0);
+}
+
+TEST(MaxMin, ClassicThreeFlowExample) {
+  // Flows: A 0->1, B 0->2, C 3->2. Out-link 0 shared by A,B; in-link 2
+  // shared by B,C. Max-min: A=50, B=50, C=50 (all bottlenecked at 50).
+  const auto rates = maxmin_rates({{0, 1}, {0, 2}, {3, 2}}, caps(4, 100.0));
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+  EXPECT_DOUBLE_EQ(rates[1], 50.0);
+  EXPECT_DOUBLE_EQ(rates[2], 50.0);
+}
+
+TEST(MaxMin, UnfrozenFlowGrabsSlack) {
+  // Flows: A 0->1, B 0->1, C 2->3. A,B bottleneck at out-link 0 (50 each);
+  // C gets the full independent link.
+  const auto rates = maxmin_rates({{0, 1}, {0, 1}, {2, 3}}, caps(4, 100.0));
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+  EXPECT_DOUBLE_EQ(rates[1], 50.0);
+  EXPECT_DOUBLE_EQ(rates[2], 100.0);
+}
+
+TEST(MaxMin, FabricCapsAggregate) {
+  // Two independent flows, but the fabric only carries 120 total.
+  const auto rates = maxmin_rates({{0, 1}, {2, 3}}, caps(4, 100.0, 120.0));
+  EXPECT_DOUBLE_EQ(rates[0], 60.0);
+  EXPECT_DOUBLE_EQ(rates[1], 60.0);
+}
+
+TEST(MaxMin, FabricAsymmetricFill) {
+  // Flow A shares its out-link with B; fabric 150 total.
+  // Round 1: fair share = 50 (link 0). A,B freeze at 50.
+  // C continues until fabric (150 - 100 = 50 left) ... C gets 50.
+  const auto rates =
+      maxmin_rates({{0, 1}, {0, 2}, {3, 4}}, caps(5, 100.0, 150.0));
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+  EXPECT_DOUBLE_EQ(rates[1], 50.0);
+  EXPECT_DOUBLE_EQ(rates[2], 50.0);
+}
+
+TEST(MaxMin, EmptyFlowsOk) {
+  EXPECT_TRUE(maxmin_rates({}, caps(2, 100.0)).empty());
+}
+
+TEST(MaxMin, ManyFlowsConservation) {
+  // Property: aggregate rate through each resource never exceeds capacity,
+  // and every flow has a positive rate.
+  std::vector<FlowSpec> flows;
+  for (int i = 0; i < 16; ++i) {
+    flows.push_back(FlowSpec{i % 4, (i * 3 + 1) % 4});
+  }
+  // Avoid self-flows for realism.
+  for (auto& f : flows) {
+    if (f.src_node == f.dst_node) f.dst_node = (f.dst_node + 1) % 4;
+  }
+  const auto rates = maxmin_rates(flows, caps(4, 100.0, 250.0));
+  double total = 0.0;
+  std::vector<double> out(4, 0.0), in(4, 0.0);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_GT(rates[i], 0.0);
+    out[static_cast<std::size_t>(flows[i].src_node)] += rates[i];
+    in[static_cast<std::size_t>(flows[i].dst_node)] += rates[i];
+    total += rates[i];
+  }
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_LE(out[static_cast<std::size_t>(n)], 100.0 + 1e-9);
+    EXPECT_LE(in[static_cast<std::size_t>(n)], 100.0 + 1e-9);
+  }
+  EXPECT_LE(total, 250.0 + 1e-9);
+}
+
+// --- BusNetwork -----------------------------------------------------------
+
+Platform bus_platform(std::int32_t nodes, std::int32_t buses) {
+  Platform p;
+  p.num_nodes = nodes;
+  p.model = NetworkModelKind::kBus;
+  p.bandwidth_MBps = 100.0;  // 1e8 B/s → 10 ns per byte
+  p.latency_us = 10.0;
+  p.num_buses = buses;
+  return p;
+}
+
+TEST(BusNetwork, SingleTransferTiming) {
+  EventQueue q;
+  BusNetwork net(q, bus_platform(2, 0));
+  double arrival = -1.0;
+  double start = -1.0;
+  net.submit(Transfer{0, 1, 1'000'000}, [&](double t) { arrival = t; },
+             [&](double t) { start = t; });
+  q.run_until_empty();
+  EXPECT_DOUBLE_EQ(start, 0.0);
+  // 1 MB at 100 MB/s = 10 ms, plus 10 us latency.
+  EXPECT_DOUBLE_EQ(arrival, 0.01 + 10e-6);
+}
+
+TEST(BusNetwork, ZeroByteTakesLatencyOnly) {
+  EventQueue q;
+  BusNetwork net(q, bus_platform(2, 0));
+  double arrival = -1.0;
+  net.submit(Transfer{0, 1, 0}, [&](double t) { arrival = t; });
+  q.run_until_empty();
+  EXPECT_DOUBLE_EQ(arrival, 10e-6);
+}
+
+TEST(BusNetwork, OutputPortSerializes) {
+  EventQueue q;
+  BusNetwork net(q, bus_platform(3, 0));
+  std::vector<double> arrivals;
+  // Two messages from node 0: they serialize on the single output port,
+  // but latency pipelines (paid once per message after its serialization).
+  net.submit(Transfer{0, 1, 1'000'000},
+             [&](double t) { arrivals.push_back(t); });
+  net.submit(Transfer{0, 2, 1'000'000},
+             [&](double t) { arrivals.push_back(t); });
+  q.run_until_empty();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 0.01 + 10e-6);
+  EXPECT_DOUBLE_EQ(arrivals[1], 0.02 + 10e-6);
+}
+
+TEST(BusNetwork, InputPortSerializes) {
+  EventQueue q;
+  BusNetwork net(q, bus_platform(3, 0));
+  std::vector<double> arrivals;
+  net.submit(Transfer{0, 2, 1'000'000},
+             [&](double t) { arrivals.push_back(t); });
+  net.submit(Transfer{1, 2, 1'000'000},
+             [&](double t) { arrivals.push_back(t); });
+  q.run_until_empty();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 0.01 + 10e-6);
+  EXPECT_DOUBLE_EQ(arrivals[1], 0.02 + 10e-6);
+}
+
+TEST(BusNetwork, DisjointPairsRunConcurrently) {
+  EventQueue q;
+  BusNetwork net(q, bus_platform(4, 0));
+  std::vector<double> arrivals;
+  net.submit(Transfer{0, 1, 1'000'000},
+             [&](double t) { arrivals.push_back(t); });
+  net.submit(Transfer{2, 3, 1'000'000},
+             [&](double t) { arrivals.push_back(t); });
+  q.run_until_empty();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 0.01 + 10e-6);
+  EXPECT_DOUBLE_EQ(arrivals[1], 0.01 + 10e-6);
+}
+
+TEST(BusNetwork, BusLimitSerializesDisjointPairs) {
+  EventQueue q;
+  BusNetwork net(q, bus_platform(4, 1));  // one global bus
+  std::vector<double> arrivals;
+  net.submit(Transfer{0, 1, 1'000'000},
+             [&](double t) { arrivals.push_back(t); });
+  net.submit(Transfer{2, 3, 1'000'000},
+             [&](double t) { arrivals.push_back(t); });
+  q.run_until_empty();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 0.01 + 10e-6);
+  EXPECT_DOUBLE_EQ(arrivals[1], 0.02 + 10e-6);
+}
+
+TEST(BusNetwork, FirstFitSkipsBlockedHead) {
+  EventQueue q;
+  Platform p = bus_platform(4, 0);
+  BusNetwork net(q, p);
+  std::vector<int> order;
+  // Fill node 1's input port, then queue another message to node 1 and one
+  // to node 3; the node-3 message must not wait behind the blocked head.
+  net.submit(Transfer{0, 1, 1'000'000}, [&](double) { order.push_back(0); });
+  net.submit(Transfer{2, 1, 1'000'000}, [&](double) { order.push_back(1); });
+  net.submit(Transfer{2, 3, 1'000'000}, [&](double) { order.push_back(2); });
+  q.run_until_empty();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 2);  // overtook the blocked transfer to node 1
+  EXPECT_EQ(order[2], 1);
+}
+
+TEST(BusNetwork, MultiplePortsAllowConcurrency) {
+  EventQueue q;
+  Platform p = bus_platform(3, 0);
+  p.output_ports = 2;
+  BusNetwork net(q, p);
+  std::vector<double> arrivals;
+  net.submit(Transfer{0, 1, 1'000'000},
+             [&](double t) { arrivals.push_back(t); });
+  net.submit(Transfer{0, 2, 1'000'000},
+             [&](double t) { arrivals.push_back(t); });
+  q.run_until_empty();
+  EXPECT_DOUBLE_EQ(arrivals[0], 0.01 + 10e-6);
+  EXPECT_DOUBLE_EQ(arrivals[1], 0.01 + 10e-6);
+}
+
+// --- FairShareNetwork -------------------------------------------------------
+
+Platform fs_platform(std::int32_t nodes, double fabric_links = 0.0) {
+  Platform p;
+  p.num_nodes = nodes;
+  p.model = NetworkModelKind::kFairShare;
+  p.bandwidth_MBps = 100.0;
+  p.latency_us = 10.0;
+  p.fabric_capacity_links = fabric_links;
+  return p;
+}
+
+TEST(FairShareNetwork, SingleTransferTiming) {
+  EventQueue q;
+  FairShareNetwork net(q, fs_platform(2));
+  double arrival = -1.0;
+  net.submit(Transfer{0, 1, 1'000'000}, [&](double t) { arrival = t; });
+  q.run_until_empty();
+  EXPECT_NEAR(arrival, 0.01 + 10e-6, 1e-12);
+}
+
+TEST(FairShareNetwork, TwoFlowsShareBandwidth) {
+  EventQueue q;
+  FairShareNetwork net(q, fs_platform(3));
+  std::vector<double> arrivals;
+  // Same source: each gets 50 MB/s; both finish at ~20 ms (plus latency).
+  net.submit(Transfer{0, 1, 1'000'000},
+             [&](double t) { arrivals.push_back(t); });
+  net.submit(Transfer{0, 2, 1'000'000},
+             [&](double t) { arrivals.push_back(t); });
+  q.run_until_empty();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(arrivals[0], 0.02 + 10e-6, 1e-9);
+  EXPECT_NEAR(arrivals[1], 0.02 + 10e-6, 1e-9);
+}
+
+TEST(FairShareNetwork, RateRebalancesAfterCompletion) {
+  EventQueue q;
+  FairShareNetwork net(q, fs_platform(3));
+  double big_arrival = -1.0;
+  // A short and a long flow share the source link. After the short one
+  // finishes, the long one speeds up:
+  //   both at 50 MB/s until t = 10us + 20ms (short done; long has 0.5 MB
+  //   left), then the long one runs at 100 MB/s for another 5 ms.
+  net.submit(Transfer{0, 1, 1'000'000}, [&](double) {});
+  net.submit(Transfer{0, 2, 1'500'000}, [&](double t) { big_arrival = t; });
+  q.run_until_empty();
+  EXPECT_NEAR(big_arrival, 10e-6 + 0.020 + 0.005, 1e-7);
+}
+
+TEST(FairShareNetwork, ZeroByteTakesLatencyOnly) {
+  EventQueue q;
+  FairShareNetwork net(q, fs_platform(2));
+  double arrival = -1.0;
+  net.submit(Transfer{0, 1, 0}, [&](double t) { arrival = t; });
+  q.run_until_empty();
+  EXPECT_DOUBLE_EQ(arrival, 10e-6);
+}
+
+TEST(FairShareNetwork, FabricLimitsAggregate) {
+  EventQueue q;
+  FairShareNetwork net(q, fs_platform(4, 1.0));  // fabric = 1 link = 100 MB/s
+  std::vector<double> arrivals;
+  net.submit(Transfer{0, 1, 1'000'000},
+             [&](double t) { arrivals.push_back(t); });
+  net.submit(Transfer{2, 3, 1'000'000},
+             [&](double t) { arrivals.push_back(t); });
+  q.run_until_empty();
+  // Disjoint pairs, but the shared fabric halves both rates: 20 ms each.
+  EXPECT_NEAR(arrivals[0], 0.02 + 10e-6, 1e-9);
+  EXPECT_NEAR(arrivals[1], 0.02 + 10e-6, 1e-9);
+}
+
+TEST(FairShareNetwork, ManyFlowsAllComplete) {
+  EventQueue q;
+  FairShareNetwork net(q, fs_platform(8, 2.0));
+  int completed = 0;
+  for (int i = 0; i < 64; ++i) {
+    net.submit(Transfer{i % 8, (i + 3) % 8, 100'000 + 1000u * i},
+               [&](double) { ++completed; });
+  }
+  q.run_until_empty();
+  EXPECT_EQ(completed, 64);
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+TEST(NetworkFactory, DispatchesOnModel) {
+  EventQueue q;
+  EXPECT_NE(dynamic_cast<BusNetwork*>(
+                make_network(q, bus_platform(2, 0)).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<FairShareNetwork*>(
+                make_network(q, fs_platform(2)).get()),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace osim::dimemas

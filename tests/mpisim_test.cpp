@@ -1,0 +1,415 @@
+// Tests for the in-process MPI runtime: point-to-point semantics, request
+// handling, collectives correctness against sequential references, error
+// propagation, and concurrency stress.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "mpisim/mpisim.hpp"
+
+namespace osim::mpisim {
+namespace {
+
+template <typename T>
+std::span<const T> cspan(const std::vector<T>& v) {
+  return std::span<const T>(v);
+}
+template <typename T>
+std::span<T> mspan(std::vector<T>& v) {
+  return std::span<T>(v);
+}
+
+TEST(Mpisim, RankAndSize) {
+  std::atomic<int> sum{0};
+  Runtime::run(4, [&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 4);
+    sum += comm.rank();
+  });
+  EXPECT_EQ(sum.load(), 6);
+}
+
+TEST(Mpisim, BlockingSendRecv) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> data{1.5, 2.5, 3.5};
+      comm.send(cspan(data), 1, 7);
+    } else {
+      std::vector<double> data(3, 0.0);
+      const Status status = comm.recv(mspan(data), 0, 7);
+      EXPECT_EQ(status.source, 0);
+      EXPECT_EQ(status.tag, 7);
+      EXPECT_EQ(status.bytes, 3 * sizeof(double));
+      EXPECT_DOUBLE_EQ(data[0], 1.5);
+      EXPECT_DOUBLE_EQ(data[2], 3.5);
+    }
+  });
+}
+
+TEST(Mpisim, NonOvertakingSameTag) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        comm.send(std::span<const int>(&i, 1), 1, 3);
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        int v = -1;
+        comm.recv(std::span<int>(&v, 1), 0, 3);
+        EXPECT_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST(Mpisim, TagsSelectMessages) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int a = 10, b = 20;
+      comm.send(std::span<const int>(&a, 1), 1, 1);
+      comm.send(std::span<const int>(&b, 1), 1, 2);
+    } else {
+      int v = 0;
+      comm.recv(std::span<int>(&v, 1), 0, 2);  // out of order by tag
+      EXPECT_EQ(v, 20);
+      comm.recv(std::span<int>(&v, 1), 0, 1);
+      EXPECT_EQ(v, 10);
+    }
+  });
+}
+
+TEST(Mpisim, WildcardSourceAndTag) {
+  Runtime::run(3, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      int seen = 0;
+      for (int i = 0; i < 2; ++i) {
+        int v = 0;
+        const Status status =
+            comm.recv(std::span<int>(&v, 1), kAnySource, kAnyTag);
+        EXPECT_EQ(v, status.source * 100 + status.tag);
+        ++seen;
+      }
+      EXPECT_EQ(seen, 2);
+    } else {
+      const int v = comm.rank() * 100 + comm.rank();
+      comm.send(std::span<const int>(&v, 1), 0, comm.rank());
+    }
+  });
+}
+
+TEST(Mpisim, IrecvCompletesBeforeWaitIfDelivered) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> buf(4, 0);
+      Request req = comm.irecv(mspan(buf), 1, 0);
+      const Status status = comm.wait(req);
+      EXPECT_EQ(status.bytes, 4 * sizeof(int));
+      EXPECT_EQ(buf[3], 3);
+    } else {
+      std::vector<int> data{0, 1, 2, 3};
+      comm.send(cspan(data), 0, 0);
+    }
+  });
+}
+
+TEST(Mpisim, SendrecvExchanges) {
+  Runtime::run(2, [](Comm& comm) {
+    const int partner = 1 - comm.rank();
+    std::vector<int> out{comm.rank() * 7};
+    std::vector<int> in(1, -1);
+    comm.sendrecv(cspan(out), partner, 5, mspan(in), partner, 5);
+    EXPECT_EQ(in[0], partner * 7);
+  });
+}
+
+TEST(Mpisim, WaitAllMixedRequests) {
+  Runtime::run(2, [](Comm& comm) {
+    const int partner = 1 - comm.rank();
+    std::vector<int> out{comm.rank()};
+    std::vector<int> in(1, -1);
+    std::vector<Request> reqs;
+    reqs.push_back(comm.irecv(mspan(in), partner, 0));
+    reqs.push_back(comm.isend(cspan(out), partner, 0));
+    comm.wait_all(reqs);
+    EXPECT_EQ(in[0], partner);
+  });
+}
+
+TEST(Mpisim, TruncationThrows) {
+  EXPECT_THROW(Runtime::run(2,
+                            [](Comm& comm) {
+                              if (comm.rank() == 0) {
+                                std::vector<int> big(10, 1);
+                                comm.send(cspan(big), 1, 0);
+                              } else {
+                                std::vector<int> small(2, 0);
+                                comm.recv(mspan(small), 0, 0);
+                              }
+                            }),
+               Error);
+}
+
+TEST(Mpisim, InvalidRankThrows) {
+  EXPECT_THROW(Runtime::run(2,
+                            [](Comm& comm) {
+                              if (comm.rank() == 0) {
+                                const int v = 1;
+                                comm.send(std::span<const int>(&v, 1), 5, 0);
+                              }
+                            }),
+               Error);
+}
+
+TEST(Mpisim, SelfSendThrows) {
+  EXPECT_THROW(Runtime::run(2,
+                            [](Comm& comm) {
+                              if (comm.rank() == 0) {
+                                const int v = 1;
+                                comm.send(std::span<const int>(&v, 1), 0, 0);
+                              }
+                            }),
+               Error);
+}
+
+TEST(Mpisim, ExceptionUnblocksPeers) {
+  // Rank 0 throws; rank 1 is stuck in a recv that will never be satisfied.
+  // The runtime must wake it and surface the first error.
+  EXPECT_THROW(Runtime::run(2,
+                            [](Comm& comm) {
+                              if (comm.rank() == 0) {
+                                throw Error("boom");
+                              }
+                              int v;
+                              comm.recv(std::span<int>(&v, 1), 0, 0);
+                            }),
+               Error);
+}
+
+// --- collectives ---------------------------------------------------------------
+
+TEST(Mpisim, BarrierCompletes) {
+  for (const int ranks : {2, 3, 5, 8}) {
+    std::atomic<int> before{0};
+    Runtime::run(ranks, [&](Comm& comm) {
+      ++before;
+      comm.barrier();
+      EXPECT_EQ(before.load(), ranks);  // nobody passes early
+    });
+  }
+}
+
+TEST(Mpisim, BcastFromEveryRoot) {
+  for (const int root : {0, 1, 3}) {
+    Runtime::run(4, [&](Comm& comm) {
+      std::vector<int> data(5, comm.rank() == root ? 42 : 0);
+      comm.bcast(mspan(data), root);
+      for (const int v : data) EXPECT_EQ(v, 42);
+    });
+  }
+}
+
+TEST(Mpisim, ReduceSumMatchesReference) {
+  const int ranks = 6;
+  Runtime::run(ranks, [&](Comm& comm) {
+    std::vector<double> in(4);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      in[i] = comm.rank() + static_cast<double>(i) * 0.5;
+    }
+    std::vector<double> out(4, 0.0);
+    comm.reduce(cspan(in), mspan(out), Op::kSum, 2);
+    if (comm.rank() == 2) {
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        double expected = 0.0;
+        for (int r = 0; r < ranks; ++r) {
+          expected += r + static_cast<double>(i) * 0.5;
+        }
+        EXPECT_DOUBLE_EQ(out[i], expected);
+      }
+    }
+  });
+}
+
+TEST(Mpisim, AllreduceOps) {
+  const int ranks = 5;
+  Runtime::run(ranks, [&](Comm& comm) {
+    const double mine = comm.rank() + 1.0;
+    EXPECT_DOUBLE_EQ(comm.allreduce_scalar(mine, Op::kSum), 15.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_scalar(mine, Op::kMax), 5.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_scalar(mine, Op::kMin), 1.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_scalar(mine, Op::kProd), 120.0);
+  });
+}
+
+TEST(Mpisim, GatherOrdersByRank) {
+  const int ranks = 4;
+  Runtime::run(ranks, [&](Comm& comm) {
+    std::vector<int> in{comm.rank() * 2, comm.rank() * 2 + 1};
+    std::vector<int> out(static_cast<std::size_t>(ranks) * 2, -1);
+    comm.gather(cspan(in), mspan(out), 1);
+    if (comm.rank() == 1) {
+      for (int i = 0; i < ranks * 2; ++i) {
+        EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+      }
+    }
+  });
+}
+
+TEST(Mpisim, AllgatherEveryoneSees) {
+  const int ranks = 3;
+  Runtime::run(ranks, [&](Comm& comm) {
+    std::vector<int> in{comm.rank() + 100};
+    std::vector<int> out(static_cast<std::size_t>(ranks), -1);
+    comm.allgather(cspan(in), mspan(out));
+    for (int r = 0; r < ranks; ++r) {
+      EXPECT_EQ(out[static_cast<std::size_t>(r)], r + 100);
+    }
+  });
+}
+
+TEST(Mpisim, ScatterDistributesBlocks) {
+  const int ranks = 4;
+  Runtime::run(ranks, [&](Comm& comm) {
+    std::vector<int> in;
+    if (comm.rank() == 0) {
+      in.resize(static_cast<std::size_t>(ranks) * 3);
+      std::iota(in.begin(), in.end(), 0);
+    }
+    std::vector<int> out(3, -1);
+    comm.scatter(cspan(in), mspan(out), 0);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(out[static_cast<std::size_t>(i)], comm.rank() * 3 + i);
+    }
+  });
+}
+
+TEST(Mpisim, AlltoallTransposes) {
+  const int ranks = 4;
+  Runtime::run(ranks, [&](Comm& comm) {
+    // in[dst] = 10 * rank + dst; after alltoall, out[src] = 10 * src + rank.
+    std::vector<int> in(static_cast<std::size_t>(ranks));
+    for (int d = 0; d < ranks; ++d) {
+      in[static_cast<std::size_t>(d)] = 10 * comm.rank() + d;
+    }
+    std::vector<int> out(static_cast<std::size_t>(ranks), -1);
+    comm.alltoall(cspan(in), mspan(out), 1);
+    for (int s = 0; s < ranks; ++s) {
+      EXPECT_EQ(out[static_cast<std::size_t>(s)], 10 * s + comm.rank());
+    }
+  });
+}
+
+TEST(Mpisim, BackToBackCollectivesDoNotCrossMatch) {
+  Runtime::run(4, [](Comm& comm) {
+    for (int i = 0; i < 20; ++i) {
+      const double v = comm.allreduce_scalar(static_cast<double>(i), Op::kMax);
+      EXPECT_DOUBLE_EQ(v, i);
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Mpisim, ProbeThenReceive) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> data{1, 2, 3};
+      comm.send(cspan(data), 1, 9);
+    } else {
+      const Status probed = comm.probe(0, 9);
+      EXPECT_EQ(probed.source, 0);
+      EXPECT_EQ(probed.tag, 9);
+      EXPECT_EQ(probed.bytes, 3 * sizeof(int));
+      // The message is still there: size the buffer from the probe.
+      std::vector<int> data(probed.bytes / sizeof(int), 0);
+      comm.recv(mspan(data), 0, 9);
+      EXPECT_EQ(data[2], 3);
+    }
+  });
+}
+
+TEST(Mpisim, IprobeNonBlocking) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      // Nothing sent to rank 0 with tag 5: iprobe must return nullopt.
+      EXPECT_FALSE(comm.iprobe(1, 5).has_value());
+      const int v = 1;
+      comm.send(std::span<const int>(&v, 1), 1, 5);
+    } else {
+      // Blocking probe to synchronize, then iprobe must see it.
+      comm.probe(0, 5);
+      EXPECT_TRUE(comm.iprobe(0, 5).has_value());
+      EXPECT_TRUE(comm.iprobe(kAnySource, kAnyTag).has_value());
+      int v = 0;
+      comm.recv(std::span<int>(&v, 1), 0, 5);
+      EXPECT_FALSE(comm.iprobe(0, 5).has_value());  // consumed
+    }
+  });
+}
+
+TEST(Mpisim, ScanPrefixSums) {
+  const int ranks = 6;
+  Runtime::run(ranks, [&](Comm& comm) {
+    std::vector<double> in{static_cast<double>(comm.rank() + 1), 1.0};
+    std::vector<double> out(2, 0.0);
+    comm.scan(cspan(in), mspan(out), Op::kSum);
+    // Inclusive prefix: sum of 1..(rank+1), and rank+1 ones.
+    const int r = comm.rank();
+    EXPECT_DOUBLE_EQ(out[0], (r + 1) * (r + 2) / 2.0);
+    EXPECT_DOUBLE_EQ(out[1], r + 1.0);
+  });
+}
+
+TEST(Mpisim, ScanMax) {
+  Runtime::run(4, [](Comm& comm) {
+    std::vector<int> in{comm.rank() % 3};
+    std::vector<int> out(1, -1);
+    comm.scan(cspan(in), mspan(out), Op::kMax);
+    int expected = 0;
+    for (int r = 0; r <= comm.rank(); ++r) {
+      expected = std::max(expected, r % 3);
+    }
+    EXPECT_EQ(out[0], expected);
+  });
+}
+
+// --- stress ------------------------------------------------------------------------
+
+TEST(Mpisim, RandomizedRingStress) {
+  // Every rank pushes randomized payloads around a ring for many rounds and
+  // checks a running checksum — exercises mailbox matching under real
+  // thread interleavings.
+  const int ranks = 8;
+  const int rounds = 200;
+  Runtime::run(ranks, [&](Comm& comm) {
+    Rng rng(static_cast<std::uint64_t>(comm.rank()) + 99);
+    const int next = (comm.rank() + 1) % ranks;
+    const int prev = (comm.rank() + ranks - 1) % ranks;
+    std::uint64_t sent_sum = 0;
+    std::uint64_t recv_sum = 0;
+    for (int round = 0; round < rounds; ++round) {
+      std::vector<std::uint64_t> out(1 + rng.below(16));
+      for (auto& v : out) {
+        v = rng();
+        sent_sum += v;
+      }
+      std::vector<std::uint64_t> in(17);
+      Request req = comm.irecv(mspan(in), prev, round);
+      comm.send(cspan(out), next, round);
+      const Status status = comm.wait(req);
+      const std::size_t n = status.bytes / sizeof(std::uint64_t);
+      for (std::size_t i = 0; i < n; ++i) recv_sum += in[i];
+    }
+    // Ring totals: what I received must equal what my predecessor sent.
+    std::uint64_t prev_sent = 0;
+    Request req = comm.irecv(std::span<std::uint64_t>(&prev_sent, 1), prev,
+                             99999);
+    comm.send(std::span<const std::uint64_t>(&sent_sum, 1), next, 99999);
+    comm.wait(req);
+    EXPECT_EQ(recv_sum, prev_sent);
+  });
+}
+
+}  // namespace
+}  // namespace osim::mpisim

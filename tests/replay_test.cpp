@@ -1,0 +1,383 @@
+// Tests for the trace-replay simulator: analytic timings, protocol
+// semantics, blocking behaviour, deadlock diagnostics, timeline/comm
+// recording, and monotonicity properties over platform parameters.
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "dimemas/replay.hpp"
+#include "trace/trace.hpp"
+
+namespace osim::dimemas {
+namespace {
+
+using trace::CollectiveKind;
+using trace::Rank;
+using trace::Trace;
+using trace::TraceBuilder;
+
+// Platform: 1000 MIPS traces → 1 instruction = 1 ns; 100 MB/s; 10 us
+// latency; unlimited buses.
+Platform test_platform(std::int32_t nodes) {
+  Platform p;
+  p.num_nodes = nodes;
+  p.model = NetworkModelKind::kBus;
+  p.bandwidth_MBps = 100.0;
+  p.latency_us = 10.0;
+  p.num_buses = 0;
+  p.eager_threshold_bytes = 16 * 1024;
+  return p;
+}
+
+constexpr double kUs = 1e-6;
+
+TEST(Replay, PureComputeTime) {
+  TraceBuilder b(1, 1000.0);
+  b.compute(0, 5000);  // 5000 instr at 1000 MIPS = 5 us
+  const SimResult result = replay(std::move(b).build(), test_platform(1));
+  EXPECT_NEAR(result.makespan, 5.0 * kUs, 1e-12);
+  EXPECT_NEAR(result.rank_stats[0].compute_s, 5.0 * kUs, 1e-12);
+}
+
+TEST(Replay, RelativeCpuSpeedScalesBursts) {
+  TraceBuilder b(1, 1000.0);
+  b.compute(0, 5000);
+  Platform p = test_platform(1);
+  p.relative_cpu_speed = 2.0;
+  const SimResult result = replay(std::move(b).build(), p);
+  EXPECT_NEAR(result.makespan, 2.5 * kUs, 1e-12);
+}
+
+TEST(Replay, PerNodeCpuSpeeds) {
+  TraceBuilder b(2, 1000.0);
+  b.compute(0, 100'000);
+  b.compute(1, 100'000);
+  Platform p = test_platform(2);
+  p.per_node_cpu_speed = {1.0, 0.5};  // node 1 at half speed
+  const SimResult result = replay(std::move(b).build(), p);
+  EXPECT_NEAR(result.rank_stats[0].finish_time, 100.0 * kUs, 1e-12);
+  EXPECT_NEAR(result.rank_stats[1].finish_time, 200.0 * kUs, 1e-12);
+  EXPECT_NEAR(result.makespan, 200.0 * kUs, 1e-12);
+}
+
+TEST(Replay, PerNodeCpuSpeedSizeChecked) {
+  TraceBuilder b(2, 1000.0);
+  b.compute(0, 1);
+  Platform p = test_platform(2);
+  p.per_node_cpu_speed = {1.0};  // wrong length
+  EXPECT_DEATH(replay(std::move(b).build(), p), "num_nodes entries");
+}
+
+TEST(Replay, EagerMessageTiming) {
+  // 1000-byte eager message: receiver posted late, message already there.
+  TraceBuilder b(2, 1000.0);
+  b.send(0, 1, 0, 1000);
+  b.compute(1, 100'000).recv(1, 0, 0, 1000);  // 100 us of compute first
+  const SimResult result = replay(std::move(b).build(), test_platform(2));
+  // Arrival at 10us + 10us = 20us < 100us; recv completes instantly.
+  EXPECT_NEAR(result.makespan, 100.0 * kUs, 1e-12);
+  EXPECT_NEAR(result.rank_stats[1].recv_blocked_s, 0.0, 1e-12);
+}
+
+TEST(Replay, EagerBlockingSendReturnsImmediately) {
+  TraceBuilder b(2, 1000.0);
+  b.send(0, 1, 0, 1000).compute(0, 50'000);
+  b.recv(1, 0, 0, 1000);
+  const SimResult result = replay(std::move(b).build(), test_platform(2));
+  EXPECT_NEAR(result.rank_stats[0].send_blocked_s, 0.0, 1e-12);
+  EXPECT_NEAR(result.rank_stats[0].finish_time, 50.0 * kUs, 1e-12);
+  // Receiver blocks until arrival: latency + 10 us serialization.
+  EXPECT_NEAR(result.rank_stats[1].finish_time, 20.0 * kUs, 1e-12);
+}
+
+TEST(Replay, RendezvousWaitsForReceiver) {
+  // 1 MB rendezvous message; receiver posts the recv after 50 us.
+  TraceBuilder b(2, 1000.0);
+  b.send(0, 1, 0, 1'000'000);
+  b.compute(1, 50'000).recv(1, 0, 0, 1'000'000);
+  const SimResult result = replay(std::move(b).build(), test_platform(2));
+  // Transfer starts at 50us (recv post), 10 ms serialization + 10 us.
+  const double expected = 50.0 * kUs + 0.01 + 10.0 * kUs;
+  EXPECT_NEAR(result.makespan, expected, 1e-9);
+  // Blocking sender is stuck the whole time.
+  EXPECT_NEAR(result.rank_stats[0].send_blocked_s, expected, 1e-9);
+}
+
+TEST(Replay, SynchronousFlagForcesRendezvous) {
+  // The same small message, once eager and once forced-synchronous.
+  auto build = [](bool synchronous) {
+    TraceBuilder b(2, 1000.0);
+    Trace t = std::move(b).build();
+    t.ranks[0].push_back(trace::Send{1, 0, 100, false, trace::kNoRequest,
+                                     synchronous});
+    t.ranks[1].push_back(trace::CpuBurst{200'000});
+    t.ranks[1].push_back(trace::Recv{0, 0, 100, false, trace::kNoRequest});
+    return t;
+  };
+  const double t_eager = replay(build(false), test_platform(2)).makespan;
+  const double t_sync = replay(build(true), test_platform(2)).makespan;
+  EXPECT_NEAR(t_eager, 200.0 * kUs, 1e-9);   // arrival long before the recv
+  EXPECT_GT(t_sync, 200.0 * kUs + 10.0 * kUs - 1e-9);  // starts at recv post
+}
+
+TEST(Replay, IrecvWaitOverlapsCompute) {
+  // irecv + compute + wait: the transfer overlaps the burst.
+  TraceBuilder b(2, 1000.0);
+  b.irecv(0, 1, 0, 1000, 1).compute(0, 100'000).wait(0, {1});
+  b.send(1, 0, 0, 1000);
+  const SimResult result = replay(std::move(b).build(), test_platform(2));
+  EXPECT_NEAR(result.makespan, 100.0 * kUs, 1e-12);
+  EXPECT_NEAR(result.rank_stats[0].wait_blocked_s, 0.0, 1e-12);
+}
+
+TEST(Replay, WaitBlocksUntilArrival) {
+  TraceBuilder b(2, 1000.0);
+  b.irecv(0, 1, 0, 1000, 1).wait(0, {1});
+  b.compute(1, 30'000).send(1, 0, 0, 1000);
+  const SimResult result = replay(std::move(b).build(), test_platform(2));
+  // Arrival at 30us + 10us serialization + 10us latency.
+  EXPECT_NEAR(result.makespan, 50.0 * kUs, 1e-9);
+  EXPECT_NEAR(result.rank_stats[0].wait_blocked_s, 50.0 * kUs, 1e-9);
+}
+
+TEST(Replay, WaitAllWaitsForEveryRequest) {
+  TraceBuilder b(3, 1000.0);
+  b.irecv(0, 1, 0, 100, 1).irecv(0, 2, 0, 100, 2).wait(0, {1, 2});
+  b.compute(1, 10'000).send(1, 0, 0, 100);
+  b.compute(2, 80'000).send(2, 0, 0, 100);
+  const SimResult result = replay(std::move(b).build(), test_platform(3));
+  EXPECT_GT(result.rank_stats[0].finish_time, 80.0 * kUs);
+}
+
+TEST(Replay, MessageOrderingNonOvertaking) {
+  // Two same-tag messages must match in order; sizes confirm pairing.
+  TraceBuilder b(2, 1000.0);
+  b.send(0, 1, 5, 100).send(0, 1, 5, 100);
+  b.recv(1, 0, 5, 100).recv(1, 0, 5, 100);
+  EXPECT_NO_THROW(replay(std::move(b).build(), test_platform(2)));
+}
+
+TEST(Replay, TagSelectsMessage) {
+  // Receiver asks for tag 9 first even though tag 5 was sent first.
+  TraceBuilder b(2, 1000.0);
+  b.send(0, 1, 5, 100).send(0, 1, 9, 200);
+  b.recv(1, 0, 9, 200).recv(1, 0, 5, 100);
+  EXPECT_NO_THROW(replay(std::move(b).build(), test_platform(2)));
+}
+
+TEST(Replay, WildcardReceives) {
+  TraceBuilder b(3, 1000.0);
+  b.recv(0, trace::kAnyRank, trace::kAnyTag, 100)
+      .recv(0, trace::kAnyRank, trace::kAnyTag, 100);
+  b.compute(1, 1000).send(1, 0, 1, 100);
+  b.compute(2, 2000).send(2, 0, 2, 100);
+  EXPECT_NO_THROW(replay(std::move(b).build(), test_platform(3)));
+}
+
+TEST(Replay, PingPongRoundTrip) {
+  TraceBuilder b(2, 1000.0);
+  b.send(0, 1, 0, 1000).recv(0, 1, 1, 1000);
+  b.recv(1, 0, 0, 1000).send(1, 0, 1, 1000);
+  const SimResult result = replay(std::move(b).build(), test_platform(2));
+  // Each eager hop: 10 us serialization + 10 us latency.
+  EXPECT_NEAR(result.makespan, 40.0 * kUs, 1e-9);
+}
+
+TEST(Replay, CollectivesAutoExpand) {
+  TraceBuilder b(4, 1000.0);
+  for (Rank r = 0; r < 4; ++r) {
+    b.compute(r, 1000).global(r, CollectiveKind::kAllreduce, 0, 8, 0);
+  }
+  const SimResult result = replay(std::move(b).build(), test_platform(4));
+  // Fan-in depth 2 + fan-out depth 2 at ~10us latency each: >= 40 us + 1 us.
+  EXPECT_GT(result.makespan, 41.0 * kUs - 1e-9);
+  EXPECT_LT(result.makespan, 100.0 * kUs);
+}
+
+TEST(Replay, BarrierSynchronizesSkewedRanks) {
+  TraceBuilder b(3, 1000.0);
+  b.compute(0, 1'000).global(0, CollectiveKind::kBarrier, 0, 0, 0);
+  b.compute(1, 500'000).global(1, CollectiveKind::kBarrier, 0, 0, 0);
+  b.compute(2, 2'000).global(2, CollectiveKind::kBarrier, 0, 0, 0);
+  const SimResult result = replay(std::move(b).build(), test_platform(3));
+  // Nobody leaves the barrier before the slowest rank arrives.
+  for (const auto& stats : result.rank_stats) {
+    EXPECT_GE(stats.finish_time, 500.0 * kUs);
+  }
+}
+
+TEST(Replay, DeadlockDetectedAndDescribed) {
+  // Two rendezvous blocking sends facing each other: classic deadlock.
+  TraceBuilder b(2, 1000.0);
+  b.send(0, 1, 0, 1'000'000).recv(0, 1, 0, 1'000'000);
+  b.send(1, 0, 0, 1'000'000).recv(1, 0, 0, 1'000'000);
+  try {
+    replay(std::move(b).build(), test_platform(2));
+    FAIL() << "expected deadlock";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("rank 0"), std::string::npos);
+  }
+}
+
+TEST(Replay, ValidatesInputByDefault) {
+  TraceBuilder b(2, 1000.0);
+  b.send(0, 1, 0, 100);  // no matching recv
+  EXPECT_THROW(replay(std::move(b).build(), test_platform(2)), Error);
+}
+
+TEST(Replay, MaxSimTimeGuard) {
+  TraceBuilder b(1, 1000.0);
+  b.compute(0, 10'000'000);  // 10 ms
+  ReplayOptions options;
+  options.max_sim_time_s = 1e-3;
+  EXPECT_THROW(replay(std::move(b).build(), test_platform(1), options),
+               Error);
+}
+
+TEST(Replay, PlatformMustHaveEnoughNodes) {
+  TraceBuilder b(4, 1000.0);
+  b.compute(0, 1);
+  EXPECT_DEATH(replay(std::move(b).build(), test_platform(2)),
+               "fewer nodes");
+}
+
+TEST(Replay, TimelineRecording) {
+  TraceBuilder b(2, 1000.0);
+  b.compute(0, 10'000).send(0, 1, 0, 1'000'000);  // rendezvous: will block
+  b.compute(1, 50'000).recv(1, 0, 0, 1'000'000);
+  ReplayOptions options;
+  options.record_timeline = true;
+  const SimResult result =
+      replay(std::move(b).build(), test_platform(2), options);
+  ASSERT_EQ(result.timelines.size(), 2u);
+  // Rank 0: one compute interval and one send-blocked interval.
+  ASSERT_GE(result.timelines[0].size(), 2u);
+  EXPECT_EQ(result.timelines[0][0].state, RankState::kCompute);
+  EXPECT_NEAR(result.timelines[0][0].end - result.timelines[0][0].begin,
+              10.0 * kUs, 1e-12);
+  EXPECT_EQ(result.timelines[0][1].state, RankState::kSendBlocked);
+  // Intervals are chronological and non-overlapping.
+  for (const auto& timeline : result.timelines) {
+    for (std::size_t i = 1; i < timeline.size(); ++i) {
+      EXPECT_GE(timeline[i].begin, timeline[i - 1].end - 1e-12);
+    }
+  }
+}
+
+TEST(Replay, CommRecording) {
+  TraceBuilder b(2, 1000.0);
+  b.compute(0, 5'000).send(0, 1, 42, 2000);
+  b.recv(1, 0, 42, 2000);
+  ReplayOptions options;
+  options.record_comms = true;
+  const SimResult result =
+      replay(std::move(b).build(), test_platform(2), options);
+  ASSERT_EQ(result.comms.size(), 1u);
+  const CommEvent& comm = result.comms[0];
+  EXPECT_EQ(comm.src, 0);
+  EXPECT_EQ(comm.dst, 1);
+  EXPECT_EQ(comm.tag, 42);
+  EXPECT_EQ(comm.bytes, 2000u);
+  EXPECT_NEAR(comm.send_call_time, 5.0 * kUs, 1e-12);
+  EXPECT_NEAR(comm.transfer_start, 5.0 * kUs, 1e-12);
+  EXPECT_NEAR(comm.arrival_time, 5.0 * kUs + 20.0 * kUs + 10.0 * kUs,
+              1e-9);
+  EXPECT_GE(comm.recv_complete_time, comm.arrival_time - 1e-12);
+}
+
+TEST(Replay, Deterministic) {
+  TraceBuilder b(4, 1000.0);
+  for (Rank r = 0; r < 4; ++r) {
+    b.compute(r, 1000 + 100 * static_cast<std::uint64_t>(r));
+    b.global(r, CollectiveKind::kAlltoall, 0, 512, 0);
+    b.compute(r, 500);
+    b.global(r, CollectiveKind::kAllreduce, 0, 8, 1);
+  }
+  const Trace t = std::move(b).build();
+  const double first = replay(t, test_platform(4)).makespan;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(replay(t, test_platform(4)).makespan, first);
+  }
+}
+
+TEST(Replay, StatsAccounting) {
+  TraceBuilder b(2, 1000.0);
+  b.compute(0, 10'000).send(0, 1, 0, 500).send(0, 1, 1, 700);
+  b.recv(1, 0, 0, 500).recv(1, 0, 1, 700);
+  const SimResult result = replay(std::move(b).build(), test_platform(2));
+  EXPECT_EQ(result.rank_stats[0].messages_sent, 2u);
+  EXPECT_EQ(result.rank_stats[0].bytes_sent, 1200u);
+  EXPECT_EQ(result.rank_stats[1].messages_received, 2u);
+  EXPECT_GT(result.efficiency(), 0.0);
+  EXPECT_LE(result.efficiency(), 1.0);
+}
+
+// --- property sweeps ----------------------------------------------------------
+
+class BandwidthMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(BandwidthMonotonicity, TimeNonIncreasingInBandwidth) {
+  // A communication-heavy trace must never get slower when bandwidth grows.
+  TraceBuilder b(4, 1000.0);
+  for (Rank r = 0; r < 4; ++r) {
+    const Rank next = static_cast<Rank>((r + 1) % 4);
+    const Rank prev = static_cast<Rank>((r + 3) % 4);
+    for (int i = 0; i < 3; ++i) {
+      b.irecv(r, prev, i, 100'000, i + 1);
+      b.compute(r, 20'000);
+      b.send(r, next, i, 100'000);
+      b.wait(r, {i + 1});
+    }
+  }
+  const Trace t = std::move(b).build();
+
+  Platform p = test_platform(4);
+  p.bandwidth_MBps = GetParam();
+  const double t_here = replay(t, p).makespan;
+  p.bandwidth_MBps = GetParam() * 2.0;
+  const double t_faster = replay(t, p).makespan;
+  EXPECT_LE(t_faster, t_here + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BandwidthMonotonicity,
+                         ::testing::Values(1.0, 10.0, 50.0, 100.0, 400.0,
+                                           1000.0));
+
+class BusMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(BusMonotonicity, TimeNonIncreasingInBuses) {
+  TraceBuilder b(6, 1000.0);
+  for (Rank r = 0; r < 6; ++r) {
+    b.global(r, CollectiveKind::kAlltoall, 0, 50'000, 0);
+  }
+  const Trace t = std::move(b).build();
+  Platform p = test_platform(6);
+  p.num_buses = GetParam();
+  const double t_here = replay(t, p).makespan;
+  p.num_buses = GetParam() + 1;
+  const double t_more = replay(t, p).makespan;
+  EXPECT_LE(t_more, t_here + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BusMonotonicity,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12));
+
+TEST(Replay, FairShareModelRuns) {
+  TraceBuilder b(4, 1000.0);
+  for (Rank r = 0; r < 4; ++r) {
+    b.global(r, CollectiveKind::kAlltoall, 0, 50'000, 0);
+  }
+  const Trace t = std::move(b).build();
+  Platform p = test_platform(4);
+  p.model = NetworkModelKind::kFairShare;
+  p.fabric_capacity_links = 2.0;
+  const SimResult result = replay(t, p);
+  EXPECT_GT(result.makespan, 0.0);
+  // The fair-share fabric of 2 links is more restrictive than unlimited
+  // buses; the bus model with plenty of buses must be at least as fast.
+  Platform bus = test_platform(4);
+  EXPECT_LE(replay(t, bus).makespan, result.makespan + 1e-9);
+}
+
+}  // namespace
+}  // namespace osim::dimemas

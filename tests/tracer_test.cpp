@@ -1,0 +1,341 @@
+// Tests for the tracer (the "Valgrind tool"): virtual clock, tracked-buffer
+// interception, production/consumption interval bookkeeping, MPI wrapping,
+// access logs, and the assembled annotated traces.
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "tracer/tracer.hpp"
+
+namespace osim::tracer {
+namespace {
+
+using trace::AnnEvent;
+using trace::kNeverAccessed;
+
+TracerOptions quiet_options() {
+  TracerOptions options;
+  options.mips = 1000.0;
+  return options;
+}
+
+TEST(TraceContext, ClockAdvances) {
+  TraceContext ctx(0, quiet_options());
+  EXPECT_EQ(ctx.vclock(), 0u);
+  ctx.advance(100);
+  EXPECT_EQ(ctx.vclock(), 100u);
+}
+
+TEST(TraceContext, LoadStoreCostsCharged) {
+  TracerOptions options = quiet_options();
+  options.load_cost = 3;
+  options.store_cost = 5;
+  TraceContext ctx(0, options);
+  const std::int64_t buf = ctx.register_buffer(4, 8, "b");
+  ctx.on_load(buf, 0);
+  EXPECT_EQ(ctx.vclock(), 3u);
+  ctx.on_store(buf, 1);
+  EXPECT_EQ(ctx.vclock(), 8u);
+}
+
+TEST(TraceContext, ProductionAnnotations) {
+  TraceContext ctx(0, quiet_options());
+  const std::int64_t buf = ctx.register_buffer(4, 8, "b");
+  ctx.advance(10);
+  ctx.on_store(buf, 0);  // final at 11
+  ctx.advance(10);
+  ctx.on_store(buf, 2);  // at 22
+  ctx.on_store(buf, 2);  // rewritten at 23 — the later one counts
+  ctx.record_send(buf, 0, 4, 8, /*dest=*/1, /*tag=*/0, false,
+                  trace::kNoRequest);
+  ctx.finalize();
+  const auto rank = ctx.take_rank();
+  ASSERT_EQ(rank.events.size(), 1u);
+  const AnnEvent& ev = rank.events[0];
+  EXPECT_EQ(ev.kind, AnnEvent::Kind::kSend);
+  EXPECT_EQ(ev.interval_start, 0u);
+  EXPECT_TRUE(ev.chunkable);
+  ASSERT_EQ(ev.elem_last_store.size(), 4u);
+  EXPECT_EQ(ev.elem_last_store[0], 11u);
+  EXPECT_EQ(ev.elem_last_store[1], kNeverAccessed);
+  EXPECT_EQ(ev.elem_last_store[2], 23u);
+  EXPECT_EQ(ev.elem_last_store[3], kNeverAccessed);
+}
+
+TEST(TraceContext, ProductionIntervalResetsAfterSend) {
+  TraceContext ctx(0, quiet_options());
+  const std::int64_t buf = ctx.register_buffer(2, 8, "b");
+  ctx.on_store(buf, 0);
+  ctx.record_send(buf, 0, 2, 8, 1, 0, false, trace::kNoRequest);
+  const std::uint64_t first_send_clock = ctx.vclock();
+  ctx.advance(100);
+  ctx.on_store(buf, 1);
+  ctx.record_send(buf, 0, 2, 8, 1, 0, false, trace::kNoRequest);
+  ctx.finalize();
+  const auto rank = ctx.take_rank();
+  ASSERT_EQ(rank.events.size(), 2u);
+  const AnnEvent& second = rank.events[1];
+  EXPECT_EQ(second.interval_start, first_send_clock);
+  // Element 0 was not rewritten in the second interval.
+  EXPECT_EQ(second.elem_last_store[0], kNeverAccessed);
+  EXPECT_EQ(second.elem_last_store[1], first_send_clock + 101);
+}
+
+TEST(TraceContext, ConsumptionAnnotations) {
+  TraceContext ctx(0, quiet_options());
+  const std::int64_t buf = ctx.register_buffer(4, 8, "b");
+  ctx.advance(5);
+  ctx.record_recv(buf, 0, 4, 8, /*src=*/1, /*tag=*/0, false,
+                  trace::kNoRequest);
+  ctx.advance(10);
+  ctx.on_load(buf, 2);  // first load of elem 2 at 16
+  ctx.advance(10);
+  ctx.on_load(buf, 2);  // second load ignored
+  ctx.on_load(buf, 0);  // elem 0 at 28
+  ctx.advance(4);
+  ctx.finalize();
+  const auto rank = ctx.take_rank();
+  const AnnEvent& ev = rank.events[0];
+  EXPECT_EQ(ev.kind, AnnEvent::Kind::kRecv);
+  EXPECT_EQ(ev.vclock, 5u);
+  EXPECT_EQ(ev.interval_end, 32u);  // closed at finalize
+  ASSERT_EQ(ev.elem_first_load.size(), 4u);
+  EXPECT_EQ(ev.elem_first_load[0], 28u);
+  EXPECT_EQ(ev.elem_first_load[1], kNeverAccessed);
+  EXPECT_EQ(ev.elem_first_load[2], 16u);
+}
+
+TEST(TraceContext, ConsumptionIntervalClosedByNextRecv) {
+  TraceContext ctx(0, quiet_options());
+  const std::int64_t buf = ctx.register_buffer(2, 8, "b");
+  ctx.record_recv(buf, 0, 2, 8, 1, 0, false, trace::kNoRequest);
+  ctx.advance(50);
+  ctx.record_recv(buf, 0, 2, 8, 1, 0, false, trace::kNoRequest);
+  ctx.advance(10);
+  ctx.finalize();
+  const auto rank = ctx.take_rank();
+  EXPECT_EQ(rank.events[0].interval_end, 50u);
+  EXPECT_EQ(rank.events[1].interval_end, 60u);
+}
+
+TEST(TraceContext, SingleElementNotChunkable) {
+  TraceContext ctx(0, quiet_options());
+  const std::int64_t buf = ctx.register_buffer(1, 8, "scalar");
+  ctx.on_store(buf, 0);
+  ctx.record_send(buf, 0, 1, 8, 1, 0, false, trace::kNoRequest);
+  ctx.finalize();
+  const auto rank = ctx.take_rank();
+  EXPECT_FALSE(rank.events[0].chunkable);
+  EXPECT_EQ(rank.events[0].elem_last_store.size(), 1u);
+}
+
+TEST(TraceContext, WildcardRecvNotChunkable) {
+  TraceContext ctx(0, quiet_options());
+  const std::int64_t buf = ctx.register_buffer(4, 8, "b");
+  ctx.record_recv(buf, 0, 4, 8, trace::kAnyRank, 0, false,
+                  trace::kNoRequest);
+  ctx.finalize();
+  const auto rank = ctx.take_rank();
+  EXPECT_FALSE(rank.events[0].chunkable);
+}
+
+TEST(TraceContext, UntrackedTransferHasNoAnnotations) {
+  TraceContext ctx(0, quiet_options());
+  ctx.record_send(-1, 0, 16, 4, 1, 0, false, trace::kNoRequest);
+  ctx.finalize();
+  const auto rank = ctx.take_rank();
+  const AnnEvent& ev = rank.events[0];
+  EXPECT_EQ(ev.buffer_id, -1);
+  EXPECT_FALSE(ev.chunkable);
+  EXPECT_TRUE(ev.elem_last_store.empty());
+}
+
+TEST(TraceContext, WaitLinksIrecv) {
+  TraceContext ctx(0, quiet_options());
+  const std::int64_t buf = ctx.register_buffer(4, 8, "b");
+  const trace::ReqId req = ctx.new_request();
+  ctx.record_recv(buf, 0, 4, 8, 1, 0, /*immediate=*/true, req);
+  ctx.advance(10);
+  ctx.record_wait(std::span<const trace::ReqId>(&req, 1));
+  ctx.finalize();
+  const auto rank = ctx.take_rank();
+  ASSERT_EQ(rank.events.size(), 2u);
+  EXPECT_EQ(rank.events[0].kind, AnnEvent::Kind::kIrecv);
+  EXPECT_EQ(rank.events[0].wait_event_index, 1);
+  EXPECT_EQ(rank.events[1].kind, AnnEvent::Kind::kWait);
+}
+
+TEST(TraceContext, NegativeAppTagRejected) {
+  TraceContext ctx(0, quiet_options());
+  EXPECT_DEATH(
+      ctx.record_send(-1, 0, 1, 8, 1, /*tag=*/-5, false, trace::kNoRequest),
+      "non-negative");
+}
+
+TEST(TraceContext, CollectiveSequenceIncrements) {
+  TraceContext ctx(0, quiet_options());
+  ctx.record_global(trace::CollectiveKind::kBarrier, 0, 0);
+  ctx.record_global(trace::CollectiveKind::kAllreduce, 0, 8);
+  ctx.finalize();
+  const auto rank = ctx.take_rank();
+  EXPECT_EQ(rank.events[0].coll_sequence, 0);
+  EXPECT_EQ(rank.events[1].coll_sequence, 1);
+}
+
+TEST(TraceContext, AccessLogRecordsIntervals) {
+  TracerOptions options = quiet_options();
+  options.record_access_log = true;
+  TraceContext ctx(0, options);
+  const std::int64_t buf = ctx.register_buffer(4, 8, "b");
+  ctx.on_store(buf, 1);  // belongs to production interval 0
+  ctx.record_send(buf, 0, 4, 8, 1, 0, false, trace::kNoRequest);
+  ctx.on_store(buf, 2);  // production interval 1
+  ctx.record_recv(buf, 0, 4, 8, 1, 0, false, trace::kNoRequest);
+  ctx.on_load(buf, 3);  // consumption interval 0
+  ctx.finalize();
+  const auto log = ctx.take_access_log();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_TRUE(log[0].is_store);
+  EXPECT_EQ(log[0].interval, 0u);
+  EXPECT_EQ(log[1].interval, 1u);
+  EXPECT_FALSE(log[2].is_store);
+  EXPECT_EQ(log[2].interval, 0u);
+}
+
+TEST(TraceContext, AccessLogCapped) {
+  TracerOptions options = quiet_options();
+  options.record_access_log = true;
+  options.access_log_limit = 5;
+  TraceContext ctx(0, options);
+  const std::int64_t buf = ctx.register_buffer(4, 8, "b");
+  for (int i = 0; i < 100; ++i) ctx.on_store(buf, 0);
+  ctx.finalize();
+  EXPECT_EQ(ctx.take_access_log().size(), 5u);
+}
+
+TEST(TraceContext, BufferNames) {
+  TraceContext ctx(0, quiet_options());
+  ctx.register_buffer(4, 8, "alpha");
+  ctx.register_buffer(2, 4, "beta");
+  const auto names = ctx.buffer_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "beta");
+}
+
+// --- end-to-end tracing through Process / run_traced ------------------------
+
+TEST(Tracer, PingPongProducesValidAnnotatedTrace) {
+  const TracedRun run = run_traced(2, quiet_options(), "pingpong",
+                                   [](Process& p) {
+    auto buf = p.make_buffer<double>(8, "payload");
+    if (p.rank() == 0) {
+      for (std::size_t i = 0; i < 8; ++i) buf[i] = static_cast<double>(i);
+      p.compute(100);
+      p.send(buf, 1, 0);
+    } else {
+      p.recv(buf, 0, 0);
+      double sum = 0.0;
+      for (std::size_t i = 0; i < 8; ++i) sum += buf.load(i);
+      OSIM_CHECK(sum == 28.0);  // data actually moved
+      p.compute(50);
+    }
+  });
+  EXPECT_EQ(run.annotated.num_ranks, 2);
+  EXPECT_NO_THROW(trace::validate(run.annotated));
+  const auto& sender = run.annotated.ranks[0];
+  ASSERT_EQ(sender.events.size(), 1u);
+  EXPECT_TRUE(sender.events[0].chunkable);
+  EXPECT_EQ(sender.events[0].bytes, 64u);
+  const auto& receiver = run.annotated.ranks[1];
+  ASSERT_EQ(receiver.events.size(), 1u);
+  // Every element was read right after the recv.
+  for (const std::uint64_t t : receiver.events[0].elem_first_load) {
+    EXPECT_NE(t, kNeverAccessed);
+  }
+  EXPECT_EQ(run.find_buffer(0, "payload"), 0);
+  EXPECT_EQ(run.find_buffer(0, "missing"), -1);
+}
+
+TEST(Tracer, TrackedBufferProxyOperators) {
+  run_traced(1, quiet_options(), "proxy", [](Process& p) {
+    auto buf = p.make_buffer<double>(3, "b");
+    buf[0] = 2.0;
+    buf[0] += 3.0;
+    buf[1] = 10.0;
+    buf[1] -= 4.0;
+    buf[2] = 5.0;
+    buf[2] *= 2.0;
+    OSIM_CHECK(buf.load(0) == 5.0);
+    OSIM_CHECK(buf.load(1) == 6.0);
+    OSIM_CHECK(buf.load(2) == 10.0);
+  });
+}
+
+TEST(Tracer, CollectivesRecordedAndExecuted) {
+  const TracedRun run =
+      run_traced(4, quiet_options(), "coll", [](Process& p) {
+        const double sum = p.allreduce_scalar(1.0, mpisim::Op::kSum);
+        OSIM_CHECK(sum == 4.0);
+        p.barrier();
+      });
+  for (const auto& rank : run.annotated.ranks) {
+    ASSERT_EQ(rank.events.size(), 2u);
+    EXPECT_EQ(rank.events[0].kind, AnnEvent::Kind::kGlobalOp);
+    EXPECT_EQ(rank.events[0].coll, trace::CollectiveKind::kAllreduce);
+    EXPECT_EQ(rank.events[1].coll, trace::CollectiveKind::kBarrier);
+  }
+}
+
+TEST(Tracer, ScanRecordedAndExecuted) {
+  const TracedRun run =
+      run_traced(4, quiet_options(), "scan", [](Process& p) {
+        std::vector<double> in{static_cast<double>(p.rank() + 1)};
+        std::vector<double> out(1, 0.0);
+        p.scan(std::span<const double>(in), std::span<double>(out),
+               mpisim::Op::kSum);
+        const int r = p.rank();
+        OSIM_CHECK(out[0] == (r + 1) * (r + 2) / 2.0);
+      });
+  EXPECT_EQ(run.annotated.ranks[0].events[0].coll,
+            trace::CollectiveKind::kScan);
+}
+
+TEST(Tracer, VclockIndependentOfThreadScheduling) {
+  // The virtual clock must be a pure function of the program, not of wall
+  // time: two runs of the same program give identical annotated traces.
+  auto body = [](Process& p) {
+    auto buf = p.make_buffer<double>(16, "b");
+    const int partner = p.rank() ^ 1;
+    for (int iter = 0; iter < 5; ++iter) {
+      for (std::size_t i = 0; i < 16; ++i) {
+        buf[i] = static_cast<double>(iter) + static_cast<double>(i);
+      }
+      p.compute(1000);
+      if (p.rank() % 2 == 0) {
+        p.send(buf, partner, 1);
+      } else {
+        auto in = p.make_buffer<double>(16, "in");
+        (void)in;  // registered but unused: ids must still be stable
+        p.recv(buf, partner, 1);
+      }
+    }
+  };
+  const TracedRun a = run_traced(4, quiet_options(), "det", body);
+  const TracedRun b = run_traced(4, quiet_options(), "det", body);
+  ASSERT_EQ(a.annotated.ranks.size(), b.annotated.ranks.size());
+  for (std::size_t r = 0; r < a.annotated.ranks.size(); ++r) {
+    const auto& ra = a.annotated.ranks[r];
+    const auto& rb = b.annotated.ranks[r];
+    EXPECT_EQ(ra.final_vclock, rb.final_vclock);
+    ASSERT_EQ(ra.events.size(), rb.events.size());
+    for (std::size_t i = 0; i < ra.events.size(); ++i) {
+      EXPECT_EQ(ra.events[i].vclock, rb.events[i].vclock);
+      EXPECT_EQ(ra.events[i].bytes, rb.events[i].bytes);
+      EXPECT_EQ(ra.events[i].elem_last_store, rb.events[i].elem_last_store);
+      EXPECT_EQ(ra.events[i].elem_first_load, rb.events[i].elem_first_load);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace osim::tracer

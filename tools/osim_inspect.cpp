@@ -1,0 +1,37 @@
+// osim_inspect — summarize a trace file: record counts, communication
+// volumes, message-size distribution, per-rank structure; optionally
+// validate only.
+//
+//   osim_inspect --trace /tmp/cg.original.trace
+//   osim_inspect --trace t.trace --validate-only
+#include <cstdio>
+
+#include "common/expect.hpp"
+#include "common/flags.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/summary.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace osim;
+  std::string trace_path;
+  bool validate_only = false;
+
+  Flags flags("osim_inspect: summarize and validate a trace file");
+  flags.add("trace", &trace_path, "trace file to inspect (required)");
+  flags.add("validate-only", &validate_only,
+            "exit after structural validation");
+  if (!flags.parse(argc, argv)) return 0;
+  if (trace_path.empty()) throw Error("--trace is required");
+
+  const trace::Trace t = trace::read_any_file(trace_path);
+  trace::validate(t);
+  if (validate_only) {
+    std::printf("%s: valid\n", trace_path.c_str());
+    return 0;
+  }
+  std::printf("%s", trace::render(trace::summarize(t)).c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,140 @@
+// osim_replay — the Dimemas stage as a standalone tool.
+//
+// Replays a trace file on a platform described either by flags or by a
+// platform file (see dimemas/platform_io.hpp), printing the makespan and
+// per-rank statistics; optionally renders the terminal timeline and writes
+// a Paraver bundle.
+//
+//   osim_replay --trace /tmp/cg.original.trace --bandwidth 250 --buses 6
+//   osim_replay --trace t.trace --platform marenostrum.cfg --timeline
+//   osim_replay --trace t.trace --prv /tmp/run     # + .prv/.pcf/.row
+#include <cstdio>
+
+#include "analysis/critical_path.hpp"
+#include "common/expect.hpp"
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "dimemas/platform_io.hpp"
+#include "dimemas/replay.hpp"
+#include "paraver/paraver.hpp"
+#include "trace/binary_io.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace osim;
+  std::string trace_path;
+  std::string platform_path;
+  std::string prv_base;
+  double bandwidth = 250.0;
+  double latency = 4.0;
+  std::int64_t buses = 0;
+  std::int64_t ports = 1;
+  std::int64_t eager = 16 * 1024;
+  bool timeline = false;
+  bool per_rank = false;
+  bool profile = false;
+  bool critpath = false;
+  std::string collectives = "binomial-tree";
+  std::int64_t timeline_width = 100;
+
+  Flags flags("osim_replay: replay a trace file on a configurable platform");
+  flags.add("trace", &trace_path, "trace file to replay (required)");
+  flags.add("platform", &platform_path,
+            "platform file; overrides the individual network flags");
+  flags.add("bandwidth", &bandwidth, "link bandwidth in MB/s");
+  flags.add("latency", &latency, "per-message latency in us");
+  flags.add("buses", &buses, "global buses (0 = unlimited)");
+  flags.add("ports", &ports, "input/output ports per node");
+  flags.add("eager", &eager, "eager protocol threshold in bytes");
+  flags.add("timeline", &timeline, "render the terminal Gantt chart");
+  flags.add("timeline-width", &timeline_width, "timeline width in columns");
+  flags.add("per-rank", &per_rank, "print per-rank statistics");
+  flags.add("profile", &profile, "print the per-rank state profile");
+  flags.add("critical-path", &critpath,
+            "print the critical-path composition");
+  flags.add("collectives", &collectives,
+            "collective algorithm: binomial-tree | linear | "
+            "recursive-doubling");
+  flags.add("prv", &prv_base, "write a Paraver bundle to <prv>.prv/.pcf/.row");
+  if (!flags.parse(argc, argv)) return 0;
+
+  if (trace_path.empty()) throw Error("--trace is required");
+  const trace::Trace t = trace::read_any_file(trace_path);
+
+  dimemas::Platform platform;
+  if (!platform_path.empty()) {
+    platform = dimemas::read_platform_file(platform_path);
+    if (platform.num_nodes < t.num_ranks) {
+      throw Error(strprintf("platform has %d nodes but the trace needs %d",
+                            platform.num_nodes, t.num_ranks));
+    }
+  } else {
+    platform.num_nodes = t.num_ranks;
+    platform.bandwidth_MBps = bandwidth;
+    platform.latency_us = latency;
+    platform.num_buses = static_cast<std::int32_t>(buses);
+    platform.input_ports = static_cast<std::int32_t>(ports);
+    platform.output_ports = static_cast<std::int32_t>(ports);
+    platform.eager_threshold_bytes = static_cast<std::uint64_t>(eager);
+  }
+
+  dimemas::ReplayOptions options;
+  options.record_timeline =
+      timeline || profile || critpath || !prv_base.empty();
+  options.record_comms = !prv_base.empty();
+  if (collectives == "binomial-tree") {
+    options.collective_algo = dimemas::CollectiveAlgo::kBinomialTree;
+  } else if (collectives == "linear") {
+    options.collective_algo = dimemas::CollectiveAlgo::kLinear;
+  } else if (collectives == "recursive-doubling") {
+    options.collective_algo = dimemas::CollectiveAlgo::kRecursiveDoubling;
+  } else {
+    throw Error("unknown collective algorithm: " + collectives);
+  }
+  const dimemas::SimResult result = dimemas::replay(t, platform, options);
+
+  std::printf("platform: %s\n", platform.describe().c_str());
+  std::printf("makespan: %s\n", format_seconds(result.makespan).c_str());
+  std::printf("parallel efficiency: %.1f%%\n", result.efficiency() * 100.0);
+  std::printf("DES events processed: %llu\n",
+              static_cast<unsigned long long>(result.des_events));
+
+  if (per_rank) {
+    TextTable table({"rank", "compute", "send-blocked", "recv-blocked",
+                     "wait-blocked", "finish", "msgs sent", "bytes sent"});
+    for (std::size_t r = 0; r < result.rank_stats.size(); ++r) {
+      const auto& rs = result.rank_stats[r];
+      table.add_row({std::to_string(r), format_seconds(rs.compute_s),
+                     format_seconds(rs.send_blocked_s),
+                     format_seconds(rs.recv_blocked_s),
+                     format_seconds(rs.wait_blocked_s),
+                     format_seconds(rs.finish_time),
+                     std::to_string(rs.messages_sent),
+                     format_bytes(static_cast<double>(rs.bytes_sent))});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+
+  if (timeline) {
+    paraver::AsciiOptions ascii;
+    ascii.width = static_cast<int>(timeline_width);
+    std::printf("%s", paraver::render_ascii(result, ascii).c_str());
+  }
+  if (profile) {
+    std::printf("%s", paraver::render_profile(result).c_str());
+  }
+  if (critpath) {
+    std::printf("%s",
+                analysis::render(analysis::critical_path(result)).c_str());
+  }
+  if (!prv_base.empty()) {
+    paraver::write_prv_bundle(result, prv_base,
+                              t.app.empty() ? "app" : t.app);
+    std::printf("Paraver bundle written to %s.{prv,pcf,row}\n",
+                prv_base.c_str());
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}
