@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_mechanisms.cpp" "bench/CMakeFiles/ablation_mechanisms.dir/ablation_mechanisms.cpp.o" "gcc" "bench/CMakeFiles/ablation_mechanisms.dir/ablation_mechanisms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/osim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/osim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/paraver/CMakeFiles/osim_paraver.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlap/CMakeFiles/osim_overlap.dir/DependInfo.cmake"
+  "/root/repo/build/src/dimemas/CMakeFiles/osim_dimemas.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracer/CMakeFiles/osim_tracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/osim_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/osim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/osim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

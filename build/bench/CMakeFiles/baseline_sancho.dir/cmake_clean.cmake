@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_sancho.dir/baseline_sancho.cpp.o"
+  "CMakeFiles/baseline_sancho.dir/baseline_sancho.cpp.o.d"
+  "baseline_sancho"
+  "baseline_sancho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_sancho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

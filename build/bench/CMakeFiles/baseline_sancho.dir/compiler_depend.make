@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for baseline_sancho.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for baseline_sancho.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critpath_analysis.dir/critpath_analysis.cpp.o"
+  "CMakeFiles/critpath_analysis.dir/critpath_analysis.cpp.o.d"
+  "critpath_analysis"
+  "critpath_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critpath_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

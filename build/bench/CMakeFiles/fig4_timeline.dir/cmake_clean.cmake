@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_timeline.dir/fig4_timeline.cpp.o"
+  "CMakeFiles/fig4_timeline.dir/fig4_timeline.cpp.o.d"
+  "fig4_timeline"
+  "fig4_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

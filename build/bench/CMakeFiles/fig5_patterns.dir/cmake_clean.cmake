@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_patterns.dir/fig5_patterns.cpp.o"
+  "CMakeFiles/fig5_patterns.dir/fig5_patterns.cpp.o.d"
+  "fig5_patterns"
+  "fig5_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_relaxation.dir/fig6b_relaxation.cpp.o"
+  "CMakeFiles/fig6b_relaxation.dir/fig6b_relaxation.cpp.o.d"
+  "fig6b_relaxation"
+  "fig6b_relaxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_relaxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_equivalent.dir/fig6c_equivalent.cpp.o"
+  "CMakeFiles/fig6c_equivalent.dir/fig6c_equivalent.cpp.o.d"
+  "fig6c_equivalent"
+  "fig6c_equivalent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_equivalent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osim_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/osim_bench_util.dir/bench_util.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osim_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_ranks.dir/scaling_ranks.cpp.o"
+  "CMakeFiles/scaling_ranks.dir/scaling_ranks.cpp.o.d"
+  "scaling_ranks"
+  "scaling_ranks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_ranks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_buses.dir/table1_buses.cpp.o"
+  "CMakeFiles/table1_buses.dir/table1_buses.cpp.o.d"
+  "table1_buses"
+  "table1_buses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_buses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_straggler.dir/whatif_straggler.cpp.o"
+  "CMakeFiles/whatif_straggler.dir/whatif_straggler.cpp.o.d"
+  "whatif_straggler"
+  "whatif_straggler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_straggler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

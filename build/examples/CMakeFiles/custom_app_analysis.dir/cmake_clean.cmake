@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_app_analysis.dir/custom_app_analysis.cpp.o"
+  "CMakeFiles/custom_app_analysis.dir/custom_app_analysis.cpp.o.d"
+  "custom_app_analysis"
+  "custom_app_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_app_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_overlap_study.dir/halo_overlap_study.cpp.o"
+  "CMakeFiles/halo_overlap_study.dir/halo_overlap_study.cpp.o.d"
+  "halo_overlap_study"
+  "halo_overlap_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_overlap_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mechanism_illustration.dir/mechanism_illustration.cpp.o"
+  "CMakeFiles/mechanism_illustration.dir/mechanism_illustration.cpp.o.d"
+  "mechanism_illustration"
+  "mechanism_illustration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mechanism_illustration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_sweep.dir/network_sweep.cpp.o"
+  "CMakeFiles/network_sweep.dir/network_sweep.cpp.o.d"
+  "network_sweep"
+  "network_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bandwidth.cpp" "src/analysis/CMakeFiles/osim_analysis.dir/bandwidth.cpp.o" "gcc" "src/analysis/CMakeFiles/osim_analysis.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/analysis/calibrate.cpp" "src/analysis/CMakeFiles/osim_analysis.dir/calibrate.cpp.o" "gcc" "src/analysis/CMakeFiles/osim_analysis.dir/calibrate.cpp.o.d"
+  "/root/repo/src/analysis/critical_path.cpp" "src/analysis/CMakeFiles/osim_analysis.dir/critical_path.cpp.o" "gcc" "src/analysis/CMakeFiles/osim_analysis.dir/critical_path.cpp.o.d"
+  "/root/repo/src/analysis/patterns.cpp" "src/analysis/CMakeFiles/osim_analysis.dir/patterns.cpp.o" "gcc" "src/analysis/CMakeFiles/osim_analysis.dir/patterns.cpp.o.d"
+  "/root/repo/src/analysis/sancho.cpp" "src/analysis/CMakeFiles/osim_analysis.dir/sancho.cpp.o" "gcc" "src/analysis/CMakeFiles/osim_analysis.dir/sancho.cpp.o.d"
+  "/root/repo/src/analysis/speedup.cpp" "src/analysis/CMakeFiles/osim_analysis.dir/speedup.cpp.o" "gcc" "src/analysis/CMakeFiles/osim_analysis.dir/speedup.cpp.o.d"
+  "/root/repo/src/analysis/whatif.cpp" "src/analysis/CMakeFiles/osim_analysis.dir/whatif.cpp.o" "gcc" "src/analysis/CMakeFiles/osim_analysis.dir/whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlap/CMakeFiles/osim_overlap.dir/DependInfo.cmake"
+  "/root/repo/build/src/dimemas/CMakeFiles/osim_dimemas.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracer/CMakeFiles/osim_tracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/osim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/osim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/osim_mpisim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

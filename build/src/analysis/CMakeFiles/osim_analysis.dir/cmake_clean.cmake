@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osim_analysis.dir/bandwidth.cpp.o"
+  "CMakeFiles/osim_analysis.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/osim_analysis.dir/calibrate.cpp.o"
+  "CMakeFiles/osim_analysis.dir/calibrate.cpp.o.d"
+  "CMakeFiles/osim_analysis.dir/critical_path.cpp.o"
+  "CMakeFiles/osim_analysis.dir/critical_path.cpp.o.d"
+  "CMakeFiles/osim_analysis.dir/patterns.cpp.o"
+  "CMakeFiles/osim_analysis.dir/patterns.cpp.o.d"
+  "CMakeFiles/osim_analysis.dir/sancho.cpp.o"
+  "CMakeFiles/osim_analysis.dir/sancho.cpp.o.d"
+  "CMakeFiles/osim_analysis.dir/speedup.cpp.o"
+  "CMakeFiles/osim_analysis.dir/speedup.cpp.o.d"
+  "CMakeFiles/osim_analysis.dir/whatif.cpp.o"
+  "CMakeFiles/osim_analysis.dir/whatif.cpp.o.d"
+  "libosim_analysis.a"
+  "libosim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

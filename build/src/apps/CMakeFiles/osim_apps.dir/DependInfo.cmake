@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/alya.cpp" "src/apps/CMakeFiles/osim_apps.dir/alya.cpp.o" "gcc" "src/apps/CMakeFiles/osim_apps.dir/alya.cpp.o.d"
+  "/root/repo/src/apps/app.cpp" "src/apps/CMakeFiles/osim_apps.dir/app.cpp.o" "gcc" "src/apps/CMakeFiles/osim_apps.dir/app.cpp.o.d"
+  "/root/repo/src/apps/nas_bt.cpp" "src/apps/CMakeFiles/osim_apps.dir/nas_bt.cpp.o" "gcc" "src/apps/CMakeFiles/osim_apps.dir/nas_bt.cpp.o.d"
+  "/root/repo/src/apps/nas_cg.cpp" "src/apps/CMakeFiles/osim_apps.dir/nas_cg.cpp.o" "gcc" "src/apps/CMakeFiles/osim_apps.dir/nas_cg.cpp.o.d"
+  "/root/repo/src/apps/pop.cpp" "src/apps/CMakeFiles/osim_apps.dir/pop.cpp.o" "gcc" "src/apps/CMakeFiles/osim_apps.dir/pop.cpp.o.d"
+  "/root/repo/src/apps/specfem3d.cpp" "src/apps/CMakeFiles/osim_apps.dir/specfem3d.cpp.o" "gcc" "src/apps/CMakeFiles/osim_apps.dir/specfem3d.cpp.o.d"
+  "/root/repo/src/apps/sweep3d.cpp" "src/apps/CMakeFiles/osim_apps.dir/sweep3d.cpp.o" "gcc" "src/apps/CMakeFiles/osim_apps.dir/sweep3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tracer/CMakeFiles/osim_tracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/osim_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/osim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/osim_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osim_apps.dir/alya.cpp.o"
+  "CMakeFiles/osim_apps.dir/alya.cpp.o.d"
+  "CMakeFiles/osim_apps.dir/app.cpp.o"
+  "CMakeFiles/osim_apps.dir/app.cpp.o.d"
+  "CMakeFiles/osim_apps.dir/nas_bt.cpp.o"
+  "CMakeFiles/osim_apps.dir/nas_bt.cpp.o.d"
+  "CMakeFiles/osim_apps.dir/nas_cg.cpp.o"
+  "CMakeFiles/osim_apps.dir/nas_cg.cpp.o.d"
+  "CMakeFiles/osim_apps.dir/pop.cpp.o"
+  "CMakeFiles/osim_apps.dir/pop.cpp.o.d"
+  "CMakeFiles/osim_apps.dir/specfem3d.cpp.o"
+  "CMakeFiles/osim_apps.dir/specfem3d.cpp.o.d"
+  "CMakeFiles/osim_apps.dir/sweep3d.cpp.o"
+  "CMakeFiles/osim_apps.dir/sweep3d.cpp.o.d"
+  "libosim_apps.a"
+  "libosim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

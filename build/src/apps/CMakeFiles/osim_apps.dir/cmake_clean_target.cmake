@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libosim_apps.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osim_common.dir/csv.cpp.o"
+  "CMakeFiles/osim_common.dir/csv.cpp.o.d"
+  "CMakeFiles/osim_common.dir/flags.cpp.o"
+  "CMakeFiles/osim_common.dir/flags.cpp.o.d"
+  "CMakeFiles/osim_common.dir/log.cpp.o"
+  "CMakeFiles/osim_common.dir/log.cpp.o.d"
+  "CMakeFiles/osim_common.dir/stats.cpp.o"
+  "CMakeFiles/osim_common.dir/stats.cpp.o.d"
+  "CMakeFiles/osim_common.dir/strings.cpp.o"
+  "CMakeFiles/osim_common.dir/strings.cpp.o.d"
+  "CMakeFiles/osim_common.dir/table.cpp.o"
+  "CMakeFiles/osim_common.dir/table.cpp.o.d"
+  "libosim_common.a"
+  "libosim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dimemas/collectives.cpp" "src/dimemas/CMakeFiles/osim_dimemas.dir/collectives.cpp.o" "gcc" "src/dimemas/CMakeFiles/osim_dimemas.dir/collectives.cpp.o.d"
+  "/root/repo/src/dimemas/fairshare.cpp" "src/dimemas/CMakeFiles/osim_dimemas.dir/fairshare.cpp.o" "gcc" "src/dimemas/CMakeFiles/osim_dimemas.dir/fairshare.cpp.o.d"
+  "/root/repo/src/dimemas/network.cpp" "src/dimemas/CMakeFiles/osim_dimemas.dir/network.cpp.o" "gcc" "src/dimemas/CMakeFiles/osim_dimemas.dir/network.cpp.o.d"
+  "/root/repo/src/dimemas/platform.cpp" "src/dimemas/CMakeFiles/osim_dimemas.dir/platform.cpp.o" "gcc" "src/dimemas/CMakeFiles/osim_dimemas.dir/platform.cpp.o.d"
+  "/root/repo/src/dimemas/platform_io.cpp" "src/dimemas/CMakeFiles/osim_dimemas.dir/platform_io.cpp.o" "gcc" "src/dimemas/CMakeFiles/osim_dimemas.dir/platform_io.cpp.o.d"
+  "/root/repo/src/dimemas/replay.cpp" "src/dimemas/CMakeFiles/osim_dimemas.dir/replay.cpp.o" "gcc" "src/dimemas/CMakeFiles/osim_dimemas.dir/replay.cpp.o.d"
+  "/root/repo/src/dimemas/result.cpp" "src/dimemas/CMakeFiles/osim_dimemas.dir/result.cpp.o" "gcc" "src/dimemas/CMakeFiles/osim_dimemas.dir/result.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/osim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/osim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osim_dimemas.dir/collectives.cpp.o"
+  "CMakeFiles/osim_dimemas.dir/collectives.cpp.o.d"
+  "CMakeFiles/osim_dimemas.dir/fairshare.cpp.o"
+  "CMakeFiles/osim_dimemas.dir/fairshare.cpp.o.d"
+  "CMakeFiles/osim_dimemas.dir/network.cpp.o"
+  "CMakeFiles/osim_dimemas.dir/network.cpp.o.d"
+  "CMakeFiles/osim_dimemas.dir/platform.cpp.o"
+  "CMakeFiles/osim_dimemas.dir/platform.cpp.o.d"
+  "CMakeFiles/osim_dimemas.dir/platform_io.cpp.o"
+  "CMakeFiles/osim_dimemas.dir/platform_io.cpp.o.d"
+  "CMakeFiles/osim_dimemas.dir/replay.cpp.o"
+  "CMakeFiles/osim_dimemas.dir/replay.cpp.o.d"
+  "CMakeFiles/osim_dimemas.dir/result.cpp.o"
+  "CMakeFiles/osim_dimemas.dir/result.cpp.o.d"
+  "libosim_dimemas.a"
+  "libosim_dimemas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osim_dimemas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

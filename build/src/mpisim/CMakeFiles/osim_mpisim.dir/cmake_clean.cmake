@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osim_mpisim.dir/comm.cpp.o"
+  "CMakeFiles/osim_mpisim.dir/comm.cpp.o.d"
+  "CMakeFiles/osim_mpisim.dir/context.cpp.o"
+  "CMakeFiles/osim_mpisim.dir/context.cpp.o.d"
+  "libosim_mpisim.a"
+  "libosim_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osim_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlap/chunks.cpp" "src/overlap/CMakeFiles/osim_overlap.dir/chunks.cpp.o" "gcc" "src/overlap/CMakeFiles/osim_overlap.dir/chunks.cpp.o.d"
+  "/root/repo/src/overlap/pairing.cpp" "src/overlap/CMakeFiles/osim_overlap.dir/pairing.cpp.o" "gcc" "src/overlap/CMakeFiles/osim_overlap.dir/pairing.cpp.o.d"
+  "/root/repo/src/overlap/transform.cpp" "src/overlap/CMakeFiles/osim_overlap.dir/transform.cpp.o" "gcc" "src/overlap/CMakeFiles/osim_overlap.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/osim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/osim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

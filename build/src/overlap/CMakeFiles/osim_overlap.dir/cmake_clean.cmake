@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osim_overlap.dir/chunks.cpp.o"
+  "CMakeFiles/osim_overlap.dir/chunks.cpp.o.d"
+  "CMakeFiles/osim_overlap.dir/pairing.cpp.o"
+  "CMakeFiles/osim_overlap.dir/pairing.cpp.o.d"
+  "CMakeFiles/osim_overlap.dir/transform.cpp.o"
+  "CMakeFiles/osim_overlap.dir/transform.cpp.o.d"
+  "libosim_overlap.a"
+  "libosim_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osim_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

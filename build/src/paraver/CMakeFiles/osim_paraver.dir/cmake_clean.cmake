@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osim_paraver.dir/paraver.cpp.o"
+  "CMakeFiles/osim_paraver.dir/paraver.cpp.o.d"
+  "libosim_paraver.a"
+  "libosim_paraver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osim_paraver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

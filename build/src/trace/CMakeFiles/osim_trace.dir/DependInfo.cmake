@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/annotated.cpp" "src/trace/CMakeFiles/osim_trace.dir/annotated.cpp.o" "gcc" "src/trace/CMakeFiles/osim_trace.dir/annotated.cpp.o.d"
+  "/root/repo/src/trace/annotated_io.cpp" "src/trace/CMakeFiles/osim_trace.dir/annotated_io.cpp.o" "gcc" "src/trace/CMakeFiles/osim_trace.dir/annotated_io.cpp.o.d"
+  "/root/repo/src/trace/binary_io.cpp" "src/trace/CMakeFiles/osim_trace.dir/binary_io.cpp.o" "gcc" "src/trace/CMakeFiles/osim_trace.dir/binary_io.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "src/trace/CMakeFiles/osim_trace.dir/io.cpp.o" "gcc" "src/trace/CMakeFiles/osim_trace.dir/io.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/trace/CMakeFiles/osim_trace.dir/record.cpp.o" "gcc" "src/trace/CMakeFiles/osim_trace.dir/record.cpp.o.d"
+  "/root/repo/src/trace/summary.cpp" "src/trace/CMakeFiles/osim_trace.dir/summary.cpp.o" "gcc" "src/trace/CMakeFiles/osim_trace.dir/summary.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/osim_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/osim_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/osim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

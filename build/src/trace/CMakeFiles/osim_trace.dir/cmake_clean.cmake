@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osim_trace.dir/annotated.cpp.o"
+  "CMakeFiles/osim_trace.dir/annotated.cpp.o.d"
+  "CMakeFiles/osim_trace.dir/annotated_io.cpp.o"
+  "CMakeFiles/osim_trace.dir/annotated_io.cpp.o.d"
+  "CMakeFiles/osim_trace.dir/binary_io.cpp.o"
+  "CMakeFiles/osim_trace.dir/binary_io.cpp.o.d"
+  "CMakeFiles/osim_trace.dir/io.cpp.o"
+  "CMakeFiles/osim_trace.dir/io.cpp.o.d"
+  "CMakeFiles/osim_trace.dir/record.cpp.o"
+  "CMakeFiles/osim_trace.dir/record.cpp.o.d"
+  "CMakeFiles/osim_trace.dir/summary.cpp.o"
+  "CMakeFiles/osim_trace.dir/summary.cpp.o.d"
+  "CMakeFiles/osim_trace.dir/trace.cpp.o"
+  "CMakeFiles/osim_trace.dir/trace.cpp.o.d"
+  "libosim_trace.a"
+  "libosim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

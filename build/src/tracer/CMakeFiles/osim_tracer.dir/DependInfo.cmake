@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracer/context.cpp" "src/tracer/CMakeFiles/osim_tracer.dir/context.cpp.o" "gcc" "src/tracer/CMakeFiles/osim_tracer.dir/context.cpp.o.d"
+  "/root/repo/src/tracer/tracer.cpp" "src/tracer/CMakeFiles/osim_tracer.dir/tracer.cpp.o" "gcc" "src/tracer/CMakeFiles/osim_tracer.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/osim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/osim_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/osim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

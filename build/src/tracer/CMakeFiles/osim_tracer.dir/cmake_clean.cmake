@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osim_tracer.dir/context.cpp.o"
+  "CMakeFiles/osim_tracer.dir/context.cpp.o.d"
+  "CMakeFiles/osim_tracer.dir/tracer.cpp.o"
+  "CMakeFiles/osim_tracer.dir/tracer.cpp.o.d"
+  "libosim_tracer.a"
+  "libosim_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osim_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

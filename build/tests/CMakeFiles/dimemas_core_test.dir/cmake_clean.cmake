@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimemas_core_test.dir/dimemas_core_test.cpp.o"
+  "CMakeFiles/dimemas_core_test.dir/dimemas_core_test.cpp.o.d"
+  "dimemas_core_test"
+  "dimemas_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimemas_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_tools_test.dir/io_tools_test.cpp.o"
+  "CMakeFiles/io_tools_test.dir/io_tools_test.cpp.o.d"
+  "io_tools_test"
+  "io_tools_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_tools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraver_test.dir/paraver_test.cpp.o"
+  "CMakeFiles/paraver_test.dir/paraver_test.cpp.o.d"
+  "paraver_test"
+  "paraver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_osim_inspect.dir/osim_inspect.cpp.o"
+  "CMakeFiles/tool_osim_inspect.dir/osim_inspect.cpp.o.d"
+  "osim_inspect"
+  "osim_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_osim_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

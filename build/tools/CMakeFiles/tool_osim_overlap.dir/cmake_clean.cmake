@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_osim_overlap.dir/osim_overlap.cpp.o"
+  "CMakeFiles/tool_osim_overlap.dir/osim_overlap.cpp.o.d"
+  "osim_overlap"
+  "osim_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_osim_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

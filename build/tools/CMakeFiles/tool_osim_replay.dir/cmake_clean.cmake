@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_osim_replay.dir/osim_replay.cpp.o"
+  "CMakeFiles/tool_osim_replay.dir/osim_replay.cpp.o.d"
+  "osim_replay"
+  "osim_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_osim_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

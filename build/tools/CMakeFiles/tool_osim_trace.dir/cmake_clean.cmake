@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_osim_trace.dir/osim_trace.cpp.o"
+  "CMakeFiles/tool_osim_trace.dir/osim_trace.cpp.o.d"
+  "osim_trace"
+  "osim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_osim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
