@@ -1,0 +1,22 @@
+#!/bin/sh
+# Builds the whole project under AddressSanitizer + UndefinedBehaviorSanitizer
+# and runs the full test suite. A second argument of 'thread' selects
+# ThreadSanitizer instead.
+#
+#   scripts/check.sh [build-dir] [address|thread]
+set -e
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-asan}"
+MODE="${2:-address}"
+
+case "$MODE" in
+  address) SANITIZE="address;undefined" ;;
+  thread)  SANITIZE="thread" ;;
+  *) echo "usage: $0 [build-dir] [address|thread]" >&2; exit 2 ;;
+esac
+
+cmake -B "$BUILD" -S "$ROOT" -DOSIM_SANITIZE="$SANITIZE" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j "$(nproc)"
+ctest --test-dir "$BUILD" --output-on-failure
+echo "check OK ($SANITIZE)"

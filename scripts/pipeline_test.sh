@@ -1,6 +1,7 @@
 #!/bin/sh
 # End-to-end test of the file-based CLI pipeline:
-#   osim_trace -> trace files -> osim_inspect (validate) -> osim_replay
+#   osim_trace -> trace files -> osim_lint / osim_inspect (validate)
+#   -> osim_replay
 # Usage: pipeline_test.sh <build_dir>
 set -e
 BUILD="$1"
@@ -8,13 +9,38 @@ OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
 
 "$BUILD/tools/osim_trace" --app nas_cg --ranks 4 --iterations 2 \
-    --out "$OUT/cg" --quiet --annotated
+    --out "$OUT/cg" --quiet --annotated --lint
 "$BUILD/tools/osim_trace" --app pop --ranks 4 --iterations 2 \
     --out "$OUT/pop" --quiet --binary
 
 for f in "$OUT"/cg.*.trace "$OUT"/pop.*.btrace; do
   "$BUILD/tools/osim_inspect" --trace "$f" --validate-only
+  "$BUILD/tools/osim_lint" --trace "$f" --fail-on warning
 done
+
+# Semantic verification of the transformed traces against the original.
+"$BUILD/tools/osim_lint" --original "$OUT/cg.original.trace" \
+    --transformed "$OUT/cg.overlap_real.trace" --fail-on warning
+"$BUILD/tools/osim_lint" --original "$OUT/pop.original.btrace" \
+    --transformed "$OUT/pop.overlap_ideal.btrace" --fail-on warning
+
+# A semantically broken trace must be rejected with a matching diagnostic.
+cat > "$OUT/broken.trace" <<TRC
+#OSIM-TRACE v1
+meta app broken
+meta ranks 2
+meta mips 1000
+rank 0
+s 1 7 64
+rank 1
+c 100
+TRC
+if "$BUILD/tools/osim_lint" --trace "$OUT/broken.trace" \
+    > "$OUT/broken.txt" 2>&1; then
+  echo "osim_lint accepted a broken trace" >&2
+  exit 1
+fi
+grep -q "unmatched send" "$OUT/broken.txt"
 
 # Platform file round trip through the replay tool.
 cat > "$OUT/platform.cfg" <<CFG

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Runs clang-tidy (checks from .clang-tidy) over the library, tool, test and
+# example sources using the compile commands exported by CMake. Skips with a
+# notice when clang-tidy is not installed, so the script is safe to call
+# from CI images without LLVM.
+#
+#   scripts/tidy.sh [build-dir]
+set -e
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "tidy: clang-tidy not found on PATH; skipping" >&2
+  exit 0
+fi
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  echo "tidy: $BUILD/compile_commands.json missing; configure first:" >&2
+  echo "  cmake -B $BUILD -S $ROOT" >&2
+  exit 2
+fi
+
+FILES="$(find "$ROOT/src" "$ROOT/tools" "$ROOT/tests" "$ROOT/examples" \
+              -name '*.cpp' | sort)"
+# shellcheck disable=SC2086 — word splitting over the file list is intended.
+clang-tidy -p "$BUILD" --quiet $FILES
+echo "tidy OK"

@@ -1,0 +1,42 @@
+// The MPI point-to-point matching rule, factored out of the replayer so
+// other consumers (the trace linter's matching and deadlock passes) apply
+// exactly the discipline the simulator does instead of re-deriving it:
+// receives match announced sends in post order, sends match posted receives
+// in announce order, ANY_SOURCE / ANY_TAG wildcards are honoured, and a
+// receive may provide a larger buffer than the message (MPI truncation in
+// the other direction never matches).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/record.hpp"
+
+namespace osim::dimemas {
+
+/// The sender-side envelope of a point-to-point message.
+struct SendEnvelope {
+  trace::Rank src = 0;
+  trace::Rank dst = 0;
+  trace::Tag tag = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// The receiver-side envelope; `src` / `tag` may be wildcards.
+struct RecvEnvelope {
+  trace::Rank src = trace::kAnyRank;
+  trace::Rank dst = 0;
+  trace::Tag tag = trace::kAnyTag;
+  std::uint64_t bytes = 0;
+};
+
+/// True when `recv` accepts `send` under the replayer's matching rule.
+/// Both envelopes must target the same destination rank; the caller keeps
+/// per-destination queues, so `dst` is not re-checked here.
+inline bool envelope_matches(const RecvEnvelope& recv,
+                             const SendEnvelope& send) {
+  if (recv.src != trace::kAnyRank && recv.src != send.src) return false;
+  if (recv.tag != trace::kAnyTag && recv.tag != send.tag) return false;
+  return recv.bytes >= send.bytes;  // MPI allows a larger recv buffer
+}
+
+}  // namespace osim::dimemas

@@ -10,6 +10,7 @@
 #include "common/strings.hpp"
 #include "dimemas/collectives.hpp"
 #include "dimemas/events.hpp"
+#include "dimemas/matching.hpp"
 #include "dimemas/network.hpp"
 
 namespace osim::dimemas {
@@ -359,9 +360,9 @@ class Replayer {
   // --- matching ---------------------------------------------------------
 
   static bool matches(const PostedRecv& recv, const SendSide& send) {
-    if (recv.src != kAnyRank && recv.src != send.src) return false;
-    if (recv.tag != kAnyTag && recv.tag != send.tag) return false;
-    return recv.bytes >= send.bytes;  // MPI allows a larger recv buffer
+    return envelope_matches(
+        RecvEnvelope{recv.src, recv.dst, recv.tag, recv.bytes},
+        SendEnvelope{send.src, send.dst, send.tag, send.bytes});
   }
 
   void match_send(SendSide* send) {

@@ -1,0 +1,85 @@
+#include "lint/collectives.hpp"
+
+#include <cstddef>
+#include <variant>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace osim::lint {
+
+namespace {
+
+using trace::CollectiveKind;
+using trace::GlobalOp;
+using trace::Rank;
+using trace::Record;
+
+constexpr const char* kPass = "collectives";
+
+struct CollSite {
+  GlobalOp op;
+  std::size_t record = 0;
+};
+
+std::string op_desc(const GlobalOp& op) {
+  return strprintf("%s(root=%d, %llu bytes, seq=%lld)",
+                   trace::collective_name(op.kind), op.root,
+                   static_cast<unsigned long long>(op.bytes),
+                   static_cast<long long>(op.sequence));
+}
+
+}  // namespace
+
+void check_collectives(const trace::Trace& trace, Report& report) {
+  if (trace.ranks.empty()) return;
+  std::vector<std::vector<CollSite>> per_rank(trace.ranks.size());
+  for (Rank rank = 0; rank < trace.num_ranks; ++rank) {
+    const auto& stream = trace.ranks[static_cast<std::size_t>(rank)];
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      if (const auto* op = std::get_if<GlobalOp>(&stream[i])) {
+        if (op->root < 0 || op->root >= trace.num_ranks) {
+          report.error(kPass, rank, static_cast<std::ptrdiff_t>(i),
+                       strprintf("collective root rank %d out of range "
+                                 "[0, %d)",
+                                 op->root, trace.num_ranks));
+        }
+        per_rank[static_cast<std::size_t>(rank)].push_back(CollSite{*op, i});
+      }
+    }
+  }
+
+  const auto& reference = per_rank[0];
+  for (Rank rank = 1; rank < trace.num_ranks; ++rank) {
+    const auto& ops = per_rank[static_cast<std::size_t>(rank)];
+    if (ops.size() != reference.size()) {
+      report.error(kPass, rank, kNoRecord,
+                   strprintf("rank issues %zu collective(s) but rank 0 "
+                             "issues %zu: the k-th collectives cannot pair",
+                             ops.size(), reference.size()));
+    }
+    const std::size_t common = std::min(ops.size(), reference.size());
+    for (std::size_t k = 0; k < common; ++k) {
+      const GlobalOp& a = reference[k].op;
+      const GlobalOp& b = ops[k].op;
+      if (a.kind != b.kind || a.root != b.root ||
+          a.sequence != b.sequence) {
+        report.error(
+            kPass, rank, static_cast<std::ptrdiff_t>(ops[k].record),
+            strprintf("collective #%zu disagrees with rank 0: rank %d "
+                      "issues %s but rank 0 issues %s (record %zu)",
+                      k, rank, op_desc(b).c_str(), op_desc(a).c_str(),
+                      reference[k].record));
+      } else if (a.bytes != b.bytes) {
+        report.warning(
+            kPass, rank, static_cast<std::ptrdiff_t>(ops[k].record),
+            strprintf("collective #%zu payload differs from rank 0: %llu "
+                      "vs %llu bytes",
+                      k, static_cast<unsigned long long>(b.bytes),
+                      static_cast<unsigned long long>(a.bytes)));
+      }
+    }
+  }
+}
+
+}  // namespace osim::lint

@@ -1,0 +1,20 @@
+// Lint pass 5: collective consistency.
+//
+// The replayer expands GlobalOps into point-to-point transfers by pairing
+// the k-th collective of every rank (dimemas/collectives.cpp); that is
+// only meaningful when all ranks issue the *same* collective sequence.
+// This pass checks, without replaying, that every rank's GlobalOp stream
+// agrees with rank 0's in length, kind, root and sequence number (errors),
+// and that per-rank payload sizes are compatible (warning — the expansion
+// uses each rank's own size, so a mismatch skews volumes rather than
+// breaking matching).
+#pragma once
+
+#include "lint/diagnostics.hpp"
+#include "trace/trace.hpp"
+
+namespace osim::lint {
+
+void check_collectives(const trace::Trace& trace, Report& report);
+
+}  // namespace osim::lint

@@ -1,0 +1,87 @@
+#include "lint/diagnostics.hpp"
+
+#include "common/expect.hpp"
+#include "common/strings.hpp"
+
+namespace osim::lint {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  OSIM_UNREACHABLE("bad severity");
+}
+
+void Report::error(std::string pass, trace::Rank rank, std::ptrdiff_t record,
+                   std::string message) {
+  diagnostics_.push_back(Diagnostic{Severity::kError, std::move(pass), rank,
+                                    record, std::move(message)});
+  ++num_errors_;
+}
+
+void Report::warning(std::string pass, trace::Rank rank,
+                     std::ptrdiff_t record, std::string message) {
+  diagnostics_.push_back(Diagnostic{Severity::kWarning, std::move(pass),
+                                    rank, record, std::move(message)});
+  ++num_warnings_;
+}
+
+bool Report::has_at_least(Severity severity) const {
+  if (severity == Severity::kWarning) return !diagnostics_.empty();
+  return num_errors_ > 0;
+}
+
+std::string Report::render_text() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += severity_name(d.severity);
+    out += strprintf(" [%s]", d.pass.c_str());
+    if (d.rank >= 0) out += strprintf(" rank %d", d.rank);
+    if (d.record != kNoRecord) {
+      out += strprintf(" record %td", d.record);
+    }
+    out += ": ";
+    out += d.message;
+    out += '\n';
+  }
+  out += strprintf("%zu error(s), %zu warning(s)\n", num_errors_,
+                   num_warnings_);
+  return out;
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Report::render_csv() const {
+  std::string out = "severity,pass,rank,record,message\n";
+  for (const Diagnostic& d : diagnostics_) {
+    out += severity_name(d.severity);
+    out += ',';
+    out += csv_escape(d.pass);
+    out += ',';
+    if (d.rank >= 0) out += strprintf("%d", d.rank);
+    out += ',';
+    if (d.record != kNoRecord) out += strprintf("%td", d.record);
+    out += ',';
+    out += csv_escape(d.message);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace osim::lint

@@ -1,0 +1,66 @@
+// Structured diagnostics for the trace semantic verifier.
+//
+// Every lint pass reports findings as Diagnostic values instead of throwing
+// on the first problem (the contract trace::validate() has): a single run
+// surfaces *all* defects, each anchored to the rank and record index that
+// caused it, so a broken transform or tracer bug can be located without
+// bisecting the trace by hand.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace osim::lint {
+
+enum class Severity : std::uint8_t {
+  kWarning,  // suspicious but replayable (e.g. differing collective sizes)
+  kError,    // the trace is semantically broken; replay garbage or deadlock
+};
+
+const char* severity_name(Severity severity);
+
+/// Record index value for diagnostics that are not tied to one record.
+inline constexpr std::ptrdiff_t kNoRecord = -1;
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string pass;          // "match", "requests", "deadlock", ...
+  trace::Rank rank = -1;     // -1: cross-rank / whole-trace finding
+  std::ptrdiff_t record = kNoRecord;  // index into the rank's record stream
+  std::string message;
+};
+
+/// Accumulates diagnostics across passes; render as text or CSV.
+class Report {
+ public:
+  void error(std::string pass, trace::Rank rank, std::ptrdiff_t record,
+             std::string message);
+  void warning(std::string pass, trace::Rank rank, std::ptrdiff_t record,
+               std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  std::size_t num_errors() const { return num_errors_; }
+  std::size_t num_warnings() const { return num_warnings_; }
+  bool clean() const { return diagnostics_.empty(); }
+
+  /// True when the report contains a diagnostic at or above `severity`.
+  bool has_at_least(Severity severity) const;
+
+  /// One line per diagnostic: "error [match] rank 2 record 14: ...",
+  /// followed by a summary line.
+  std::string render_text() const;
+
+  /// CSV with header "severity,pass,rank,record,message"; rank/record are
+  /// empty for whole-trace findings.
+  std::string render_csv() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t num_errors_ = 0;
+  std::size_t num_warnings_ = 0;
+};
+
+}  // namespace osim::lint

@@ -1,0 +1,27 @@
+#include "lint/lint.hpp"
+
+#include "lint/collectives.hpp"
+#include "lint/match.hpp"
+#include "lint/requests.hpp"
+#include "lint/transform_check.hpp"
+
+namespace osim::lint {
+
+Report lint_trace(const trace::Trace& trace, const LintOptions& options) {
+  Report report;
+  check_matching(trace, report);
+  check_requests(trace, report);
+  check_collectives(trace, report);
+  check_deadlock(trace, report, options.eager_threshold_bytes);
+  return report;
+}
+
+Report lint_transform(const trace::Trace& original,
+                      const trace::Trace& transformed,
+                      const LintOptions& /*options*/) {
+  Report report;
+  check_transform(original, transformed, report);
+  return report;
+}
+
+}  // namespace osim::lint

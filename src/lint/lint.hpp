@@ -1,0 +1,43 @@
+// osim_lint — the trace semantic verifier.
+//
+// A multi-pass static analyzer for replayable traces: it checks, without
+// replaying, that a trace is a semantically valid MPI program — matched
+// point-to-point traffic, well-formed immediate-request lifecycles, no
+// cross-rank deadlock, consistent collectives — and, given an original /
+// transformed pair, that the overlap transformation preserved the message
+// structure it claims to. All findings are structured diagnostics
+// (severity, pass, rank, record index, message); nothing throws on a bad
+// trace.
+//
+// Passes (each also callable individually — see the per-pass headers):
+//   1. match        — point-to-point matching (lint/match.hpp)
+//   2. requests     — request lifecycle (lint/requests.hpp)
+//   3. deadlock     — cross-rank wait-for cycles (lint/deadlock.hpp)
+//   4. transform    — overlap-transform safety (lint/transform_check.hpp)
+//   5. collectives  — collective consistency (lint/collectives.hpp)
+#pragma once
+
+#include <cstdint>
+
+#include "lint/deadlock.hpp"
+#include "lint/diagnostics.hpp"
+#include "trace/trace.hpp"
+
+namespace osim::lint {
+
+struct LintOptions {
+  /// Rendezvous cutoff for the deadlock pass; mirrors the default
+  /// dimemas::Platform eager threshold.
+  std::uint64_t eager_threshold_bytes = kDefaultEagerThresholdBytes;
+};
+
+/// Runs the single-trace passes (match, requests, collectives, deadlock).
+Report lint_trace(const trace::Trace& trace, const LintOptions& options = {});
+
+/// Runs the transform-safety pass on an original / transformed pair. The
+/// transformed trace should additionally be checked with lint_trace().
+Report lint_transform(const trace::Trace& original,
+                      const trace::Trace& transformed,
+                      const LintOptions& options = {});
+
+}  // namespace osim::lint

@@ -1,0 +1,24 @@
+// Lint pass 1: point-to-point matching.
+//
+// Mirrors the replayer's matching discipline (dimemas/matching.hpp) without
+// replaying: per (src, dst, tag) the k-th send pairs with the k-th receive
+// (MPI non-overtaking), a receive may offer a larger buffer but never a
+// smaller one, and destinations receiving through ANY_SOURCE / ANY_TAG
+// wildcards are checked for *feasibility* — there must exist a complete
+// send↔recv assignment under the replayer's matching rule (maximum
+// bipartite matching), otherwise some message can never be delivered no
+// matter how the execution interleaves.
+//
+// Reported defects: out-of-range / self endpoints, unmatched (orphaned)
+// sends and receives, size mismatches on paired messages, and infeasible
+// wildcard assignments.
+#pragma once
+
+#include "lint/diagnostics.hpp"
+#include "trace/trace.hpp"
+
+namespace osim::lint {
+
+void check_matching(const trace::Trace& trace, Report& report);
+
+}  // namespace osim::lint

@@ -1,0 +1,110 @@
+#include "lint/requests.hpp"
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <variant>
+
+#include "common/strings.hpp"
+
+namespace osim::lint {
+
+namespace {
+
+using trace::Rank;
+using trace::Record;
+using trace::Recv;
+using trace::ReqId;
+using trace::Send;
+using trace::Wait;
+
+constexpr const char* kPass = "requests";
+
+struct ReqState {
+  std::size_t issue_record = 0;
+  bool completed = false;
+  std::size_t wait_record = 0;  // valid when completed
+};
+
+void note_issue(std::map<ReqId, ReqState>& requests, Rank rank,
+                std::size_t record, ReqId request, const char* what,
+                Report& report) {
+  if (request == trace::kNoRequest) {
+    report.error(kPass, rank, static_cast<std::ptrdiff_t>(record),
+                 strprintf("immediate %s without a request id", what));
+    return;
+  }
+  const auto it = requests.find(request);
+  if (it != requests.end()) {
+    report.error(
+        kPass, rank, static_cast<std::ptrdiff_t>(record),
+        strprintf("request id %lld reused (previously issued at record %zu%s)",
+                  static_cast<long long>(request), it->second.issue_record,
+                  it->second.completed ? ", already completed" : ""));
+    // Track the newer issue so a later wait resolves against it.
+    it->second = ReqState{record, false, 0};
+    return;
+  }
+  requests.emplace(request, ReqState{record, false, 0});
+}
+
+}  // namespace
+
+void check_requests(const trace::Trace& trace, Report& report) {
+  for (Rank rank = 0; rank < trace.num_ranks; ++rank) {
+    const auto& stream = trace.ranks[static_cast<std::size_t>(rank)];
+    std::map<ReqId, ReqState> requests;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const Record& rec = stream[i];
+      if (const auto* send = std::get_if<Send>(&rec)) {
+        if (send->immediate) {
+          note_issue(requests, rank, i, send->request, "send", report);
+        }
+      } else if (const auto* recv = std::get_if<Recv>(&rec)) {
+        if (recv->immediate) {
+          note_issue(requests, rank, i, recv->request, "recv", report);
+        }
+      } else if (const auto* wait = std::get_if<Wait>(&rec)) {
+        if (wait->requests.empty()) {
+          report.error(kPass, rank, static_cast<std::ptrdiff_t>(i),
+                       "wait with an empty request list");
+          continue;
+        }
+        std::set<ReqId> seen_here;
+        for (const ReqId req : wait->requests) {
+          if (!seen_here.insert(req).second) {
+            report.error(kPass, rank, static_cast<std::ptrdiff_t>(i),
+                         strprintf("request %lld listed twice in one wait",
+                                   static_cast<long long>(req)));
+            continue;
+          }
+          const auto it = requests.find(req);
+          if (it == requests.end()) {
+            report.error(kPass, rank, static_cast<std::ptrdiff_t>(i),
+                         strprintf("wait on unknown request %lld",
+                                   static_cast<long long>(req)));
+          } else if (it->second.completed) {
+            report.error(
+                kPass, rank, static_cast<std::ptrdiff_t>(i),
+                strprintf("wait on request %lld already completed by the "
+                          "wait at record %zu",
+                          static_cast<long long>(req),
+                          it->second.wait_record));
+          } else {
+            it->second.completed = true;
+            it->second.wait_record = i;
+          }
+        }
+      }
+    }
+    for (const auto& [req, state] : requests) {
+      if (state.completed) continue;
+      report.error(
+          kPass, rank, static_cast<std::ptrdiff_t>(state.issue_record),
+          strprintf("request %lld is never waited: leaked at end of trace",
+                    static_cast<long long>(req)));
+    }
+  }
+}
+
+}  // namespace osim::lint

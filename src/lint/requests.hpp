@@ -1,0 +1,18 @@
+// Lint pass 2: immediate-request lifecycle.
+//
+// Every isend/irecv must carry a request id, every request must be waited
+// exactly once, waits may only name requests that are issued and still in
+// flight, and no request may be open when the rank's stream ends. These
+// are the invariants the replayer aborts on (OSIM_CHECK in do_wait /
+// complete_request); the pass reports all violations instead of dying on
+// the first.
+#pragma once
+
+#include "lint/diagnostics.hpp"
+#include "trace/trace.hpp"
+
+namespace osim::lint {
+
+void check_requests(const trace::Trace& trace, Report& report);
+
+}  // namespace osim::lint

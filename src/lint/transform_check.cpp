@@ -1,0 +1,264 @@
+#include "lint/transform_check.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <tuple>
+#include <variant>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "overlap/pairing.hpp"
+
+namespace osim::lint {
+
+namespace {
+
+using trace::Rank;
+using trace::Record;
+using trace::Recv;
+using trace::Send;
+using trace::Tag;
+
+constexpr const char* kPass = "transform";
+
+// (src, dst, application tag) — the unit of MPI ordering and of the
+// transform's pairing discipline.
+using TripleKey = std::tuple<Rank, Rank, Tag>;
+
+struct Message {
+  std::uint64_t bytes = 0;
+  std::size_t record = 0;
+};
+
+struct ChunkGroup {
+  std::int64_t pair_seq = 0;
+  std::uint64_t total_bytes = 0;
+  std::vector<int> indices;       // chunk indices in emission order
+  std::size_t first_record = 0;
+};
+
+struct TripleTraffic {
+  std::vector<Message> plain;          // unchunked messages, emission order
+  std::vector<ChunkGroup> groups;      // chunk groups, first-chunk order
+};
+
+const char* side_name(bool send_side) { return send_side ? "send" : "recv"; }
+
+/// Walks one side (sends of every rank, or recvs of every rank) and
+/// returns per-triple traffic. For the transformed trace chunk tags are
+/// decoded and grouped; duplicate derived tags are reported here.
+std::map<TripleKey, TripleTraffic> collect(const trace::Trace& trace,
+                                           bool send_side, bool decode_chunks,
+                                           Report& report) {
+  std::map<TripleKey, TripleTraffic> traffic;
+  for (Rank rank = 0; rank < trace.num_ranks; ++rank) {
+    const auto& stream = trace.ranks[static_cast<std::size_t>(rank)];
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      Rank src = -1, dst = -1;
+      Tag tag = 0;
+      std::uint64_t bytes = 0;
+      if (send_side) {
+        const auto* send = std::get_if<Send>(&stream[i]);
+        if (send == nullptr) continue;
+        src = rank;
+        dst = send->dest;
+        tag = send->tag;
+        bytes = send->bytes;
+      } else {
+        const auto* recv = std::get_if<Recv>(&stream[i]);
+        if (recv == nullptr) continue;
+        src = recv->src;
+        dst = rank;
+        tag = recv->tag;
+        bytes = recv->bytes;
+      }
+      const auto parts =
+          decode_chunks ? overlap::decode_chunk_tag(tag) : std::nullopt;
+      if (!parts.has_value()) {
+        traffic[{src, dst, tag}].plain.push_back(Message{bytes, i});
+        continue;
+      }
+      TripleTraffic& t = traffic[{src, dst, parts->tag}];
+      auto it = std::find_if(t.groups.begin(), t.groups.end(),
+                             [&](const ChunkGroup& g) {
+                               return g.pair_seq == parts->pair_seq;
+                             });
+      if (it == t.groups.end()) {
+        t.groups.push_back(ChunkGroup{parts->pair_seq, 0, {}, i});
+        it = std::prev(t.groups.end());
+      }
+      if (std::find(it->indices.begin(), it->indices.end(),
+                    parts->chunk_index) != it->indices.end()) {
+        report.error(
+            kPass, rank, static_cast<std::ptrdiff_t>(i),
+            strprintf("chunk-tag collision on the %s side: chunk %d of "
+                      "message pair_seq=%lld (src=%d dst=%d tag=%lld) is "
+                      "issued twice",
+                      side_name(send_side), parts->chunk_index,
+                      static_cast<long long>(parts->pair_seq), src, dst,
+                      static_cast<long long>(parts->tag)));
+        continue;
+      }
+      it->indices.push_back(parts->chunk_index);
+      it->total_bytes += bytes;
+    }
+  }
+  return traffic;
+}
+
+std::string triple_desc(const TripleKey& key) {
+  return strprintf("src=%d dst=%d tag=%lld", std::get<0>(key),
+                   std::get<1>(key),
+                   static_cast<long long>(std::get<2>(key)));
+}
+
+/// The rank a diagnostic for this triple/side is anchored to.
+Rank anchor_rank(const TripleKey& key, bool send_side) {
+  return send_side ? std::get<0>(key) : std::get<1>(key);
+}
+
+void check_side(const std::map<TripleKey, TripleTraffic>& original,
+                const std::map<TripleKey, TripleTraffic>& transformed,
+                bool send_side, Report& report) {
+  for (const auto& [key, t] : transformed) {
+    // Wildcard receives are never chunked; compare them verbatim below.
+    const auto orig_it = original.find(key);
+    const Rank rank = anchor_rank(key, send_side);
+
+    // Chunk groups: indices must be 0..n-1 without gaps.
+    for (const ChunkGroup& g : t.groups) {
+      std::vector<int> sorted = g.indices;
+      std::sort(sorted.begin(), sorted.end());
+      for (std::size_t k = 0; k < sorted.size(); ++k) {
+        if (sorted[k] != static_cast<int>(k)) {
+          report.error(
+              kPass, rank, static_cast<std::ptrdiff_t>(g.first_record),
+              strprintf("%s-side chunk group pair_seq=%lld of %s is missing "
+                        "chunk %zu (has %zu chunk(s), highest index %d)",
+                        side_name(send_side),
+                        static_cast<long long>(g.pair_seq),
+                        triple_desc(key).c_str(), k, g.indices.size(),
+                        sorted.back()));
+          break;
+        }
+      }
+    }
+
+    if (orig_it == original.end()) {
+      report.error(kPass, rank, kNoRecord,
+                   strprintf("%s-side traffic on %s exists only in the "
+                             "transformed trace (%zu message(s))",
+                             side_name(send_side), triple_desc(key).c_str(),
+                             t.plain.size() + t.groups.size()));
+      continue;
+    }
+    const TripleTraffic& o = orig_it->second;
+
+    // Message-count conservation.
+    const std::size_t transformed_count = t.plain.size() + t.groups.size();
+    if (transformed_count != o.plain.size()) {
+      report.error(
+          kPass, rank, kNoRecord,
+          strprintf("%s-side %s: transform changed the message count from "
+                    "%zu to %zu (%zu plain + %zu chunk group(s))",
+                    side_name(send_side), triple_desc(key).c_str(),
+                    o.plain.size(), transformed_count, t.plain.size(),
+                    t.groups.size()));
+      continue;
+    }
+
+    // Byte conservation and order. When every message of the triple was
+    // chunked, pair_seq k must reproduce the k-th original message exactly
+    // (the per-pair order guarantee); with a mix, fall back to multiset
+    // equality of per-message totals.
+    std::vector<ChunkGroup> groups = t.groups;
+    std::sort(groups.begin(), groups.end(),
+              [](const ChunkGroup& a, const ChunkGroup& b) {
+                return a.pair_seq < b.pair_seq;
+              });
+    if (t.plain.empty()) {
+      for (std::size_t k = 0; k < groups.size(); ++k) {
+        if (groups[k].pair_seq != static_cast<std::int64_t>(k)) {
+          report.error(
+              kPass, rank,
+              static_cast<std::ptrdiff_t>(groups[k].first_record),
+              strprintf("%s-side %s: chunk groups carry pair_seq %lld "
+                        "where %zu was expected — per-pair ordering is "
+                        "broken",
+                        side_name(send_side), triple_desc(key).c_str(),
+                        static_cast<long long>(groups[k].pair_seq), k));
+          break;
+        }
+        if (groups[k].total_bytes != o.plain[k].bytes) {
+          report.error(
+              kPass, rank,
+              static_cast<std::ptrdiff_t>(groups[k].first_record),
+              strprintf("%s-side %s: chunk group pair_seq=%lld sums to "
+                        "%llu bytes but the original message %zu carries "
+                        "%llu bytes",
+                        side_name(send_side), triple_desc(key).c_str(),
+                        static_cast<long long>(groups[k].pair_seq),
+                        static_cast<unsigned long long>(
+                            groups[k].total_bytes),
+                        k,
+                        static_cast<unsigned long long>(o.plain[k].bytes)));
+        }
+      }
+    } else {
+      std::vector<std::uint64_t> got, want;
+      for (const Message& msg : t.plain) got.push_back(msg.bytes);
+      for (const ChunkGroup& g : groups) got.push_back(g.total_bytes);
+      for (const Message& msg : o.plain) want.push_back(msg.bytes);
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      if (got != want) {
+        report.error(
+            kPass, rank, kNoRecord,
+            strprintf("%s-side %s: per-message byte totals changed by the "
+                      "transform (chunk sums do not reproduce the original "
+                      "message sizes)",
+                      side_name(send_side), triple_desc(key).c_str()));
+      }
+    }
+  }
+
+  // Traffic present only in the original trace.
+  for (const auto& [key, o] : original) {
+    if (transformed.find(key) == transformed.end()) {
+      report.error(kPass, anchor_rank(key, send_side), kNoRecord,
+                   strprintf("%s-side traffic on %s (%zu message(s)) "
+                             "disappeared in the transformed trace",
+                             side_name(send_side), triple_desc(key).c_str(),
+                             o.plain.size()));
+    }
+  }
+}
+
+}  // namespace
+
+void check_transform(const trace::Trace& original,
+                     const trace::Trace& transformed, Report& report) {
+  if (original.num_ranks != transformed.num_ranks) {
+    report.error(kPass, -1, kNoRecord,
+                 strprintf("rank count changed: original has %d, "
+                           "transformed has %d",
+                           original.num_ranks, transformed.num_ranks));
+    return;
+  }
+  if (original.mips != transformed.mips) {
+    report.warning(kPass, -1, kNoRecord,
+                   strprintf("MIPS rate changed: %.6g vs %.6g",
+                             original.mips, transformed.mips));
+  }
+
+  for (const bool send_side : {true, false}) {
+    const auto orig =
+        collect(original, send_side, /*decode_chunks=*/false, report);
+    const auto trans =
+        collect(transformed, send_side, /*decode_chunks=*/true, report);
+    check_side(orig, trans, send_side, report);
+  }
+}
+
+}  // namespace osim::lint

@@ -1,0 +1,29 @@
+// Lint pass 4: overlap-transform safety.
+//
+// Given the original trace and its overlap-transformed counterpart,
+// verifies the guarantees overlap/transform.cpp claims, decoding the
+// derived chunk tags (overlap::decode_chunk_tag) to reconstruct which
+// transformed sends/recvs implement which original message:
+//
+//   * chunk-tag uniqueness — within one (src, dst) pair no derived tag is
+//     issued twice (a collision would cross-match chunks of different
+//     messages at replay);
+//   * chunk completeness — every chunk group carries indices 0..n-1 with
+//     no gap or duplicate;
+//   * byte conservation — each chunk group's bytes sum to the size of the
+//     original message it replaces, per (src, dst, tag), on both the send
+//     and the receive side;
+//   * per-pair order — chunk groups cover the original messages of a
+//     (src, dst, tag) triple exactly once, in pair-sequence order when the
+//     whole triple is chunked.
+#pragma once
+
+#include "lint/diagnostics.hpp"
+#include "trace/trace.hpp"
+
+namespace osim::lint {
+
+void check_transform(const trace::Trace& original,
+                     const trace::Trace& transformed, Report& report);
+
+}  // namespace osim::lint

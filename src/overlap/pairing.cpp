@@ -22,6 +22,15 @@ trace::Tag chunk_tag(Tag tag, std::int64_t pair_seq, int chunk_index) {
          (static_cast<Tag>(pair_seq) << 8) | chunk_index;
 }
 
+std::optional<ChunkTagParts> decode_chunk_tag(Tag tag) {
+  if (tag < 0 || (tag & (Tag{1} << 62)) == 0) return std::nullopt;
+  ChunkTagParts parts;
+  parts.tag = (tag >> 32) & ((Tag{1} << 28) - 1);
+  parts.pair_seq = (tag >> 8) & ((std::int64_t{1} << 24) - 1);
+  parts.chunk_index = static_cast<int>(tag & 0xff);
+  return parts;
+}
+
 namespace {
 
 struct Side {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "overlap/options.hpp"
@@ -40,5 +41,15 @@ Pairing pair_messages(const trace::AnnotatedTrace& trace,
 /// message with original tag `tag`. Application tags must be < 2^28,
 /// pair_seq < 2^24, chunk_index < 2^8.
 trace::Tag chunk_tag(trace::Tag tag, std::int64_t pair_seq, int chunk_index);
+
+/// Inverse of chunk_tag. The original tag, per-pair ordinal and chunk index
+/// encoded in a derived chunk tag, or nullopt when `tag` is a plain
+/// application tag (chunk tags carry a marker bit application tags cannot).
+struct ChunkTagParts {
+  trace::Tag tag = 0;
+  std::int64_t pair_seq = 0;
+  int chunk_index = 0;
+};
+std::optional<ChunkTagParts> decode_chunk_tag(trace::Tag tag);
 
 }  // namespace osim::overlap

@@ -10,6 +10,7 @@
 
 #include "common/rng.hpp"
 #include "dimemas/replay.hpp"
+#include "lint/lint.hpp"
 #include "overlap/transform.hpp"
 #include "trace/annotated.hpp"
 #include "trace/io.hpp"
@@ -107,6 +108,24 @@ TEST_P(RandomTraces, ValidatesAndReplaysDeterministically) {
   const double first = dimemas::replay(t, p, options).makespan;
   EXPECT_GT(first, 0.0);
   EXPECT_DOUBLE_EQ(dimemas::replay(t, p, options).makespan, first);
+}
+
+TEST_P(RandomTraces, LintCleanTracesReplayWithoutError) {
+  // The semantic verifier's soundness contract on this corpus: a trace it
+  // reports clean (under the platform's own rendezvous cutoff) replays to
+  // completion without throwing.
+  const Trace t = random_trace(GetParam());
+  const dimemas::Platform p = random_platform(GetParam() * 17 + 3,
+                                              t.num_ranks);
+  lint::LintOptions options;
+  options.eager_threshold_bytes = p.eager_threshold_bytes;
+  const lint::Report report = lint::lint_trace(t, options);
+  ASSERT_TRUE(report.clean()) << report.render_text();
+  dimemas::ReplayOptions replay_options;
+  replay_options.max_sim_time_s = 3600.0;
+  double makespan = 0.0;
+  ASSERT_NO_THROW(makespan = dimemas::replay(t, p, replay_options).makespan);
+  EXPECT_GT(makespan, 0.0);
 }
 
 TEST_P(RandomTraces, SerializationRoundTripStable) {

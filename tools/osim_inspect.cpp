@@ -2,12 +2,18 @@
 // volumes, message-size distribution, per-rank structure; optionally
 // validate only.
 //
+// --validate-only runs both the structural validator (trace::validate)
+// and the semantic linter (lint::lint_trace), so a trace that would replay
+// into garbage — unmatched traffic, leaked requests, deadlock, mismatched
+// collectives — is rejected here with per-record diagnostics.
+//
 //   osim_inspect --trace /tmp/cg.original.trace
 //   osim_inspect --trace t.trace --validate-only
 #include <cstdio>
 
 #include "common/expect.hpp"
 #include "common/flags.hpp"
+#include "lint/lint.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/summary.hpp"
 
@@ -19,13 +25,18 @@ int main(int argc, char** argv) try {
   Flags flags("osim_inspect: summarize and validate a trace file");
   flags.add("trace", &trace_path, "trace file to inspect (required)");
   flags.add("validate-only", &validate_only,
-            "exit after structural validation");
+            "exit after structural validation and semantic lint");
   if (!flags.parse(argc, argv)) return 0;
   if (trace_path.empty()) throw Error("--trace is required");
 
   const trace::Trace t = trace::read_any_file(trace_path);
   trace::validate(t);
   if (validate_only) {
+    const lint::Report report = lint::lint_trace(t);
+    if (!report.clean()) {
+      std::printf("%s", report.render_text().c_str());
+      return report.num_errors() > 0 ? 1 : 0;
+    }
     std::printf("%s: valid\n", trace_path.c_str());
     return 0;
   }

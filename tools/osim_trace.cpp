@@ -14,6 +14,7 @@
 #include "apps/app.hpp"
 #include "common/flags.hpp"
 #include "common/strings.hpp"
+#include "lint/lint.hpp"
 #include "overlap/transform.hpp"
 #include "trace/annotated_io.hpp"
 #include "trace/binary_io.hpp"
@@ -31,6 +32,7 @@ int main(int argc, char** argv) try {
   bool quiet = false;
   bool binary = false;
   bool annotated = false;
+  bool do_lint = false;
 
   Flags flags(
       "osim_trace: run an application under the tracer and write the "
@@ -46,6 +48,9 @@ int main(int argc, char** argv) try {
   flags.add("binary", &binary, "write the compact binary format");
   flags.add("annotated", &annotated,
             "also write the annotated trace (<out>.ann) for osim_overlap");
+  flags.add("lint", &do_lint,
+            "run the semantic verifier on every emitted trace and check "
+            "the overlapped traces against the original");
   if (!flags.parse(argc, argv)) return 0;
 
   const apps::MiniApp* app = apps::find_app(app_name);
@@ -97,6 +102,33 @@ int main(int argc, char** argv) try {
     if (!quiet) {
       std::printf("%s", trace::render(trace::summarize(output.trace)).c_str());
     }
+  }
+  if (do_lint) {
+    std::size_t lint_errors = 0;
+    for (const Output& output : outputs) {
+      lint::Report report = lint::lint_trace(output.trace);
+      if (&output != &outputs[0]) {
+        const lint::Report pair =
+            lint::lint_transform(outputs[0].trace, output.trace);
+        for (const lint::Diagnostic& d : pair.diagnostics()) {
+          if (d.severity == lint::Severity::kError) {
+            report.error(d.pass, d.rank, d.record, d.message);
+          } else {
+            report.warning(d.pass, d.rank, d.record, d.message);
+          }
+        }
+      }
+      if (!report.clean()) {
+        std::printf("lint %s.%s:\n%s", out_prefix.c_str(), output.suffix,
+                    report.render_text().c_str());
+      }
+      lint_errors += report.num_errors();
+    }
+    if (lint_errors > 0) {
+      std::fprintf(stderr, "error: lint found %zu error(s)\n", lint_errors);
+      return 1;
+    }
+    std::fprintf(stderr, "[osim_trace] lint: all traces clean\n");
   }
   return 0;
 } catch (const std::exception& e) {
