@@ -1,6 +1,11 @@
 // Ablation: chunk-count sweep (the paper fixes 4 chunks per message, §IV).
 // More chunks = finer overlap granularity but more per-message transfers.
+//
+// Tracing is serial; the (app, chunk-count) cells then run concurrently on
+// the --jobs study. The non-overlapped replay is identical across chunk
+// counts, so the study's cache replays it once per application.
 #include <cstdio>
+#include <vector>
 
 #include "analysis/speedup.hpp"
 #include "bench_util.hpp"
@@ -17,6 +22,7 @@ int main(int argc, char** argv) try {
   }
 
   const int chunk_counts[] = {1, 2, 4, 8, 16};
+  const std::size_t num_chunk_counts = std::size(chunk_counts);
   std::vector<std::string> header{"app"};
   for (const int c : chunk_counts) {
     header.push_back(strprintf("%d chunk%s", c, c == 1 ? "" : "s"));
@@ -30,19 +36,40 @@ int main(int argc, char** argv) try {
   CsvWriter csv(setup.out_path("ablation_chunks.csv"),
                 {"app", "chunks", "speedup_real", "speedup_ideal"});
 
-  for (const apps::MiniApp* app : setup.selected_apps()) {
-    const tracer::TracedRun traced = bench::trace(setup, *app);
-    const dimemas::Platform platform = setup.platform_for(*app);
-    std::vector<std::string> row{app->name()};
-    std::vector<std::string> row_ideal{app->name()};
+  struct Cell {
+    const apps::MiniApp* app;
+    const trace::AnnotatedTrace* annotated;
+    int chunks;
+  };
+  const std::vector<const apps::MiniApp*> selected = setup.selected_apps();
+  std::vector<tracer::TracedRun> traced;
+  traced.reserve(selected.size());
+  std::vector<Cell> cells;
+  for (const apps::MiniApp* app : selected) {
+    traced.push_back(bench::trace(setup, *app));
     for (const int chunks : chunk_counts) {
-      overlap::OverlapOptions options = setup.overlap_options();
-      options.chunks = chunks;
-      const auto outcome =
-          analysis::evaluate_overlap(traced.annotated, platform, options);
+      cells.push_back({app, &traced.back().annotated, chunks});
+    }
+  }
+
+  pipeline::Study study(setup.study_options());
+  const std::vector<analysis::OverlapOutcome> outcomes =
+      study.map(cells, [&study, &setup](const Cell& c) {
+        overlap::OverlapOptions options = setup.overlap_options();
+        options.chunks = c.chunks;
+        return analysis::evaluate_overlap(study, *c.annotated,
+                                          setup.platform_for(*c.app), options);
+      });
+
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    std::vector<std::string> row{selected[i]->name()};
+    std::vector<std::string> row_ideal{selected[i]->name()};
+    for (std::size_t j = 0; j < num_chunk_counts; ++j) {
+      const analysis::OverlapOutcome& outcome =
+          outcomes[i * num_chunk_counts + j];
       row.push_back(cell(outcome.speedup_real(), 4));
       row_ideal.push_back(cell(outcome.speedup_ideal(), 4));
-      csv.add_row({app->name(), std::to_string(chunks),
+      csv.add_row({selected[i]->name(), std::to_string(chunk_counts[j]),
                    cell(outcome.speedup_real(), 6),
                    cell(outcome.speedup_ideal(), 6)});
     }

@@ -13,6 +13,8 @@ bool BenchSetup::parse(const std::string& description, int argc,
   flags.add("iterations", &iterations, "application iterations");
   flags.add("chunks", &chunks, "chunks per message (paper: 4)");
   flags.add("scale", &scale, "problem size multiplier");
+  flags.add("jobs", &jobs,
+            "parallel replay jobs (0 = one per hardware thread)");
   flags.add("apps", &apps, "comma list of apps, or 'all'");
   flags.add("out-dir", &out_dir, "directory for CSV outputs");
   flags.add("paper-buses", &use_paper_buses,
@@ -52,6 +54,12 @@ overlap::OverlapOptions BenchSetup::overlap_options() const {
   return options;
 }
 
+pipeline::StudyOptions BenchSetup::study_options() const {
+  pipeline::StudyOptions options;
+  options.jobs = static_cast<int>(jobs);
+  return options;
+}
+
 dimemas::Platform BenchSetup::platform_for(const apps::MiniApp& app) const {
   return dimemas::Platform::marenostrum(
       static_cast<std::int32_t>(app_config(app).ranks), app.paper_buses());
@@ -70,6 +78,31 @@ tracer::TracedRun trace(const BenchSetup& setup, const apps::MiniApp& app,
                app.name().c_str(), setup.app_config(app).ranks,
                static_cast<long long>(setup.iterations));
   return apps::trace_app(app, setup.app_config(app), options);
+}
+
+std::vector<tracer::TracedRun> trace_all(
+    const BenchSetup& setup,
+    const std::vector<const apps::MiniApp*>& selected,
+    pipeline::Study& study) {
+  return study.map(selected, [&setup](const apps::MiniApp* app) {
+    return trace(setup, *app);
+  });
+}
+
+AppScenarios scenarios(const BenchSetup& setup, const apps::MiniApp& app,
+                       const tracer::TracedRun& traced) {
+  const dimemas::Platform platform = setup.platform_for(app);
+  const overlap::OverlapOptions options = setup.overlap_options();
+  return AppScenarios{
+      pipeline::make_context(traced.annotated,
+                             pipeline::TraceVariant::kOriginal, options,
+                             platform),
+      pipeline::make_context(traced.annotated,
+                             pipeline::TraceVariant::kOverlapMeasured, options,
+                             platform),
+      pipeline::make_context(traced.annotated,
+                             pipeline::TraceVariant::kOverlapIdeal, options,
+                             platform)};
 }
 
 }  // namespace osim::bench

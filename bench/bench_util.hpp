@@ -1,6 +1,12 @@
 // Shared plumbing for the paper-reproduction bench binaries: flag handling,
-// per-application tracing with the paper's default setup, and output
+// per-application tracing with the paper's default setup, the standard
+// original/real/ideal replay contexts each figure needs, and output
 // locations for the CSV series each bench writes next to its table.
+//
+// Benches never call dimemas::replay directly (scripts/check.sh enforces
+// this): all replays go through a pipeline::Study built from
+// BenchSetup::study_options(), so --jobs parallelizes every sweep and
+// repeated probes hit the study's result cache.
 #pragma once
 
 #include <cstdio>
@@ -12,6 +18,9 @@
 #include "common/flags.hpp"
 #include "dimemas/platform.hpp"
 #include "overlap/options.hpp"
+#include "pipeline/context.hpp"
+#include "pipeline/scenario.hpp"
+#include "pipeline/study.hpp"
 #include "tracer/tracer.hpp"
 
 namespace osim::bench {
@@ -21,6 +30,7 @@ struct BenchSetup {
   std::int64_t iterations = 8;
   std::int64_t chunks = 4;       // paper §IV: four chunks per message
   std::int64_t scale = 1;
+  std::int64_t jobs = 1;         // parallel replay jobs (0 = hw threads)
   std::string apps = "all";      // comma list or "all"
   std::string out_dir = "bench_results";
   bool use_paper_buses = true;   // Table I values; false → calibrate
@@ -36,6 +46,9 @@ struct BenchSetup {
 
   overlap::OverlapOptions overlap_options() const;
 
+  /// Study sized by --jobs; replay results are cached across a bench run.
+  pipeline::StudyOptions study_options() const;
+
   /// Marenostrum-like platform with the app's Table I bus count.
   dimemas::Platform platform_for(const apps::MiniApp& app) const;
 
@@ -46,5 +59,26 @@ struct BenchSetup {
 /// Traces `app` under the setup (prints a progress line to stderr).
 tracer::TracedRun trace(const BenchSetup& setup, const apps::MiniApp& app,
                         bool record_access_log = false);
+
+/// Traces every app in `selected`, in parallel on the study's pool.
+/// Each trace is deterministic and shares no state with the others (the
+/// mini-app registry is immutable and mpisim keeps all simulation state per
+/// run), so the returned runs are identical to serial tracing.
+std::vector<tracer::TracedRun> trace_all(
+    const BenchSetup& setup,
+    const std::vector<const apps::MiniApp*>& selected,
+    pipeline::Study& study);
+
+/// The three replay contexts the paper derives from every traced run:
+/// non-overlapped, overlapped with the measured patterns, overlapped with
+/// ideal patterns — all on the app's Table I platform.
+struct AppScenarios {
+  pipeline::ReplayContext original;
+  pipeline::ReplayContext real;
+  pipeline::ReplayContext ideal;
+};
+
+AppScenarios scenarios(const BenchSetup& setup, const apps::MiniApp& app,
+                       const tracer::TracedRun& traced);
 
 }  // namespace osim::bench

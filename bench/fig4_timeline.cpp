@@ -9,11 +9,10 @@
 // and quantify the synchronization-line observation via the mean
 // send-to-completion lead time.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/strings.hpp"
-#include "dimemas/replay.hpp"
-#include "overlap/transform.hpp"
 #include "paraver/paraver.hpp"
 
 int main(int argc, char** argv) try {
@@ -28,16 +27,24 @@ int main(int argc, char** argv) try {
 
   const apps::MiniApp* app = apps::find_app("nas_cg");
   const tracer::TracedRun traced = bench::trace(setup, *app);
-  const trace::Trace original = overlap::lower_original(traced.annotated);
-  const trace::Trace overlapped =
-      overlap::transform(traced.annotated, setup.overlap_options());
-
   const dimemas::Platform platform = setup.platform_for(*app);
   dimemas::ReplayOptions options;
   options.record_timeline = true;
   options.record_comms = true;
-  const auto run_original = dimemas::replay(original, platform, options);
-  const auto run_overlapped = dimemas::replay(overlapped, platform, options);
+
+  const std::vector<pipeline::ReplayContext> contexts = {
+      pipeline::make_context(traced.annotated,
+                             pipeline::TraceVariant::kOriginal,
+                             setup.overlap_options(), platform, options),
+      pipeline::make_context(traced.annotated,
+                             pipeline::TraceVariant::kOverlapMeasured,
+                             setup.overlap_options(), platform, options)};
+  pipeline::Study study(setup.study_options());
+  const std::vector<dimemas::SimResult> runs = study.map(
+      contexts,
+      [&study](const pipeline::ReplayContext& c) { return study.run(c); });
+  const dimemas::SimResult& run_original = runs[0];
+  const dimemas::SimResult& run_overlapped = runs[1];
 
   paraver::AsciiOptions ascii;
   ascii.width = 100;

@@ -5,13 +5,18 @@
 // Paper: "the biggest benefit of overlap is that it allows to significantly
 // relax network bandwidth without consequently degrading the performance";
 // Sweep3D relaxes the most (down to 11.75 MB/s).
+//
+// Both phases run on the --jobs study: the per-app traces are independent
+// deterministic runs, and the bisection searches — two per application —
+// share cached probes such as the nominal-bandwidth endpoints.
 #include <cstdio>
+#include <optional>
+#include <vector>
 
 #include "analysis/bandwidth.hpp"
 #include "bench_util.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
-#include "overlap/transform.hpp"
 
 int main(int argc, char** argv) try {
   using namespace osim;
@@ -30,31 +35,36 @@ int main(int argc, char** argv) try {
                 {"app", "relaxed_real_MBps", "relaxed_ideal_MBps",
                  "nominal_MBps"});
 
-  for (const apps::MiniApp* app : setup.selected_apps()) {
-    const tracer::TracedRun traced = bench::trace(setup, *app);
-    const trace::Trace original = overlap::lower_original(traced.annotated);
+  struct Search {
+    pipeline::ReplayContext original;
+    pipeline::ReplayContext overlapped;
+  };
+  const std::vector<const apps::MiniApp*> selected = setup.selected_apps();
+  pipeline::Study study(setup.study_options());
+  const std::vector<tracer::TracedRun> traced =
+      bench::trace_all(setup, selected, study);
+  std::vector<Search> searches;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const bench::AppScenarios sc =
+        bench::scenarios(setup, *selected[i], traced[i]);
+    searches.push_back({sc.original, sc.real});
+    searches.push_back({sc.original, sc.ideal});
+  }
 
-    overlap::OverlapOptions real_options = setup.overlap_options();
-    real_options.pattern = overlap::PatternMode::kMeasured;
-    overlap::OverlapOptions ideal_options = setup.overlap_options();
-    ideal_options.pattern = overlap::PatternMode::kIdeal;
-    const trace::Trace real =
-        overlap::transform(traced.annotated, real_options);
-    const trace::Trace ideal =
-        overlap::transform(traced.annotated, ideal_options);
+  const std::vector<std::optional<double>> relaxed =
+      study.map(searches, [&study](const Search& s) {
+        return analysis::relaxed_bandwidth(study, s.original, s.overlapped);
+      });
 
-    const dimemas::Platform platform = setup.platform_for(*app);
-    const auto bw_real = analysis::relaxed_bandwidth(original, real, platform);
-    const auto bw_ideal =
-        analysis::relaxed_bandwidth(original, ideal, platform);
-
-    auto show = [](const std::optional<double>& bw) {
-      return bw ? cell(*bw, 4) : std::string("n/a");
-    };
-    table.add_row({app->name(), show(bw_real), show(bw_ideal),
-                   cell(platform.bandwidth_MBps, 4)});
-    csv.add_row({app->name(), show(bw_real), show(bw_ideal),
-                 cell(platform.bandwidth_MBps, 4)});
+  auto show = [](const std::optional<double>& bw) {
+    return bw ? cell(*bw, 4) : std::string("n/a");
+  };
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const double nominal = searches[2 * i].original.platform().bandwidth_MBps;
+    table.add_row({selected[i]->name(), show(relaxed[2 * i]),
+                   show(relaxed[2 * i + 1]), cell(nominal, 4)});
+    csv.add_row({selected[i]->name(), show(relaxed[2 * i]),
+                 show(relaxed[2 * i + 1]), cell(nominal, 4)});
   }
 
   std::printf("%s\n", table.render().c_str());

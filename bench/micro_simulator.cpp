@@ -7,8 +7,8 @@
 #include "dimemas/collectives.hpp"
 #include "dimemas/events.hpp"
 #include "dimemas/network.hpp"
-#include "dimemas/replay.hpp"
 #include "overlap/transform.hpp"
+#include "pipeline/scenario.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -97,17 +97,16 @@ trace::Trace ring_trace(std::int32_t ranks, int rounds) {
 }
 
 void BM_ReplayRing(benchmark::State& state) {
-  const trace::Trace t = ring_trace(static_cast<std::int32_t>(state.range(0)),
-                                    64);
+  trace::Trace t = ring_trace(static_cast<std::int32_t>(state.range(0)), 64);
   dimemas::Platform p;
   p.num_nodes = static_cast<std::int32_t>(state.range(0));
   p.bandwidth_MBps = 250.0;
   p.latency_us = 4.0;
-  dimemas::ReplayOptions options;
-  options.validate_input = false;
   std::size_t records = t.total_records();
+  // The context validates the trace once, outside the timed loop.
+  const pipeline::ReplayContext context(std::move(t), p);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(dimemas::replay(t, p, options).makespan);
+    benchmark::DoNotOptimize(pipeline::run_scenario(context).makespan);
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(records));

@@ -3,7 +3,12 @@
 // scale — implies the benefit should persist or grow as ranks increase).
 // Sweep3D's wavefront pipelining is the clearest case: the ideal-pattern
 // speedup grows with the process-grid diagonal.
+//
+// Tracing is serial (and is the expensive phase here: one trace per
+// (app, rank-count) cell); the replays then run concurrently on the
+// --jobs study.
 #include <cstdio>
+#include <vector>
 
 #include "analysis/speedup.hpp"
 #include "bench_util.hpp"
@@ -20,6 +25,7 @@ int main(int argc, char** argv) try {
   }
 
   const std::int32_t rank_counts[] = {4, 8, 16, 32, 64};
+  const std::size_t num_rank_counts = std::size(rank_counts);
   std::vector<std::string> header{"app", "pattern"};
   for (const std::int32_t r : rank_counts) {
     header.push_back(strprintf("%d ranks", r));
@@ -29,26 +35,48 @@ int main(int argc, char** argv) try {
   CsvWriter csv(setup.out_path("scaling_ranks.csv"),
                 {"app", "pattern", "ranks", "speedup"});
 
-  for (const apps::MiniApp* app : setup.selected_apps()) {
-    std::vector<std::string> row_real{app->name(), "real"};
-    std::vector<std::string> row_ideal{app->name(), "ideal"};
+  struct Cell {
+    tracer::TracedRun traced;
+    dimemas::Platform platform;
+    std::int32_t ranks = 0;
+  };
+  const std::vector<const apps::MiniApp*> selected = setup.selected_apps();
+  std::vector<Cell> cells;
+  for (const apps::MiniApp* app : selected) {
     for (const std::int32_t ranks : rank_counts) {
       apps::AppConfig config;
       config.ranks = ranks;
       while (!app->supports_ranks(config.ranks)) ++config.ranks;
       config.iterations = static_cast<std::int32_t>(setup.iterations);
       config.scale = static_cast<std::int32_t>(setup.scale);
-      const tracer::TracedRun traced = apps::trace_app(*app, config);
-      const dimemas::Platform platform =
-          dimemas::Platform::marenostrum(config.ranks, app->paper_buses());
-      const auto outcome = analysis::evaluate_overlap(
-          traced.annotated, platform, setup.overlap_options());
-      row_real.push_back(cell(outcome.speedup_real(), 4));
-      row_ideal.push_back(cell(outcome.speedup_ideal(), 4));
-      csv.add_row({app->name(), "real", std::to_string(config.ranks),
-                   cell(outcome.speedup_real(), 6)});
-      csv.add_row({app->name(), "ideal", std::to_string(config.ranks),
-                   cell(outcome.speedup_ideal(), 6)});
+      std::fprintf(stderr, "[bench] tracing %s (%d ranks)...\n",
+                   app->name().c_str(), config.ranks);
+      cells.push_back({apps::trace_app(*app, config),
+                       dimemas::Platform::marenostrum(config.ranks,
+                                                      app->paper_buses()),
+                       config.ranks});
+    }
+  }
+
+  pipeline::Study study(setup.study_options());
+  const std::vector<analysis::OverlapOutcome> outcomes =
+      study.map(cells, [&study, &setup](const Cell& c) {
+        return analysis::evaluate_overlap(study, c.traced.annotated,
+                                          c.platform, setup.overlap_options());
+      });
+
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    std::vector<std::string> row_real{selected[i]->name(), "real"};
+    std::vector<std::string> row_ideal{selected[i]->name(), "ideal"};
+    for (std::size_t j = 0; j < num_rank_counts; ++j) {
+      const std::size_t k = i * num_rank_counts + j;
+      row_real.push_back(cell(outcomes[k].speedup_real(), 4));
+      row_ideal.push_back(cell(outcomes[k].speedup_ideal(), 4));
+      csv.add_row({selected[i]->name(), "real", std::to_string(cells[k].ranks),
+                   cell(outcomes[k].speedup_real(), 6)});
+      csv.add_row({selected[i]->name(), "ideal",
+                   std::to_string(cells[k].ranks),
+                   cell(outcomes[k].speedup_ideal(), 6)});
     }
     table.add_row(row_real);
     table.add_row(row_ideal);

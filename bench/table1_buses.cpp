@@ -6,7 +6,11 @@
 // The absolute counts depend on the real machine's congestion profile; the
 // reproduction's check is that a finite, per-application bus count exists
 // that matches the reference closely (small relative error).
+//
+// Tracing is serial; the per-application calibration sweeps then run
+// concurrently on the --jobs study.
 #include <cstdio>
+#include <vector>
 
 #include "analysis/calibrate.hpp"
 #include "bench_util.hpp"
@@ -30,25 +34,36 @@ int main(int argc, char** argv) try {
                 {"app", "buses", "paper_buses", "t_reference_s",
                  "t_bus_model_s", "relative_error"});
 
-  for (const apps::MiniApp* app : setup.selected_apps()) {
+  struct Calibration {
+    pipeline::ReplayContext bus_context;
+    dimemas::Platform reference;
+  };
+  const std::vector<const apps::MiniApp*> selected = setup.selected_apps();
+  std::vector<Calibration> tasks;
+  for (const apps::MiniApp* app : selected) {
     const tracer::TracedRun traced = bench::trace(setup, *app);
-    const trace::Trace original = overlap::lower_original(traced.annotated);
     const std::int32_t ranks = setup.app_config(*app).ranks;
+    tasks.push_back(
+        {pipeline::ReplayContext(overlap::lower_original(traced.annotated),
+                                 dimemas::Platform::marenostrum(ranks, 1)),
+         dimemas::Platform::reference_machine(ranks)});
+  }
 
-    const dimemas::Platform reference =
-        dimemas::Platform::reference_machine(ranks);
-    dimemas::Platform bus_base = dimemas::Platform::marenostrum(ranks, 1);
+  pipeline::Study study(setup.study_options());
+  const std::vector<analysis::BusCalibration> calibrations =
+      study.map(tasks, [&study](const Calibration& c) {
+        return analysis::calibrate_buses(study, c.bus_context, c.reference);
+      });
 
-    const analysis::BusCalibration calibration =
-        analysis::calibrate_buses(original, bus_base, reference);
-
-    table.add_row({app->name(), std::to_string(calibration.buses),
-                   std::to_string(app->paper_buses()),
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const analysis::BusCalibration& calibration = calibrations[i];
+    table.add_row({selected[i]->name(), std::to_string(calibration.buses),
+                   std::to_string(selected[i]->paper_buses()),
                    format_seconds(calibration.reference_time),
                    format_seconds(calibration.simulated_time),
                    cell_percent(calibration.relative_error)});
-    csv.add_row({app->name(), std::to_string(calibration.buses),
-                 std::to_string(app->paper_buses()),
+    csv.add_row({selected[i]->name(), std::to_string(calibration.buses),
+                 std::to_string(selected[i]->paper_buses()),
                  cell(calibration.reference_time, 6),
                  cell(calibration.simulated_time, 6),
                  cell(calibration.relative_error, 4)});

@@ -17,6 +17,8 @@
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "overlap/transform.hpp"
+#include "pipeline/context.hpp"
+#include "pipeline/study.hpp"
 #include "tracer/tracer.hpp"
 
 namespace {
@@ -104,8 +106,9 @@ int main(int argc, char** argv) try {
   // 3. What would overlap buy on a Marenostrum-class network?
   const auto platform = osim::dimemas::Platform::marenostrum(
       static_cast<std::int32_t>(ranks), 12);
+  osim::pipeline::Study study;  // add {.jobs = N} to evaluate in parallel
   const auto outcome =
-      osim::analysis::evaluate_overlap(traced.annotated, platform);
+      osim::analysis::evaluate_overlap(study, traced.annotated, platform);
   std::printf("speedup with measured patterns: %.3f\n",
               outcome.speedup_real());
   std::printf("speedup with ideal patterns:    %.3f\n",
@@ -114,8 +117,9 @@ int main(int argc, char** argv) try {
   // 4. How much cheaper could the network be?
   const auto original = osim::overlap::lower_original(traced.annotated);
   const auto overlapped = osim::overlap::transform(traced.annotated, {});
-  const auto relaxed =
-      osim::analysis::relaxed_bandwidth(original, overlapped, platform);
+  const auto relaxed = osim::analysis::relaxed_bandwidth(
+      study, osim::pipeline::ReplayContext(original, platform),
+      osim::pipeline::ReplayContext(overlapped, platform));
   if (relaxed) {
     std::printf(
         "bandwidth relaxation: the overlapped run matches the original's "

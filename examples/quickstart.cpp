@@ -10,21 +10,27 @@
 //                headline speedups.
 //
 // Build & run:  ./build/examples/quickstart [--ranks N] [--iterations N]
+//                                           [--jobs N]
 #include <cstdio>
 
 #include "analysis/speedup.hpp"
 #include "apps/app.hpp"
 #include "common/flags.hpp"
-#include "dimemas/replay.hpp"
 #include "overlap/transform.hpp"
 #include "paraver/paraver.hpp"
+#include "pipeline/context.hpp"
+#include "pipeline/scenario.hpp"
+#include "pipeline/study.hpp"
 
 int main(int argc, char** argv) try {
   std::int64_t ranks = 4;
   std::int64_t iterations = 5;
+  std::int64_t jobs = 1;
   osim::Flags flags("overlapsim quickstart: trace, transform, replay NAS-CG");
   flags.add("ranks", &ranks, "MPI ranks to simulate");
   flags.add("iterations", &iterations, "CG iterations");
+  flags.add("jobs", &jobs,
+            "parallel replay jobs (0 = one per hardware thread)");
   if (!flags.parse(argc, argv)) return 0;
 
   const osim::apps::MiniApp* app = osim::apps::find_app("nas_cg");
@@ -45,15 +51,16 @@ int main(int argc, char** argv) try {
   const osim::trace::Trace overlapped =
       osim::overlap::transform(traced.annotated, options);
 
-  // 3. Replay both on the paper's test-bed platform.
+  // 3. Replay both on the paper's test-bed platform. The contexts validate
+  //    the traces once up front; run_scenario performs the Dimemas replay.
   const osim::dimemas::Platform platform =
       osim::dimemas::Platform::marenostrum(config.ranks, app->paper_buses());
   osim::dimemas::ReplayOptions replay_options;
   replay_options.record_timeline = true;
-  const auto run_original =
-      osim::dimemas::replay(original, platform, replay_options);
-  const auto run_overlapped =
-      osim::dimemas::replay(overlapped, platform, replay_options);
+  const auto run_original = osim::pipeline::run_scenario(
+      osim::pipeline::ReplayContext(original, platform, replay_options));
+  const auto run_overlapped = osim::pipeline::run_scenario(
+      osim::pipeline::ReplayContext(overlapped, platform, replay_options));
 
   // 4. Visualize and summarize.
   osim::paraver::AsciiOptions ascii;
@@ -63,8 +70,9 @@ int main(int argc, char** argv) try {
                                                run_overlapped, "overlapped",
                                                ascii)
                   .c_str());
+  osim::pipeline::Study study({.jobs = static_cast<int>(jobs)});
   const auto outcome = osim::analysis::evaluate_overlap(
-      traced.annotated, platform, options);
+      study, traced.annotated, platform, options);
   std::printf("speedup (measured patterns): %.3f\n", outcome.speedup_real());
   std::printf("speedup (ideal patterns):    %.3f\n", outcome.speedup_ideal());
   return 0;

@@ -1,7 +1,14 @@
 #!/bin/sh
-# Builds the whole project under AddressSanitizer + UndefinedBehaviorSanitizer
-# and runs the full test suite. A second argument of 'thread' selects
-# ThreadSanitizer instead.
+# Static checks plus a sanitizer build-and-test pass:
+#
+#   1. layering grep: nothing in bench/ or src/analysis/ may call
+#      dimemas::replay directly — every replay goes through the
+#      pipeline::ReplayContext / Study API;
+#   2. full build under AddressSanitizer + UndefinedBehaviorSanitizer (or
+#      ThreadSanitizer with a second argument of 'thread') and the full
+#      test suite;
+#   3. a dedicated ThreadSanitizer pass over pipeline_test, the one
+#      genuinely multithreaded consumer besides mpisim.
 #
 #   scripts/check.sh [build-dir] [address|thread]
 set -e
@@ -15,8 +22,35 @@ case "$MODE" in
   *) echo "usage: $0 [build-dir] [address|thread]" >&2; exit 2 ;;
 esac
 
+# Layering: benches and analysis must use the pipeline API, never the raw
+# replay entry point (see DESIGN.md "API conventions").
+if grep -rn --include='*.cpp' --include='*.hpp' -F 'dimemas::replay(' \
+     "$ROOT/bench" "$ROOT/src/analysis"; then
+  echo "error: direct dimemas::replay call in bench/ or src/analysis/;" \
+       "route it through pipeline::ReplayContext / Study" >&2
+  exit 1
+fi
+if grep -rn --include='*.cpp' --include='*.hpp' -F 'dimemas/replay.hpp' \
+     "$ROOT/bench" "$ROOT/src/analysis"; then
+  echo "error: dimemas/replay.hpp included from bench/ or src/analysis/" >&2
+  exit 1
+fi
+echo "layering OK (no direct dimemas::replay in bench/ or src/analysis/)"
+
 cmake -B "$BUILD" -S "$ROOT" -DOSIM_SANITIZE="$SANITIZE" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD" -j "$(nproc)"
-ctest --test-dir "$BUILD" --output-on-failure
-echo "check OK ($SANITIZE)"
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+# ThreadSanitizer over the thread-pool engine, regardless of MODE.
+if [ "$MODE" = thread ]; then
+  TSAN_BUILD="$BUILD"
+else
+  TSAN_BUILD="$ROOT/build-tsan"
+  cmake -B "$TSAN_BUILD" -S "$ROOT" -DOSIM_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$TSAN_BUILD" -j "$(nproc)" --target pipeline_test
+fi
+ctest --test-dir "$TSAN_BUILD" --output-on-failure -R '^pipeline_test$'
+
+echo "check OK ($SANITIZE + tsan:pipeline_test)"

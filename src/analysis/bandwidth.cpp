@@ -3,30 +3,24 @@
 #include <cmath>
 
 #include "common/expect.hpp"
-#include "dimemas/replay.hpp"
 
 namespace osim::analysis {
 
-double time_at_bandwidth(const trace::Trace& t,
-                         const dimemas::Platform& platform, double mbps) {
+double time_at_bandwidth(pipeline::Study& study,
+                         const pipeline::ReplayContext& context, double mbps) {
   OSIM_CHECK(mbps > 0.0);
-  dimemas::Platform p = platform;
-  p.bandwidth_MBps = mbps;
-  dimemas::ReplayOptions options;
-  options.validate_input = false;  // caller validates once; searches re-replay
-  return dimemas::replay(t, p, options).makespan;
+  return study.makespan(context.with_bandwidth(mbps));
 }
 
 std::optional<double> min_bandwidth_for(
-    const trace::Trace& t, const dimemas::Platform& platform,
+    pipeline::Study& study, const pipeline::ReplayContext& context,
     double target_time_s, const BandwidthSearchOptions& options) {
   OSIM_CHECK(options.low_MBps > 0.0 &&
              options.high_MBps > options.low_MBps);
-  trace::validate(t);
-  if (time_at_bandwidth(t, platform, options.high_MBps) > target_time_s) {
+  if (time_at_bandwidth(study, context, options.high_MBps) > target_time_s) {
     return std::nullopt;  // not achievable at any bandwidth within the cap
   }
-  if (time_at_bandwidth(t, platform, options.low_MBps) <= target_time_s) {
+  if (time_at_bandwidth(study, context, options.low_MBps) <= target_time_s) {
     return options.low_MBps;  // already fast enough at the lower bracket
   }
   // Bisect on a log scale: replay time is non-increasing in bandwidth.
@@ -34,7 +28,7 @@ std::optional<double> min_bandwidth_for(
   double hi = options.high_MBps;  // fast enough
   while (hi / lo > 1.0 + options.rel_tolerance) {
     const double mid = std::sqrt(lo * hi);
-    if (time_at_bandwidth(t, platform, mid) <= target_time_s) {
+    if (time_at_bandwidth(study, context, mid) <= target_time_s) {
       hi = mid;
     } else {
       lo = mid;
@@ -44,25 +38,62 @@ std::optional<double> min_bandwidth_for(
 }
 
 std::optional<double> relaxed_bandwidth(
-    const trace::Trace& original, const trace::Trace& overlapped,
-    const dimemas::Platform& platform,
+    pipeline::Study& study, const pipeline::ReplayContext& original,
+    const pipeline::ReplayContext& overlapped,
     const BandwidthSearchOptions& options) {
-  const double target =
-      time_at_bandwidth(original, platform, platform.bandwidth_MBps);
+  const double nominal = original.platform().bandwidth_MBps;
+  const double target = time_at_bandwidth(study, original, nominal);
   BandwidthSearchOptions search = options;
   // The overlapped run at nominal bandwidth is at least as fast as the
   // original, so the answer lies at or below the nominal bandwidth.
-  search.high_MBps = platform.bandwidth_MBps;
-  return min_bandwidth_for(overlapped, platform, target, search);
+  search.high_MBps = overlapped.platform().bandwidth_MBps;
+  return min_bandwidth_for(study, overlapped, target, search);
+}
+
+std::optional<double> equivalent_bandwidth(
+    pipeline::Study& study, const pipeline::ReplayContext& original,
+    const pipeline::ReplayContext& overlapped,
+    const BandwidthSearchOptions& options) {
+  const double nominal = overlapped.platform().bandwidth_MBps;
+  const double target = time_at_bandwidth(study, overlapped, nominal);
+  return min_bandwidth_for(study, original, target, options);
+}
+
+// --- deprecated shims ---------------------------------------------------
+
+double time_at_bandwidth(const trace::Trace& t,
+                         const dimemas::Platform& platform, double mbps) {
+  pipeline::Study study;
+  return time_at_bandwidth(study, pipeline::ReplayContext(t, platform), mbps);
+}
+
+std::optional<double> min_bandwidth_for(
+    const trace::Trace& t, const dimemas::Platform& platform,
+    double target_time_s, const BandwidthSearchOptions& options) {
+  pipeline::Study study;
+  return min_bandwidth_for(study, pipeline::ReplayContext(t, platform),
+                           target_time_s, options);
+}
+
+std::optional<double> relaxed_bandwidth(
+    const trace::Trace& original, const trace::Trace& overlapped,
+    const dimemas::Platform& platform,
+    const BandwidthSearchOptions& options) {
+  pipeline::Study study;
+  return relaxed_bandwidth(study, pipeline::ReplayContext(original, platform),
+                           pipeline::ReplayContext(overlapped, platform),
+                           options);
 }
 
 std::optional<double> equivalent_bandwidth(
     const trace::Trace& original, const trace::Trace& overlapped,
     const dimemas::Platform& platform,
     const BandwidthSearchOptions& options) {
-  const double target =
-      time_at_bandwidth(overlapped, platform, platform.bandwidth_MBps);
-  return min_bandwidth_for(original, platform, target, options);
+  pipeline::Study study;
+  return equivalent_bandwidth(study,
+                              pipeline::ReplayContext(original, platform),
+                              pipeline::ReplayContext(overlapped, platform),
+                              options);
 }
 
 }  // namespace osim::analysis

@@ -11,11 +11,18 @@
 // diverge: "for some applications the performance of the overlapped
 // execution cannot be achieved with non-overlapped execution on any
 // bandwidth" (Sweep3D).
+//
+// All searches take pipeline::ReplayContext (the trace is validated once,
+// at context construction) and probe through a pipeline::Study, so probes
+// shared between overlapping searches — e.g. the nominal-bandwidth
+// endpoints of the 6(b) and 6(c) bisections — replay exactly once.
 #pragma once
 
 #include <optional>
 
 #include "dimemas/platform.hpp"
+#include "pipeline/context.hpp"
+#include "pipeline/study.hpp"
 #include "trace/trace.hpp"
 
 namespace osim::analysis {
@@ -26,26 +33,54 @@ struct BandwidthSearchOptions {
   double rel_tolerance = 1e-3;  // bisection convergence on bandwidth
 };
 
-/// Replay time of `t` on `platform` with its bandwidth overridden.
+/// Replay time of `context` with its platform bandwidth overridden to
+/// `mbps`; cached in `study`.
+double time_at_bandwidth(pipeline::Study& study,
+                         const pipeline::ReplayContext& context, double mbps);
+
+/// Minimum bandwidth (MB/s) at which `context` finishes within
+/// `target_time_s` on its platform; nullopt if not achievable even at
+/// options.high_MBps. Replay time is non-increasing in bandwidth, so
+/// bisection applies.
+std::optional<double> min_bandwidth_for(
+    pipeline::Study& study, const pipeline::ReplayContext& context,
+    double target_time_s, const BandwidthSearchOptions& options = {});
+
+/// Figure 6(b): bandwidth the overlapped trace needs to match the original
+/// trace at the platform's nominal bandwidth. Both contexts are expected to
+/// share a platform (the usual setup); the search runs on `overlapped`'s.
+std::optional<double> relaxed_bandwidth(
+    pipeline::Study& study, const pipeline::ReplayContext& original,
+    const pipeline::ReplayContext& overlapped,
+    const BandwidthSearchOptions& options = {});
+
+/// Figure 6(c): bandwidth the original trace needs to match the overlapped
+/// trace at the platform's nominal bandwidth; nullopt = tends to infinity.
+std::optional<double> equivalent_bandwidth(
+    pipeline::Study& study, const pipeline::ReplayContext& original,
+    const pipeline::ReplayContext& overlapped,
+    const BandwidthSearchOptions& options = {});
+
+// --- deprecated raw trace/platform entry points -------------------------
+// One-release shims: each builds a throwaway context and serial study per
+// call, so repeated probes are not shared. Migrate to the overloads above.
+
+[[deprecated("use the ReplayContext/Study overload")]]
 double time_at_bandwidth(const trace::Trace& t,
                          const dimemas::Platform& platform, double mbps);
 
-/// Minimum bandwidth (MB/s) at which `t` finishes within `target_time_s` on
-/// `platform`; nullopt if not achievable even at options.high_MBps.
-/// Replay time is non-increasing in bandwidth, so bisection applies.
+[[deprecated("use the ReplayContext/Study overload")]]
 std::optional<double> min_bandwidth_for(
     const trace::Trace& t, const dimemas::Platform& platform,
     double target_time_s, const BandwidthSearchOptions& options = {});
 
-/// Figure 6(b): bandwidth the overlapped trace needs to match the original
-/// trace at the platform's nominal bandwidth.
+[[deprecated("use the ReplayContext/Study overload")]]
 std::optional<double> relaxed_bandwidth(
     const trace::Trace& original, const trace::Trace& overlapped,
     const dimemas::Platform& platform,
     const BandwidthSearchOptions& options = {});
 
-/// Figure 6(c): bandwidth the original trace needs to match the overlapped
-/// trace at the platform's nominal bandwidth; nullopt = tends to infinity.
+[[deprecated("use the ReplayContext/Study overload")]]
 std::optional<double> equivalent_bandwidth(
     const trace::Trace& original, const trace::Trace& overlapped,
     const dimemas::Platform& platform,

@@ -1,34 +1,31 @@
 #include "analysis/calibrate.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "common/expect.hpp"
-#include "dimemas/replay.hpp"
 
 namespace osim::analysis {
 
-BusCalibration calibrate_buses(const trace::Trace& t,
-                               const dimemas::Platform& bus_platform,
+BusCalibration calibrate_buses(pipeline::Study& study,
+                               const pipeline::ReplayContext& bus_context,
                                const dimemas::Platform& reference_platform,
                                const CalibrateOptions& options) {
   OSIM_CHECK(options.max_buses >= 1);
   OSIM_CHECK(reference_platform.model ==
              dimemas::NetworkModelKind::kFairShare);
-  trace::validate(t);
-  dimemas::ReplayOptions replay_options;
-  replay_options.validate_input = false;
 
   BusCalibration best;
   best.reference_time =
-      dimemas::replay(t, reference_platform, replay_options).makespan;
+      study.makespan(bus_context.with_platform(reference_platform));
   OSIM_CHECK(best.reference_time > 0.0);
 
   double best_error = std::numeric_limits<double>::infinity();
   for (std::int32_t buses = 1; buses <= options.max_buses; ++buses) {
-    dimemas::Platform p = bus_platform;
+    dimemas::Platform p = bus_context.platform();
     p.model = dimemas::NetworkModelKind::kBus;
     p.num_buses = buses;
-    const double sim = dimemas::replay(t, p, replay_options).makespan;
+    const double sim = study.makespan(bus_context.with_platform(p));
     const double error =
         std::fabs(sim - best.reference_time) / best.reference_time;
     if (error < best_error) {
@@ -42,6 +39,15 @@ BusCalibration calibrate_buses(const trace::Trace& t,
     if (sim <= best.reference_time) break;
   }
   return best;
+}
+
+BusCalibration calibrate_buses(const trace::Trace& t,
+                               const dimemas::Platform& bus_platform,
+                               const dimemas::Platform& reference_platform,
+                               const CalibrateOptions& options) {
+  pipeline::Study study;
+  return calibrate_buses(study, pipeline::ReplayContext(t, bus_platform),
+                         reference_platform, options);
 }
 
 }  // namespace osim::analysis

@@ -12,6 +12,8 @@
 #include <cstdint>
 
 #include "dimemas/platform.hpp"
+#include "pipeline/context.hpp"
+#include "pipeline/study.hpp"
 #include "trace/trace.hpp"
 
 namespace osim::analysis {
@@ -27,8 +29,18 @@ struct CalibrateOptions {
   std::int32_t max_buses = 64;
 };
 
-/// Sweeps buses in [1, max_buses]; replay time is non-increasing in the bus
-/// count, so the sweep stops at the first crossing and compares neighbours.
+/// Sweeps buses in [1, max_buses] of `bus_context`'s platform; replay time
+/// is non-increasing in the bus count, so the sweep stops at the first
+/// crossing and compares neighbours. `reference_platform` must use the
+/// fair-share model; all replays go through `study`'s cache.
+BusCalibration calibrate_buses(pipeline::Study& study,
+                               const pipeline::ReplayContext& bus_context,
+                               const dimemas::Platform& reference_platform,
+                               const CalibrateOptions& options = {});
+
+/// Deprecated one-release shim: builds a throwaway context and serial study
+/// per call. Migrate to the ReplayContext/Study overload.
+[[deprecated("use the ReplayContext/Study overload")]]
 BusCalibration calibrate_buses(const trace::Trace& t,
                                const dimemas::Platform& bus_platform,
                                const dimemas::Platform& reference_platform,

@@ -8,9 +8,10 @@
 
 namespace osim::analysis {
 
-SanchoEstimate sancho_estimate(const trace::Trace& original,
-                               const dimemas::Platform& platform) {
-  trace::validate(original);
+namespace {
+
+SanchoEstimate estimate_from(const trace::Trace& original,
+                             const dimemas::Platform& platform) {
   // The analytic model sees collectives as their point-to-point volume.
   const trace::Trace expanded =
       dimemas::has_collectives(original)
@@ -39,6 +40,19 @@ SanchoEstimate sancho_estimate(const trace::Trace& original,
   estimate.t_overlap_bound =
       std::max(estimate.t_compute_s, estimate.t_comm_s);
   return estimate;
+}
+
+}  // namespace
+
+SanchoEstimate sancho_estimate(const pipeline::ReplayContext& original) {
+  // The context validated the trace at construction.
+  return estimate_from(original.trace(), original.platform());
+}
+
+SanchoEstimate sancho_estimate(const trace::Trace& original,
+                               const dimemas::Platform& platform) {
+  trace::validate(original);
+  return estimate_from(original, platform);
 }
 
 }  // namespace osim::analysis

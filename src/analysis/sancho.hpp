@@ -22,6 +22,7 @@
 #pragma once
 
 #include "dimemas/platform.hpp"
+#include "pipeline/context.hpp"
 #include "trace/trace.hpp"
 
 namespace osim::analysis {
@@ -39,11 +40,16 @@ struct SanchoEstimate {
   }
 };
 
-/// Computes the model parameters from a (non-overlapped) trace: per-rank
+/// Computes the model parameters from a (non-overlapped) context: per-rank
 /// computation time from the instruction counts, per-rank communication
 /// time from the linear model (bytes/bandwidth + messages * latency) after
 /// collective expansion. No contention, no dependencies — exactly the
-/// level of detail of the analytic model.
+/// level of detail of the analytic model. Purely analytic: no replay, so
+/// no Study involved.
+SanchoEstimate sancho_estimate(const pipeline::ReplayContext& original);
+
+/// Deprecated one-release shim; migrate to the ReplayContext overload.
+[[deprecated("use the ReplayContext overload")]]
 SanchoEstimate sancho_estimate(const trace::Trace& original,
                                const dimemas::Platform& platform);
 

@@ -1,26 +1,40 @@
 #include "analysis/speedup.hpp"
 
-#include "overlap/transform.hpp"
+#include <vector>
+
+#include "pipeline/scenario.hpp"
 
 namespace osim::analysis {
+
+OverlapOutcome evaluate_overlap(pipeline::Study& study,
+                                const trace::AnnotatedTrace& annotated,
+                                const dimemas::Platform& platform,
+                                const overlap::OverlapOptions& options) {
+  const std::vector<pipeline::ReplayContext> contexts = {
+      pipeline::make_context(annotated, pipeline::TraceVariant::kOriginal,
+                             options, platform),
+      pipeline::make_context(annotated,
+                             pipeline::TraceVariant::kOverlapMeasured, options,
+                             platform),
+      pipeline::make_context(annotated, pipeline::TraceVariant::kOverlapIdeal,
+                             options, platform),
+  };
+  const std::vector<double> times = study.map(
+      contexts,
+      [&study](const pipeline::ReplayContext& c) { return study.makespan(c); });
+
+  OverlapOutcome outcome;
+  outcome.t_original = times[0];
+  outcome.t_overlapped_real = times[1];
+  outcome.t_overlapped_ideal = times[2];
+  return outcome;
+}
 
 OverlapOutcome evaluate_overlap(const trace::AnnotatedTrace& annotated,
                                 const dimemas::Platform& platform,
                                 const overlap::OverlapOptions& options) {
-  overlap::OverlapOptions real_options = options;
-  real_options.pattern = overlap::PatternMode::kMeasured;
-  overlap::OverlapOptions ideal_options = options;
-  ideal_options.pattern = overlap::PatternMode::kIdeal;
-
-  const trace::Trace original = overlap::lower_original(annotated);
-  const trace::Trace real = overlap::transform(annotated, real_options);
-  const trace::Trace ideal = overlap::transform(annotated, ideal_options);
-
-  OverlapOutcome outcome;
-  outcome.t_original = dimemas::replay(original, platform).makespan;
-  outcome.t_overlapped_real = dimemas::replay(real, platform).makespan;
-  outcome.t_overlapped_ideal = dimemas::replay(ideal, platform).makespan;
-  return outcome;
+  pipeline::Study study;
+  return evaluate_overlap(study, annotated, platform, options);
 }
 
 }  // namespace osim::analysis

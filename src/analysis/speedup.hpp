@@ -3,8 +3,8 @@
 #pragma once
 
 #include "dimemas/platform.hpp"
-#include "dimemas/replay.hpp"
 #include "overlap/options.hpp"
+#include "pipeline/study.hpp"
 #include "trace/annotated.hpp"
 
 namespace osim::analysis {
@@ -20,7 +20,16 @@ struct OverlapOutcome {
 
 /// Lowers the annotated trace three ways (original, overlapped with the
 /// measured patterns, overlapped with ideal patterns — exactly the three
-/// traces the paper's tracer emits per run) and replays each on `platform`.
+/// traces the paper's tracer emits per run) and replays each through
+/// `study` (in parallel when the study has jobs > 1).
+OverlapOutcome evaluate_overlap(pipeline::Study& study,
+                                const trace::AnnotatedTrace& annotated,
+                                const dimemas::Platform& platform,
+                                const overlap::OverlapOptions& options = {});
+
+/// Deprecated one-release shim: builds a throwaway serial study per call.
+/// Migrate to the Study overload.
+[[deprecated("use the Study overload")]]
 OverlapOutcome evaluate_overlap(const trace::AnnotatedTrace& annotated,
                                 const dimemas::Platform& platform,
                                 const overlap::OverlapOptions& options = {});

@@ -1,7 +1,8 @@
 #include "analysis/whatif.hpp"
 
+#include <vector>
+
 #include "common/expect.hpp"
-#include "dimemas/replay.hpp"
 
 namespace osim::analysis {
 
@@ -9,44 +10,56 @@ namespace {
 
 constexpr double kInfiniteBandwidthMBps = 1.0e9;  // 1 PB/s: effectively free
 
-double run(const trace::Trace& t, const dimemas::Platform& p) {
-  dimemas::ReplayOptions options;
-  options.validate_input = false;
-  return dimemas::replay(t, p, options).makespan;
-}
-
 }  // namespace
 
-WhatIfBreakdown whatif_network(const trace::Trace& trace,
-                               const dimemas::Platform& platform) {
-  trace::validate(trace);
-  WhatIfBreakdown breakdown;
-  breakdown.t_nominal = run(trace, platform);
+WhatIfBreakdown whatif_network(pipeline::Study& study,
+                               const pipeline::ReplayContext& context) {
+  const dimemas::Platform& platform = context.platform();
+  const std::int32_t num_ranks = context.trace().num_ranks;
 
   dimemas::Platform zero_latency = platform;
   zero_latency.latency_us = 0.0;
   zero_latency.per_message_overhead_us = 0.0;
-  breakdown.t_zero_latency = run(trace, zero_latency);
 
   dimemas::Platform infinite_bw = platform;
   infinite_bw.bandwidth_MBps = kInfiniteBandwidthMBps;
-  breakdown.t_infinite_bandwidth = run(trace, infinite_bw);
 
   dimemas::Platform no_contention = platform;
   no_contention.num_buses = 0;
-  no_contention.input_ports = trace.num_ranks;
-  no_contention.output_ports = trace.num_ranks;
+  no_contention.input_ports = num_ranks;
+  no_contention.output_ports = num_ranks;
   no_contention.fabric_capacity_links = 0.0;
-  breakdown.t_no_contention = run(trace, no_contention);
 
   dimemas::Platform ideal = no_contention;
   ideal.latency_us = 0.0;
   ideal.per_message_overhead_us = 0.0;
   ideal.bandwidth_MBps = kInfiniteBandwidthMBps;
-  breakdown.t_ideal_network = run(trace, ideal);
 
+  const std::vector<pipeline::ReplayContext> variants = {
+      context,
+      context.with_platform(zero_latency),
+      context.with_platform(infinite_bw),
+      context.with_platform(no_contention),
+      context.with_platform(ideal),
+  };
+  const std::vector<double> times = study.map(
+      variants,
+      [&study](const pipeline::ReplayContext& c) { return study.makespan(c); });
+
+  WhatIfBreakdown breakdown;
+  breakdown.t_nominal = times[0];
+  breakdown.t_zero_latency = times[1];
+  breakdown.t_infinite_bandwidth = times[2];
+  breakdown.t_no_contention = times[3];
+  breakdown.t_ideal_network = times[4];
   OSIM_CHECK(breakdown.t_nominal > 0.0);
   return breakdown;
+}
+
+WhatIfBreakdown whatif_network(const trace::Trace& trace,
+                               const dimemas::Platform& platform) {
+  pipeline::Study study;
+  return whatif_network(study, pipeline::ReplayContext(trace, platform));
 }
 
 }  // namespace osim::analysis

@@ -13,6 +13,8 @@
 #pragma once
 
 #include "dimemas/platform.hpp"
+#include "pipeline/context.hpp"
+#include "pipeline/study.hpp"
 #include "trace/trace.hpp"
 
 namespace osim::analysis {
@@ -40,8 +42,16 @@ struct WhatIfBreakdown {
   }
 };
 
-/// Runs the five replays. The ideal-network variant is a lower envelope of
-/// the others by construction (strictly fewer constraints).
+/// Runs the five replays through `study` (in parallel when the study has
+/// jobs > 1; the five variants are independent). The ideal-network variant
+/// is a lower envelope of the others by construction (strictly fewer
+/// constraints).
+WhatIfBreakdown whatif_network(pipeline::Study& study,
+                               const pipeline::ReplayContext& context);
+
+/// Deprecated one-release shim: builds a throwaway context and serial study
+/// per call. Migrate to the ReplayContext/Study overload.
+[[deprecated("use the ReplayContext/Study overload")]]
 WhatIfBreakdown whatif_network(const trace::Trace& trace,
                                const dimemas::Platform& platform);
 

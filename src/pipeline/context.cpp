@@ -1,0 +1,191 @@
+#include "pipeline/context.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "common/expect.hpp"
+#include "lint/lint.hpp"
+
+namespace osim::pipeline {
+
+namespace {
+
+// Two-lane FNV-1a with distinct offset bases; both lanes see the same byte
+// stream, so a collision requires both 64-bit hashes to collide at once.
+class Hasher {
+ public:
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      byte(static_cast<unsigned char>(v >> (8 * i)));
+    }
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void boolean(bool v) { byte(v ? 1 : 0); }
+  void str(const std::string& s) {
+    u64(s.size());
+    for (const char c : s) byte(static_cast<unsigned char>(c));
+  }
+
+  Fingerprint value() const { return {lo_, hi_}; }
+
+ private:
+  void byte(unsigned char b) {
+    lo_ = (lo_ ^ b) * kPrime;
+    hi_ = (hi_ ^ b) * kPrime2;
+  }
+
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  static constexpr std::uint64_t kPrime2 = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t lo_ = 0xcbf29ce484222325ULL;
+  std::uint64_t hi_ = 0x84222325cbf29ce4ULL;
+};
+
+void hash_record(Hasher& h, const trace::Record& record) {
+  h.u64(record.index());  // discriminate the alternatives
+  std::visit(
+      [&h](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, trace::CpuBurst>) {
+          h.u64(r.instructions);
+        } else if constexpr (std::is_same_v<T, trace::Send>) {
+          h.i64(r.dest);
+          h.i64(r.tag);
+          h.u64(r.bytes);
+          h.boolean(r.immediate);
+          h.i64(r.request);
+          h.boolean(r.synchronous);
+        } else if constexpr (std::is_same_v<T, trace::Recv>) {
+          h.i64(r.src);
+          h.i64(r.tag);
+          h.u64(r.bytes);
+          h.boolean(r.immediate);
+          h.i64(r.request);
+        } else if constexpr (std::is_same_v<T, trace::Wait>) {
+          h.u64(r.requests.size());
+          for (const trace::ReqId id : r.requests) h.i64(id);
+        } else if constexpr (std::is_same_v<T, trace::GlobalOp>) {
+          h.u64(static_cast<std::uint64_t>(r.kind));
+          h.i64(r.root);
+          h.u64(r.bytes);
+          h.i64(r.sequence);
+        }
+      },
+      record);
+}
+
+Fingerprint trace_fingerprint(const trace::Trace& t) {
+  Hasher h;
+  h.i64(t.num_ranks);
+  h.f64(t.mips);
+  h.str(t.app);
+  for (const auto& stream : t.ranks) {
+    h.u64(stream.size());
+    for (const trace::Record& record : stream) hash_record(h, record);
+  }
+  return h.value();
+}
+
+void hash_platform(Hasher& h, const dimemas::Platform& p) {
+  h.i64(p.num_nodes);
+  h.f64(p.relative_cpu_speed);
+  h.u64(p.per_node_cpu_speed.size());
+  for (const double s : p.per_node_cpu_speed) h.f64(s);
+  h.u64(static_cast<std::uint64_t>(p.model));
+  h.f64(p.bandwidth_MBps);
+  h.f64(p.latency_us);
+  h.f64(p.per_message_overhead_us);
+  h.i64(p.num_buses);
+  h.i64(p.input_ports);
+  h.i64(p.output_ports);
+  h.f64(p.fabric_capacity_links);
+  h.u64(p.eager_threshold_bytes);
+}
+
+void hash_options(Hasher& h, const dimemas::ReplayOptions& o) {
+  h.boolean(o.record_timeline);
+  h.boolean(o.record_comms);
+  h.boolean(o.auto_expand_collectives);
+  h.u64(static_cast<std::uint64_t>(o.collective_algo));
+  // validate_input is excluded: a sealed context always replays with it off.
+  h.f64(o.max_sim_time_s);
+}
+
+std::shared_ptr<const trace::Trace> validated(
+    std::shared_ptr<const trace::Trace> trace) {
+  OSIM_CHECK(trace != nullptr);
+  try {
+    trace::validate(*trace);
+  } catch (const Error& e) {
+    // Fail at construction with the full picture: the validator's first
+    // finding plus the lint verifier's structured, record-anchored report.
+    std::string message =
+        std::string("ReplayContext: trace failed validation: ") + e.what();
+    const lint::Report report = lint::lint_trace(*trace);
+    if (!report.clean()) {
+      message += "\n" + report.render_text();
+    }
+    throw Error(message);
+  }
+  return trace;
+}
+
+}  // namespace
+
+ReplayContext::ReplayContext(trace::Trace trace, dimemas::Platform platform,
+                             dimemas::ReplayOptions options)
+    : ReplayContext(std::make_shared<const trace::Trace>(std::move(trace)),
+                    std::move(platform), options) {}
+
+ReplayContext::ReplayContext(std::shared_ptr<const trace::Trace> trace,
+                             dimemas::Platform platform,
+                             dimemas::ReplayOptions options)
+    : trace_(validated(std::move(trace))),
+      platform_(std::move(platform)),
+      options_(options),
+      trace_fingerprint_(trace_fingerprint(*trace_)) {
+  seal();
+}
+
+ReplayContext::ReplayContext(std::shared_ptr<const trace::Trace> trace,
+                             Fingerprint trace_fingerprint,
+                             dimemas::Platform platform,
+                             dimemas::ReplayOptions options)
+    : trace_(std::move(trace)),
+      platform_(std::move(platform)),
+      options_(options),
+      trace_fingerprint_(trace_fingerprint) {
+  seal();
+}
+
+void ReplayContext::seal() {
+  options_.validate_input = false;  // validated once, at construction
+  Hasher h;
+  h.u64(trace_fingerprint_.lo);
+  h.u64(trace_fingerprint_.hi);
+  hash_platform(h, platform_);
+  hash_options(h, options_);
+  fingerprint_ = h.value();
+}
+
+ReplayContext ReplayContext::with_platform(dimemas::Platform platform) const {
+  return ReplayContext(trace_, trace_fingerprint_, std::move(platform),
+                       options_);
+}
+
+ReplayContext ReplayContext::with_options(dimemas::ReplayOptions options) const {
+  return ReplayContext(trace_, trace_fingerprint_, platform_, options);
+}
+
+ReplayContext ReplayContext::with_bandwidth(double mbps) const {
+  OSIM_CHECK(mbps > 0.0);
+  dimemas::Platform platform = platform_;
+  platform.bandwidth_MBps = mbps;
+  return with_platform(std::move(platform));
+}
+
+}  // namespace osim::pipeline

@@ -1,0 +1,82 @@
+// ReplayContext — the immutable unit of work of the pipeline layer.
+//
+// A context bundles everything one dimemas::replay call consumes: the trace,
+// the platform and the replay options. The trace is validated exactly once,
+// at construction (failing early, with lint diagnostics, instead of deep
+// inside a bandwidth bisection), and is shared by reference between derived
+// contexts, so sweeping a platform parameter across hundreds of scenarios
+// copies no records.
+//
+// Every context carries a 128-bit content fingerprint over its three
+// inputs. Because replay() is a pure, deterministic function of exactly
+// these inputs, the fingerprint is a sound cache key: two contexts with
+// equal fingerprints replay to bit-identical results (see pipeline::Study).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "dimemas/platform.hpp"
+#include "dimemas/replay.hpp"
+#include "trace/trace.hpp"
+
+namespace osim::pipeline {
+
+/// 128-bit content fingerprint of a (trace, platform, options) triple.
+/// Two independent 64-bit lanes make an accidental collision between the
+/// handful of scenarios a study touches astronomically unlikely.
+struct Fingerprint {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& f) const {
+    return static_cast<std::size_t>(f.lo ^ (f.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+class ReplayContext {
+ public:
+  /// Validates `trace` up front; throws osim::Error on a corrupt trace,
+  /// with the lint verifier's diagnostics appended so the failure names the
+  /// offending rank/record instead of surfacing mid-search. The stored
+  /// options always have validate_input = false: validation has happened.
+  ReplayContext(trace::Trace trace, dimemas::Platform platform,
+                dimemas::ReplayOptions options = {});
+  ReplayContext(std::shared_ptr<const trace::Trace> trace,
+                dimemas::Platform platform,
+                dimemas::ReplayOptions options = {});
+
+  const trace::Trace& trace() const { return *trace_; }
+  const std::shared_ptr<const trace::Trace>& trace_ptr() const {
+    return trace_;
+  }
+  const dimemas::Platform& platform() const { return platform_; }
+  const dimemas::ReplayOptions& options() const { return options_; }
+  const Fingerprint& fingerprint() const { return fingerprint_; }
+
+  /// Derived contexts share the validated trace (and its fingerprint), so
+  /// they cost one platform/options rehash — no records are copied or
+  /// re-validated.
+  ReplayContext with_platform(dimemas::Platform platform) const;
+  ReplayContext with_options(dimemas::ReplayOptions options) const;
+  ReplayContext with_bandwidth(double mbps) const;
+
+ private:
+  ReplayContext(std::shared_ptr<const trace::Trace> trace,
+                Fingerprint trace_fingerprint, dimemas::Platform platform,
+                dimemas::ReplayOptions options);
+
+  /// Forces validate_input off and recomputes the combined fingerprint.
+  void seal();
+
+  std::shared_ptr<const trace::Trace> trace_;
+  dimemas::Platform platform_;
+  dimemas::ReplayOptions options_;
+  Fingerprint trace_fingerprint_;  // over the trace content only
+  Fingerprint fingerprint_;        // trace + platform + options
+};
+
+}  // namespace osim::pipeline

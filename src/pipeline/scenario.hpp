@@ -1,0 +1,39 @@
+// Scenario lowering — the single app→trace→transform→replay entry point.
+//
+// Every bench and tool used to hand-roll the same glue: lower the annotated
+// trace (original, or overlap-transformed with measured/ideal patterns),
+// pick a platform, call dimemas::replay. make_context() owns the lowering
+// and run_scenario() owns the replay call; nothing above the pipeline layer
+// calls dimemas::replay directly (scripts/check.sh enforces this for bench/
+// and src/analysis/).
+#pragma once
+
+#include "overlap/options.hpp"
+#include "pipeline/context.hpp"
+#include "trace/annotated.hpp"
+
+namespace osim::pipeline {
+
+/// Which of the paper's three traces to lower from an annotated run.
+enum class TraceVariant {
+  kOriginal,         // the non-overlapped execution
+  kOverlapMeasured,  // overlapped, measured production/consumption patterns
+  kOverlapIdeal,     // overlapped, ideal (uniform) patterns
+};
+
+const char* trace_variant_name(TraceVariant variant);
+
+/// Lowers `annotated` per `variant` — forcing the matching PatternMode for
+/// the overlapped variants — and wraps the result with `platform` and
+/// `replay_options` into a validated ReplayContext.
+ReplayContext make_context(const trace::AnnotatedTrace& annotated,
+                           TraceVariant variant,
+                           const overlap::OverlapOptions& overlap_options,
+                           dimemas::Platform platform,
+                           dimemas::ReplayOptions replay_options = {});
+
+/// Replays the context's trace on its platform: the one place a simulation
+/// result comes from above the dimemas layer.
+dimemas::SimResult run_scenario(const ReplayContext& context);
+
+}  // namespace osim::pipeline

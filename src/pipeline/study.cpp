@@ -1,0 +1,104 @@
+#include "pipeline/study.hpp"
+
+#include "common/expect.hpp"
+#include "dimemas/replay.hpp"
+
+namespace osim::pipeline {
+
+namespace {
+
+int resolve_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+Study::Study(StudyOptions options)
+    : jobs_(resolve_jobs(options.jobs)), options_(options) {
+  // jobs_ - 1 workers: in map(), the calling thread is the remaining lane.
+  workers_.reserve(static_cast<std::size_t>(jobs_ > 1 ? jobs_ - 1 : 0));
+  for (int i = 1; i < jobs_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Study::~Study() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void Study::enqueue(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // serial study: run helpers inline
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+void Study::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+double Study::makespan(const ReplayContext& context) {
+  if (!options_.cache_replays) return run(context).makespan;
+  const Fingerprint key = context.fingerprint();
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  // Computed outside the lock; a concurrent miss on the same key computes
+  // the identical value (replay is pure), so the duplicate insert is
+  // harmless.
+  const double value = run(context).makespan;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_.emplace(key, value);
+  }
+  return value;
+}
+
+dimemas::SimResult Study::run(const ReplayContext& context) const {
+  return dimemas::replay(context.trace(), context.platform(),
+                         context.options());
+}
+
+std::size_t Study::cache_hits() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return hits_;
+}
+
+std::size_t Study::cache_misses() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return misses_;
+}
+
+std::size_t Study::cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.size();
+}
+
+}  // namespace osim::pipeline

@@ -1,0 +1,152 @@
+// Study — the parallel sweep engine.
+//
+// A Study owns a fixed-size thread pool and a replay-result cache keyed by
+// ReplayContext fingerprint. The paper's sweep experiments (bandwidth
+// bisections, bus calibrations, what-if breakdowns) are dozens to hundreds
+// of *independent* dimemas::replay calls; because replay() is a pure,
+// deterministic function of (trace, platform, options), evaluating those
+// calls on a pool is bit-identical to running them serially, and probes
+// that repeat — the shared endpoints of overlapping bisections — are served
+// from the cache instead of replayed.
+//
+// Concurrency model: Study::map fans a batch out on the pool while the
+// calling thread drains work items itself. Since the caller always
+// participates, a map() issued from inside a pool task (e.g. a what-if
+// breakdown running inside a per-app task) makes progress even when every
+// worker is busy — nested maps cannot deadlock. Exceptions thrown by a work
+// item are captured and rethrown on the calling thread, lowest index first.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "dimemas/result.hpp"
+#include "pipeline/context.hpp"
+
+namespace osim::pipeline {
+
+struct StudyOptions {
+  /// Worker threads evaluating scenarios. 1 = fully serial (no threads are
+  /// spawned); 0 = one per hardware thread.
+  int jobs = 1;
+  /// Serve repeated scenarios from the fingerprint-keyed makespan cache.
+  bool cache_replays = true;
+};
+
+class Study {
+ public:
+  explicit Study(StudyOptions options = {});
+  ~Study();
+  Study(const Study&) = delete;
+  Study& operator=(const Study&) = delete;
+
+  /// Replay makespan of `context`, served from the cache when this exact
+  /// (trace, platform, options) fingerprint has been evaluated before.
+  /// Thread-safe; callable from inside map() work items.
+  double makespan(const ReplayContext& context);
+
+  /// Full simulation result (timelines, comms, per-rank stats). Never
+  /// cached — results with recording enabled are large and typically
+  /// consumed once. Thread-safe.
+  dimemas::SimResult run(const ReplayContext& context) const;
+
+  /// Applies `fn` to every item, in parallel across the pool, and returns
+  /// the results in item order. `fn`'s result type must be
+  /// default-constructible. The first exception (by item index) is
+  /// rethrown after all items finish. Safe to call from inside a work item.
+  template <typename T, typename F>
+  auto map(const std::vector<T>& items, F fn)
+      -> std::vector<std::invoke_result_t<F&, const T&>>;
+
+  int jobs() const { return jobs_; }
+  std::size_t cache_hits() const;
+  std::size_t cache_misses() const;
+  std::size_t cache_size() const;
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  int jobs_ = 1;
+  StudyOptions options_;
+
+  mutable std::mutex cache_mutex_;
+  std::unordered_map<Fingerprint, double, FingerprintHash> cache_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+template <typename T, typename F>
+auto Study::map(const std::vector<T>& items, F fn)
+    -> std::vector<std::invoke_result_t<F&, const T&>> {
+  using R = std::invoke_result_t<F&, const T&>;
+  static_assert(!std::is_void_v<R>,
+                "Study::map work items must return a value");
+  // Shared between the caller and the pool helpers; kept alive by
+  // shared_ptr so a helper that wakes up after completion (claims no index)
+  // exits without touching freed state.
+  struct State {
+    const std::vector<T>* items = nullptr;
+    F* fn = nullptr;
+    std::size_t size = 0;
+    std::vector<R> results;
+    std::vector<std::exception_ptr> errors;
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t completed = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->items = &items;
+  state->fn = &fn;
+  state->size = items.size();
+  state->results.resize(items.size());
+  state->errors.resize(items.size());
+
+  auto drain = [state] {
+    while (true) {
+      const std::size_t i = state->next.fetch_add(1);
+      if (i >= state->size) break;
+      try {
+        state->results[i] = (*state->fn)((*state->items)[i]);
+      } catch (...) {
+        state->errors[i] = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (++state->completed == state->size) state->done_cv.notify_all();
+    }
+  };
+
+  for (std::size_t h = 1;
+       h < static_cast<std::size_t>(jobs_) && h < items.size(); ++h) {
+    enqueue(drain);
+  }
+  drain();  // the calling thread always participates
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done_cv.wait(lock,
+                        [&] { return state->completed == state->size; });
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (state->errors[i]) std::rethrow_exception(state->errors[i]);
+  }
+  return std::move(state->results);
+}
+
+}  // namespace osim::pipeline

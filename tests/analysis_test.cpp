@@ -11,6 +11,8 @@
 #include "analysis/whatif.hpp"
 #include "common/expect.hpp"
 #include "overlap/transform.hpp"
+#include "pipeline/context.hpp"
+#include "pipeline/study.hpp"
 
 namespace osim::analysis {
 namespace {
@@ -196,63 +198,86 @@ AnnotatedTrace overlap_friendly() {
 }
 
 TEST(Speedup, OverlapHelpsFriendlyPattern) {
+  pipeline::Study study;
   const OverlapOutcome outcome =
-      evaluate_overlap(overlap_friendly(), small_platform(2));
+      evaluate_overlap(study, overlap_friendly(), small_platform(2));
   EXPECT_GT(outcome.speedup_real(), 1.1);
   EXPECT_GT(outcome.speedup_ideal(), 1.1);
   EXPECT_GT(outcome.t_original, outcome.t_overlapped_real);
 }
 
 TEST(Bandwidth, TimeAtBandwidthMonotone) {
-  const trace::Trace original = overlap::lower_original(overlap_friendly());
-  const dimemas::Platform p = small_platform(2);
-  const double slow = time_at_bandwidth(original, p, 10.0);
-  const double mid = time_at_bandwidth(original, p, 100.0);
-  const double fast = time_at_bandwidth(original, p, 1000.0);
+  pipeline::Study study;
+  const pipeline::ReplayContext original(
+      overlap::lower_original(overlap_friendly()), small_platform(2));
+  const double slow = time_at_bandwidth(study, original, 10.0);
+  const double mid = time_at_bandwidth(study, original, 100.0);
+  const double fast = time_at_bandwidth(study, original, 1000.0);
   EXPECT_GT(slow, mid);
   EXPECT_GE(mid, fast);
 }
 
 TEST(Bandwidth, MinBandwidthBisection) {
-  const trace::Trace original = overlap::lower_original(overlap_friendly());
-  const dimemas::Platform p = small_platform(2);
-  const double target = time_at_bandwidth(original, p, 50.0);
-  const auto bw = min_bandwidth_for(original, p, target);
+  pipeline::Study study;
+  const pipeline::ReplayContext original(
+      overlap::lower_original(overlap_friendly()), small_platform(2));
+  const double target = time_at_bandwidth(study, original, 50.0);
+  const auto bw = min_bandwidth_for(study, original, target);
   ASSERT_TRUE(bw.has_value());
   // The found bandwidth must achieve the target, and ~half of it must not.
-  EXPECT_LE(time_at_bandwidth(original, p, *bw), target * (1 + 1e-9));
-  EXPECT_GT(time_at_bandwidth(original, p, *bw * 0.5), target);
+  EXPECT_LE(time_at_bandwidth(study, original, *bw), target * (1 + 1e-9));
+  EXPECT_GT(time_at_bandwidth(study, original, *bw * 0.5), target);
   EXPECT_NEAR(*bw, 50.0, 2.0);
 }
 
 TEST(Bandwidth, UnreachableTargetReturnsNullopt) {
-  const trace::Trace original = overlap::lower_original(overlap_friendly());
-  const dimemas::Platform p = small_platform(2);
+  pipeline::Study study;
+  const pipeline::ReplayContext original(
+      overlap::lower_original(overlap_friendly()), small_platform(2));
   // Faster than pure compute: impossible at any bandwidth.
-  EXPECT_FALSE(min_bandwidth_for(original, p, 1e-9).has_value());
+  EXPECT_FALSE(min_bandwidth_for(study, original, 1e-9).has_value());
 }
 
 TEST(Bandwidth, RelaxedBandwidthBelowNominal) {
   const AnnotatedTrace t = overlap_friendly();
-  const trace::Trace original = overlap::lower_original(t);
-  const trace::Trace overlapped = overlap::transform(t, {});
-  const auto bw = relaxed_bandwidth(original, overlapped, small_platform(2));
+  pipeline::Study study;
+  const pipeline::ReplayContext original(overlap::lower_original(t),
+                                         small_platform(2));
+  const pipeline::ReplayContext overlapped(overlap::transform(t, {}),
+                                           small_platform(2));
+  const auto bw = relaxed_bandwidth(study, original, overlapped);
   ASSERT_TRUE(bw.has_value());
   EXPECT_LT(*bw, 100.0);  // overlap lets the network slow down
 }
 
 TEST(Bandwidth, EquivalentBandwidthAboveNominal) {
   const AnnotatedTrace t = overlap_friendly();
-  const trace::Trace original = overlap::lower_original(t);
-  const trace::Trace overlapped = overlap::transform(t, {});
-  const auto bw =
-      equivalent_bandwidth(original, overlapped, small_platform(2));
+  pipeline::Study study;
+  const pipeline::ReplayContext original(overlap::lower_original(t),
+                                         small_platform(2));
+  const pipeline::ReplayContext overlapped(overlap::transform(t, {}),
+                                           small_platform(2));
+  const auto bw = equivalent_bandwidth(study, original, overlapped);
   // Either finite and above nominal, or unreachable (both demonstrate the
   // paper's point); with this trace the original can never fully catch up
   // because the overlapped run hides transfer behind production.
   if (bw.has_value()) {
     EXPECT_GT(*bw, 100.0);
   }
+}
+
+TEST(Bandwidth, DeprecatedShimMatchesContextOverload) {
+  // The raw trace/platform entry points stay for one release; they must
+  // produce the same answers as the context-based API they delegate to.
+  const trace::Trace original = overlap::lower_original(overlap_friendly());
+  const dimemas::Platform p = small_platform(2);
+  pipeline::Study study;
+  const pipeline::ReplayContext context(original, p);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_DOUBLE_EQ(time_at_bandwidth(original, p, 25.0),
+                   time_at_bandwidth(study, context, 25.0));
+#pragma GCC diagnostic pop
 }
 
 TEST(Calibrate, FindsMatchingBusCount) {
@@ -264,12 +289,14 @@ TEST(Calibrate, FindsMatchingBusCount) {
     b.compute(r, 10'000);
     b.global(r, trace::CollectiveKind::kAlltoall, 0, 100'000, 1);
   }
-  const trace::Trace t = std::move(b).build();
-  dimemas::Platform bus = small_platform(8);
   dimemas::Platform reference = small_platform(8);
   reference.model = dimemas::NetworkModelKind::kFairShare;
   reference.fabric_capacity_links = 3.0;
-  const BusCalibration calibration = calibrate_buses(t, bus, reference);
+  pipeline::Study study;
+  const pipeline::ReplayContext bus_context(std::move(b).build(),
+                                            small_platform(8));
+  const BusCalibration calibration =
+      calibrate_buses(study, bus_context, reference);
   EXPECT_GE(calibration.buses, 1);
   EXPECT_LE(calibration.buses, 8);
   EXPECT_LT(calibration.relative_error, 0.35);
@@ -279,10 +306,11 @@ TEST(Calibrate, FindsMatchingBusCount) {
 TEST(Calibrate, RequiresFairShareReference) {
   trace::TraceBuilder b(2, 1000.0);
   b.compute(0, 1);
-  const trace::Trace t = std::move(b).build();
-  EXPECT_DEATH(
-      calibrate_buses(t, small_platform(2), small_platform(2)),
-      "kFairShare");
+  pipeline::Study study;
+  const pipeline::ReplayContext bus_context(std::move(b).build(),
+                                            small_platform(2));
+  EXPECT_DEATH(calibrate_buses(study, bus_context, small_platform(2)),
+               "kFairShare");
 }
 
 // --- per-buffer pattern report -------------------------------------------------
@@ -340,8 +368,8 @@ TEST(Sancho, AnalyticModelOnKnownTrace) {
   trace::TraceBuilder b(2, 1000.0);
   b.compute(0, 1'000'000).send(0, 1, 0, 1'000'000);
   b.recv(1, 0, 0, 1'000'000);
-  const SanchoEstimate est =
-      sancho_estimate(std::move(b).build(), small_platform(2));
+  const SanchoEstimate est = sancho_estimate(
+      pipeline::ReplayContext(std::move(b).build(), small_platform(2)));
   EXPECT_NEAR(est.t_compute_s, 1e-3, 1e-12);
   EXPECT_NEAR(est.t_comm_s, 0.01 + 10e-6, 1e-9);
   EXPECT_NEAR(est.t_original_est, est.t_compute_s + est.t_comm_s, 1e-12);
@@ -355,8 +383,8 @@ TEST(Sancho, BalancedPhasesGiveBoundOfTwo) {
   trace::TraceBuilder b(2, 1000.0);
   b.compute(0, 1'000'000).send(0, 1, 0, 99'000);  // 0.99ms + 10us = 1 ms
   b.recv(1, 0, 0, 99'000);
-  const SanchoEstimate est =
-      sancho_estimate(std::move(b).build(), small_platform(2));
+  const SanchoEstimate est = sancho_estimate(
+      pipeline::ReplayContext(std::move(b).build(), small_platform(2)));
   EXPECT_NEAR(est.speedup_bound(), 2.0, 0.01);
 }
 
@@ -366,8 +394,8 @@ TEST(Sancho, CountsCollectiveVolume) {
     b.compute(r, 1000).global(r, trace::CollectiveKind::kAlltoall, 0,
                               10'000, 0);
   }
-  const SanchoEstimate est =
-      sancho_estimate(std::move(b).build(), small_platform(4));
+  const SanchoEstimate est = sancho_estimate(
+      pipeline::ReplayContext(std::move(b).build(), small_platform(4)));
   // Each rank sends 3 blocks of 10 KB in the expansion.
   EXPECT_GT(est.t_comm_s, 3 * 10'000 / 100e6);
 }
@@ -375,16 +403,19 @@ TEST(Sancho, CountsCollectiveVolume) {
 TEST(Sancho, ComputeOnlyBoundIsOne) {
   trace::TraceBuilder b(1, 1000.0);
   b.compute(0, 1'000'000);
-  const SanchoEstimate est =
-      sancho_estimate(std::move(b).build(), small_platform(1));
+  const SanchoEstimate est = sancho_estimate(
+      pipeline::ReplayContext(std::move(b).build(), small_platform(1)));
   EXPECT_NEAR(est.speedup_bound(), 1.0, 1e-12);
 }
 
 // --- what-if network breakdown ----------------------------------------------
 
 TEST(WhatIf, IdealNetworkIsLowerEnvelope) {
-  const trace::Trace original = overlap::lower_original(overlap_friendly());
-  const WhatIfBreakdown b = whatif_network(original, small_platform(2));
+  pipeline::Study study;
+  const WhatIfBreakdown b = whatif_network(
+      study,
+      pipeline::ReplayContext(overlap::lower_original(overlap_friendly()),
+                              small_platform(2)));
   EXPECT_GT(b.t_nominal, 0.0);
   EXPECT_LE(b.t_zero_latency, b.t_nominal + 1e-12);
   EXPECT_LE(b.t_infinite_bandwidth, b.t_nominal + 1e-12);
@@ -394,8 +425,11 @@ TEST(WhatIf, IdealNetworkIsLowerEnvelope) {
 }
 
 TEST(WhatIf, SensitivitiesInRange) {
-  const trace::Trace original = overlap::lower_original(overlap_friendly());
-  const WhatIfBreakdown b = whatif_network(original, small_platform(2));
+  pipeline::Study study;
+  const WhatIfBreakdown b = whatif_network(
+      study,
+      pipeline::ReplayContext(overlap::lower_original(overlap_friendly()),
+                              small_platform(2)));
   for (const double s :
        {b.latency_sensitivity(), b.bandwidth_sensitivity(),
         b.contention_sensitivity(), b.network_bound_share()}) {
@@ -410,8 +444,10 @@ TEST(WhatIf, SensitivitiesInRange) {
 TEST(WhatIf, ComputeOnlyTraceIsInsensitive) {
   trace::TraceBuilder tb(2, 1000.0);
   tb.compute(0, 100'000).compute(1, 100'000);
-  const trace::Trace t = std::move(tb).build();
-  const WhatIfBreakdown b = whatif_network(t, small_platform(2));
+  pipeline::Study study;
+  const WhatIfBreakdown b = whatif_network(
+      study,
+      pipeline::ReplayContext(std::move(tb).build(), small_platform(2)));
   EXPECT_NEAR(b.network_bound_share(), 0.0, 1e-9);
   EXPECT_DOUBLE_EQ(b.t_nominal, b.t_ideal_network);
 }

@@ -12,6 +12,8 @@
 #include "dimemas/replay.hpp"
 #include "overlap/transform.hpp"
 #include "paraver/paraver.hpp"
+#include "pipeline/context.hpp"
+#include "pipeline/study.hpp"
 #include "trace/io.hpp"
 
 namespace osim {
@@ -61,8 +63,9 @@ TEST_P(PipelinePerApp, IdealAtLeastAsGoodAsMeasured) {
   const tracer::TracedRun traced = apps::trace_app(app, config);
   const dimemas::Platform platform =
       dimemas::Platform::marenostrum(config.ranks, app.paper_buses());
+  pipeline::Study study;
   const auto outcome =
-      analysis::evaluate_overlap(traced.annotated, platform);
+      analysis::evaluate_overlap(study, traced.annotated, platform);
   EXPECT_GE(outcome.speedup_ideal(), outcome.speedup_real() * 0.97);
 }
 
@@ -161,7 +164,9 @@ TEST(PaperProperties, CgGainsFromRealPatterns) {
   const tracer::TracedRun traced = apps::trace_app(app, config);
   const dimemas::Platform platform =
       dimemas::Platform::marenostrum(config.ranks, app.paper_buses());
-  const auto outcome = analysis::evaluate_overlap(traced.annotated, platform);
+  pipeline::Study study;
+  const auto outcome =
+      analysis::evaluate_overlap(study, traced.annotated, platform);
   EXPECT_GT(outcome.speedup_real(), 1.05);
 }
 
@@ -173,6 +178,7 @@ TEST(PaperProperties, SweepBenefitsMostFromIdealPatterns) {
   config.iterations = 2;
   double sweep_ideal = 0.0;
   double others_best = 0.0;
+  pipeline::Study study;
   for (const apps::MiniApp* app : apps::registry()) {
     apps::AppConfig c = config;
     while (!app->supports_ranks(c.ranks)) ++c.ranks;
@@ -180,7 +186,7 @@ TEST(PaperProperties, SweepBenefitsMostFromIdealPatterns) {
     const dimemas::Platform platform =
         dimemas::Platform::marenostrum(c.ranks, app->paper_buses());
     const auto outcome =
-        analysis::evaluate_overlap(traced.annotated, platform);
+        analysis::evaluate_overlap(study, traced.annotated, platform);
     if (app->name() == "sweep3d") {
       sweep_ideal = outcome.speedup_ideal();
     } else {
@@ -198,7 +204,9 @@ TEST(PaperProperties, AlyaUnaffectedByOverlap) {
   const tracer::TracedRun traced = apps::trace_app(app, config);
   const dimemas::Platform platform =
       dimemas::Platform::marenostrum(config.ranks, app.paper_buses());
-  const auto outcome = analysis::evaluate_overlap(traced.annotated, platform);
+  pipeline::Study study;
+  const auto outcome =
+      analysis::evaluate_overlap(study, traced.annotated, platform);
   EXPECT_NEAR(outcome.speedup_real(), 1.0, 1e-6);
   EXPECT_NEAR(outcome.speedup_ideal(), 1.0, 1e-6);
 }
@@ -216,8 +224,10 @@ TEST(PaperProperties, BandwidthRelaxationForCg) {
       overlap::transform(traced.annotated, {});
   const dimemas::Platform platform =
       dimemas::Platform::marenostrum(config.ranks, app.paper_buses());
-  const auto relaxed =
-      analysis::relaxed_bandwidth(original, overlapped, platform);
+  pipeline::Study study;
+  const auto relaxed = analysis::relaxed_bandwidth(
+      study, pipeline::ReplayContext(original, platform),
+      pipeline::ReplayContext(overlapped, platform));
   ASSERT_TRUE(relaxed.has_value());
   EXPECT_LT(*relaxed, platform.bandwidth_MBps * 0.7);
 }
@@ -254,8 +264,11 @@ TEST(PaperProperties, BusCalibrationConvergesForCg) {
   config.iterations = 3;
   const tracer::TracedRun traced = apps::trace_app(app, config);
   const trace::Trace original = overlap::lower_original(traced.annotated);
+  pipeline::Study study;
   const auto calibration = analysis::calibrate_buses(
-      original, dimemas::Platform::marenostrum(config.ranks, 1),
+      study,
+      pipeline::ReplayContext(
+          original, dimemas::Platform::marenostrum(config.ranks, 1)),
       dimemas::Platform::reference_machine(config.ranks));
   EXPECT_GE(calibration.buses, 1);
   EXPECT_LT(calibration.relative_error, 0.25);

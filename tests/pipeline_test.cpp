@@ -1,0 +1,328 @@
+// Tests for the pipeline layer: ReplayContext construction-time validation
+// and fingerprinting, Study caching, and — the load-bearing property of the
+// whole subsystem — parallel evaluation being bit-identical to serial.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/bandwidth.hpp"
+#include "common/expect.hpp"
+#include "pipeline/context.hpp"
+#include "pipeline/scenario.hpp"
+#include "pipeline/study.hpp"
+#include "trace/trace.hpp"
+
+namespace osim::pipeline {
+namespace {
+
+// Ring exchange: every rank sends to its successor and receives from its
+// predecessor, `rounds` times. Communication-bound enough that bandwidth
+// changes move the makespan.
+trace::Trace ring_trace(std::int32_t ranks, int rounds) {
+  trace::TraceBuilder b(ranks, 1000.0);
+  for (trace::Rank r = 0; r < ranks; ++r) {
+    const trace::Rank next = static_cast<trace::Rank>((r + 1) % ranks);
+    const trace::Rank prev =
+        static_cast<trace::Rank>((r + ranks - 1) % ranks);
+    for (int i = 0; i < rounds; ++i) {
+      b.irecv(r, prev, i, 32 * 1024, i + 1);
+      b.compute(r, 20'000);
+      b.send(r, next, i, 32 * 1024);
+      b.wait(r, {i + 1});
+    }
+  }
+  return std::move(b).build();
+}
+
+dimemas::Platform ring_platform(std::int32_t nodes) {
+  dimemas::Platform p;
+  p.num_nodes = nodes;
+  p.bandwidth_MBps = 250.0;
+  p.latency_us = 4.0;
+  return p;
+}
+
+// --- ReplayContext ----------------------------------------------------------
+
+TEST(ReplayContext, InvalidTraceFailsAtConstruction) {
+  trace::TraceBuilder b(2, 1000.0);
+  b.send(0, 1, 7, 1024);  // no matching receive anywhere
+  trace::Trace t = std::move(b).build();
+  try {
+    const ReplayContext context(std::move(t), ring_platform(2));
+    FAIL() << "construction accepted an invalid trace";
+  } catch (const Error& e) {
+    // The failure carries the validation error up front...
+    EXPECT_NE(std::string(e.what()).find("trace failed validation"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ReplayContext, ValidationIsForcedOffAfterConstruction) {
+  dimemas::ReplayOptions options;
+  options.validate_input = true;  // caller asks; the context already did it
+  const ReplayContext context(ring_trace(2, 1), ring_platform(2), options);
+  EXPECT_FALSE(context.options().validate_input);
+}
+
+TEST(ReplayContext, FingerprintIsContentBased) {
+  const ReplayContext a(ring_trace(4, 2), ring_platform(4));
+  const ReplayContext b(ring_trace(4, 2), ring_platform(4));
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());  // separate but equal traces
+
+  const ReplayContext different_trace(ring_trace(4, 3), ring_platform(4));
+  EXPECT_NE(a.fingerprint(), different_trace.fingerprint());
+
+  dimemas::Platform faster = ring_platform(4);
+  faster.bandwidth_MBps = 500.0;
+  EXPECT_NE(a.fingerprint(), a.with_platform(faster).fingerprint());
+  EXPECT_EQ(a.fingerprint(),
+            a.with_bandwidth(ring_platform(4).bandwidth_MBps).fingerprint());
+
+  dimemas::ReplayOptions timeline;
+  timeline.record_timeline = true;
+  EXPECT_NE(a.fingerprint(), a.with_options(timeline).fingerprint());
+}
+
+TEST(ReplayContext, ValidateFlagDoesNotAffectFingerprint) {
+  dimemas::ReplayOptions validate_on;
+  validate_on.validate_input = true;
+  dimemas::ReplayOptions validate_off;
+  validate_off.validate_input = false;
+  const ReplayContext a(ring_trace(2, 1), ring_platform(2), validate_on);
+  const ReplayContext b(ring_trace(2, 1), ring_platform(2), validate_off);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(ReplayContext, DerivedContextsShareTheTrace) {
+  const ReplayContext base(ring_trace(4, 2), ring_platform(4));
+  const ReplayContext derived = base.with_bandwidth(10.0);
+  EXPECT_EQ(base.trace_ptr().get(), derived.trace_ptr().get());
+  dimemas::Platform p = ring_platform(4);
+  p.latency_us = 0.0;
+  EXPECT_EQ(base.trace_ptr().get(),
+            base.with_platform(p).trace_ptr().get());
+}
+
+// --- scenario lowering ------------------------------------------------------
+
+TEST(Scenario, VariantsProduceDistinctContexts) {
+  // A minimal annotated pair: rank 0 produces in a late burst and sends,
+  // rank 1 receives and consumes in an early burst. The bursty measured
+  // pattern cannot coincide with the ideal (linear) pattern, so all three
+  // variants lower to distinct traces.
+  trace::AnnotatedTrace t = trace::AnnotatedTrace::make(2, 1000.0);
+  trace::AnnEvent send;
+  send.kind = trace::AnnEvent::Kind::kSend;
+  send.vclock = 100'000;
+  send.peer = 1;
+  send.tag = 0;
+  send.elem_bytes = 100;
+  send.bytes = 10'000;
+  send.buffer_id = 0;
+  send.chunkable = true;
+  send.interval_start = 0;
+  send.elem_last_store.resize(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    send.elem_last_store[i] = 90'000 + 100 * (i + 1);
+  }
+  t.ranks[0].events.push_back(send);
+  t.ranks[0].final_vclock = 100'000;
+
+  trace::AnnEvent recv;
+  recv.kind = trace::AnnEvent::Kind::kRecv;
+  recv.vclock = 0;
+  recv.peer = 0;
+  recv.tag = 0;
+  recv.elem_bytes = 100;
+  recv.bytes = 10'000;
+  recv.buffer_id = 0;
+  recv.chunkable = true;
+  recv.interval_end = 100'000;
+  recv.elem_first_load.resize(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    recv.elem_first_load[i] = 5'000 + 10 * i;
+  }
+  t.ranks[1].events.push_back(recv);
+  t.ranks[1].final_vclock = 100'000;
+
+  const overlap::OverlapOptions options;
+  const dimemas::Platform p = ring_platform(2);
+  const ReplayContext original =
+      make_context(t, TraceVariant::kOriginal, options, p);
+  const ReplayContext measured =
+      make_context(t, TraceVariant::kOverlapMeasured, options, p);
+  const ReplayContext ideal =
+      make_context(t, TraceVariant::kOverlapIdeal, options, p);
+  EXPECT_NE(original.fingerprint(), measured.fingerprint());
+  EXPECT_NE(original.fingerprint(), ideal.fingerprint());
+  EXPECT_NE(measured.fingerprint(), ideal.fingerprint());
+
+  // run_scenario and Study::makespan agree on the same context.
+  Study study;
+  EXPECT_DOUBLE_EQ(run_scenario(original).makespan,
+                   study.makespan(original));
+}
+
+// --- Study: determinism -----------------------------------------------------
+
+std::vector<ReplayContext> bandwidth_sweep_contexts() {
+  const ReplayContext base(ring_trace(8, 4), ring_platform(8));
+  std::vector<ReplayContext> contexts;
+  for (int i = 1; i <= 24; ++i) {
+    contexts.push_back(base.with_bandwidth(10.0 * i));
+  }
+  return contexts;
+}
+
+TEST(Study, ParallelIsBitIdenticalToSerial) {
+  const std::vector<ReplayContext> contexts = bandwidth_sweep_contexts();
+  auto run_with_jobs = [&contexts](int jobs) {
+    StudyOptions options;
+    options.jobs = jobs;
+    Study study(options);
+    return study.map(contexts, [&study](const ReplayContext& c) {
+      return study.makespan(c);
+    });
+  };
+  const std::vector<double> serial = run_with_jobs(1);
+  for (const int jobs : {2, 8}) {
+    const std::vector<double> parallel = run_with_jobs(jobs);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      // Bit-identical, not approximately equal: replay is pure.
+      EXPECT_EQ(parallel[i], serial[i]) << "jobs=" << jobs << " item " << i;
+    }
+  }
+}
+
+// --- Study: caching ---------------------------------------------------------
+
+TEST(Study, RepeatedScenarioHitsTheCache) {
+  const ReplayContext context(ring_trace(4, 2), ring_platform(4));
+  Study study;
+  const double first = study.makespan(context);
+  EXPECT_EQ(study.cache_misses(), 1u);
+  EXPECT_EQ(study.cache_hits(), 0u);
+  EXPECT_EQ(study.makespan(context), first);
+  EXPECT_EQ(study.cache_misses(), 1u);
+  EXPECT_EQ(study.cache_hits(), 1u);
+  // An equal-content context (fresh trace copy) also hits.
+  const ReplayContext twin(ring_trace(4, 2), ring_platform(4));
+  EXPECT_EQ(study.makespan(twin), first);
+  EXPECT_EQ(study.cache_hits(), 2u);
+  EXPECT_EQ(study.cache_size(), 1u);
+}
+
+TEST(Study, RepeatedBisectionProbesAreCached) {
+  // The paper's searches re-probe shared endpoints; a repeated bisection
+  // must be answered entirely from the cache.
+  const ReplayContext context(ring_trace(8, 4), ring_platform(8));
+  Study study;
+  const double target = analysis::time_at_bandwidth(study, context, 50.0);
+  const auto first = analysis::min_bandwidth_for(study, context, target);
+  ASSERT_TRUE(first.has_value());
+  const std::size_t misses_after_first = study.cache_misses();
+  const std::size_t hits_after_first = study.cache_hits();
+  EXPECT_GT(misses_after_first, 2u);  // the bisection actually probed
+
+  const auto second = analysis::min_bandwidth_for(study, context, target);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, *first);  // deterministic search, bit-identical result
+  EXPECT_EQ(study.cache_misses(), misses_after_first)
+      << "repeat search must not replay anything";
+  EXPECT_GT(study.cache_hits(), hits_after_first);
+}
+
+TEST(Study, CachingCanBeDisabled) {
+  const ReplayContext context(ring_trace(2, 1), ring_platform(2));
+  StudyOptions options;
+  options.cache_replays = false;
+  Study study(options);
+  const double first = study.makespan(context);
+  EXPECT_EQ(study.makespan(context), first);
+  EXPECT_EQ(study.cache_hits(), 0u);
+  EXPECT_EQ(study.cache_size(), 0u);
+}
+
+// --- Study: exception propagation and pool health ---------------------------
+
+TEST(Study, WorkItemExceptionPropagatesWithoutDeadlock) {
+  StudyOptions options;
+  options.jobs = 4;
+  Study study(options);
+  std::vector<int> items(16);
+  std::iota(items.begin(), items.end(), 0);
+  const auto boom = [](const int& i) {
+    if (i == 7) throw std::runtime_error("seeded failure on item 7");
+    return i * 2;
+  };
+  try {
+    study.map(items, boom);
+    FAIL() << "seeded failure did not propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "seeded failure on item 7");
+  }
+  // The pool survives the failure: a follow-up batch completes normally.
+  const std::vector<int> doubled =
+      study.map(items, [](const int& i) { return i * 2; });
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(doubled[i], items[i] * 2);
+  }
+}
+
+TEST(Study, FirstErrorByIndexWins) {
+  StudyOptions options;
+  options.jobs = 8;
+  Study study(options);
+  std::vector<int> items(32);
+  std::iota(items.begin(), items.end(), 0);
+  try {
+    study.map(items, [](const int& i) {
+      if (i % 5 == 3) {  // items 3, 8, 13, ... all fail
+        throw std::runtime_error("fail " + std::to_string(i));
+      }
+      return i;
+    });
+    FAIL() << "no exception propagated";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "fail 3");  // lowest failing index, every time
+  }
+}
+
+TEST(Study, NestedMapDoesNotDeadlock) {
+  // Outer batch wider than the pool, each item mapping an inner batch:
+  // progress relies on the calling thread draining work itself.
+  StudyOptions options;
+  options.jobs = 2;
+  Study study(options);
+  std::vector<int> outer(8);
+  std::iota(outer.begin(), outer.end(), 0);
+  const std::vector<int> sums =
+      study.map(outer, [&study](const int& o) {
+        std::vector<int> inner(4);
+        std::iota(inner.begin(), inner.end(), o * 10);
+        const std::vector<int> r =
+            study.map(inner, [](const int& i) { return i + 1; });
+        return std::accumulate(r.begin(), r.end(), 0);
+      });
+  for (std::size_t o = 0; o < sums.size(); ++o) {
+    // sum of {10o+1 .. 10o+4}
+    EXPECT_EQ(sums[o], static_cast<int>(o) * 40 + 10);
+  }
+}
+
+TEST(Study, JobsZeroMeansHardwareConcurrency) {
+  StudyOptions options;
+  options.jobs = 0;
+  Study study(options);
+  EXPECT_GE(study.jobs(), 1);
+}
+
+}  // namespace
+}  // namespace osim::pipeline

@@ -16,8 +16,9 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "dimemas/platform_io.hpp"
-#include "dimemas/replay.hpp"
 #include "paraver/paraver.hpp"
+#include "pipeline/context.hpp"
+#include "pipeline/study.hpp"
 #include "trace/binary_io.hpp"
 
 int main(int argc, char** argv) try {
@@ -36,6 +37,7 @@ int main(int argc, char** argv) try {
   bool critpath = false;
   std::string collectives = "binomial-tree";
   std::int64_t timeline_width = 100;
+  std::int64_t jobs = 1;
 
   Flags flags("osim_replay: replay a trace file on a configurable platform");
   flags.add("trace", &trace_path, "trace file to replay (required)");
@@ -56,6 +58,8 @@ int main(int argc, char** argv) try {
             "collective algorithm: binomial-tree | linear | "
             "recursive-doubling");
   flags.add("prv", &prv_base, "write a Paraver bundle to <prv>.prv/.pcf/.row");
+  flags.add("jobs", &jobs,
+            "replay jobs for batch studies (0 = one per hardware thread)");
   if (!flags.parse(argc, argv)) return 0;
 
   if (trace_path.empty()) throw Error("--trace is required");
@@ -91,7 +95,13 @@ int main(int argc, char** argv) try {
   } else {
     throw Error("unknown collective algorithm: " + collectives);
   }
-  const dimemas::SimResult result = dimemas::replay(t, platform, options);
+  // The context validates the trace once (failing with lint diagnostics);
+  // the study carries the --jobs thread pool and replay cache.
+  const pipeline::ReplayContext context(t, platform, options);
+  pipeline::StudyOptions study_options;
+  study_options.jobs = static_cast<int>(jobs);
+  pipeline::Study study(study_options);
+  const dimemas::SimResult result = study.run(context);
 
   std::printf("platform: %s\n", platform.describe().c_str());
   std::printf("makespan: %s\n", format_seconds(result.makespan).c_str());
