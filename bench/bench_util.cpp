@@ -2,6 +2,7 @@
 
 #include "common/expect.hpp"
 #include "common/strings.hpp"
+#include "pipeline/report.hpp"
 
 namespace osim::bench {
 
@@ -19,6 +20,9 @@ bool BenchSetup::parse(const std::string& description, int argc,
   flags.add("out-dir", &out_dir, "directory for CSV outputs");
   flags.add("paper-buses", &use_paper_buses,
             "use the paper's Table I bus counts");
+  flags.add("study-report", &study_report,
+            "write a JSON study report (per-scenario makespans, wall "
+            "times, cache behaviour) to this path");
   return flags.parse(argc, argv);
 }
 
@@ -57,7 +61,15 @@ overlap::OverlapOptions BenchSetup::overlap_options() const {
 pipeline::StudyOptions BenchSetup::study_options() const {
   pipeline::StudyOptions options;
   options.jobs = static_cast<int>(jobs);
+  options.record_scenarios = !study_report.empty();
   return options;
+}
+
+void BenchSetup::maybe_write_study_report(const pipeline::Study& study) const {
+  if (study_report.empty()) return;
+  pipeline::write_report(study_report, pipeline::study_report_json(study));
+  std::fprintf(stderr, "[bench] study report written to %s\n",
+               study_report.c_str());
 }
 
 dimemas::Platform BenchSetup::platform_for(const apps::MiniApp& app) const {

@@ -34,6 +34,9 @@ struct BenchSetup {
   std::string apps = "all";      // comma list or "all"
   std::string out_dir = "bench_results";
   bool use_paper_buses = true;   // Table I values; false → calibrate
+  /// Write a JSON study report (cache behaviour, per-scenario makespans
+  /// and wall times) to this path when non-empty (--study-report).
+  std::string study_report;
 
   /// Registers the shared flags and parses argv. Returns false on --help.
   bool parse(const std::string& description, int argc, const char* const* argv,
@@ -47,7 +50,12 @@ struct BenchSetup {
   overlap::OverlapOptions overlap_options() const;
 
   /// Study sized by --jobs; replay results are cached across a bench run.
+  /// Scenario recording is on when --study-report was given.
   pipeline::StudyOptions study_options() const;
+
+  /// Writes the study report if --study-report was given (call at the end
+  /// of a bench run). Prints the output path to stderr.
+  void maybe_write_study_report(const pipeline::Study& study) const;
 
   /// Marenostrum-like platform with the app's Table I bus count.
   dimemas::Platform platform_for(const apps::MiniApp& app) const;

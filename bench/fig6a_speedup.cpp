@@ -34,18 +34,24 @@ int main(int argc, char** argv) try {
 
   const std::vector<const apps::MiniApp*> selected = setup.selected_apps();
   std::vector<pipeline::ReplayContext> contexts;
+  std::vector<std::string> labels;
   for (const apps::MiniApp* app : selected) {
     const tracer::TracedRun traced = bench::trace(setup, *app);
     const bench::AppScenarios sc = bench::scenarios(setup, *app, traced);
     contexts.push_back(sc.original);
     contexts.push_back(sc.real);
     contexts.push_back(sc.ideal);
+    labels.push_back(app->name() + "/original");
+    labels.push_back(app->name() + "/real");
+    labels.push_back(app->name() + "/ideal");
   }
 
   pipeline::Study study(setup.study_options());
   const std::vector<double> times = study.map(
-      contexts,
-      [&study](const pipeline::ReplayContext& c) { return study.makespan(c); });
+      contexts, [&](const pipeline::ReplayContext& c) {
+        const auto i = static_cast<std::size_t>(&c - contexts.data());
+        return study.makespan(c, labels[i]);
+      });
 
   for (std::size_t i = 0; i < selected.size(); ++i) {
     analysis::OverlapOutcome outcome;
@@ -67,6 +73,7 @@ int main(int argc, char** argv) try {
   std::printf("%s\n", table.render().c_str());
   std::printf("CSV written to %s\n",
               setup.out_path("fig6a_speedup.csv").c_str());
+  setup.maybe_write_study_report(study);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

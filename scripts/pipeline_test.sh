@@ -61,6 +61,16 @@ test -s "$OUT/run.prv"
 test -s "$OUT/run.pcf"
 test -s "$OUT/run.row"
 
+# Structured run report: valid file with the expected schema marker and
+# the wait-time attribution block.
+"$BUILD/tools/osim_replay" --trace "$OUT/cg.original.trace" \
+    --platform "$OUT/platform.cfg" --report "$OUT/report.json" \
+    > "$OUT/report.txt"
+test -s "$OUT/report.json"
+grep -q '"schema":"osim.replay_report"' "$OUT/report.json"
+grep -q '"wait_attribution"' "$OUT/report.json"
+grep -q '"occupancy"' "$OUT/report.json"
+
 # Binary traces replay too.
 "$BUILD/tools/osim_replay" --trace "$OUT/pop.overlap_ideal.btrace" \
     --bandwidth 250 --latency 4 > "$OUT/pop.txt"

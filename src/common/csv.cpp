@@ -30,7 +30,8 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
 }
 
 std::string CsvWriter::escape(const std::string& cell) {
-  const bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
   if (!needs_quote) return cell;
   std::string out = "\"";
   for (const char c : cell) {

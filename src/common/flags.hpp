@@ -1,8 +1,11 @@
 // Tiny command-line flag parser for the bench / example binaries.
 //
-// Accepted syntax: --name=value or --name value; bare --name for booleans.
-// Unknown flags raise osim::Error listing the registered flags, so every
-// binary gets a usable --help for free.
+// Accepted syntax: --name=value or --name value; bare --name for booleans
+// (explicit --name=true/false/1/0 also works). A flag repeated on the
+// command line is applied left to right, so the last occurrence wins —
+// convenient for overriding a scripted default. Unknown flags raise
+// osim::Error listing the registered flags, so every binary gets a usable
+// --help for free.
 #pragma once
 
 #include <cstdint>

@@ -45,12 +45,51 @@ bool BusNetwork::can_start(const Transfer& transfer) const {
   return true;
 }
 
+void BusNetwork::set_collector(metrics::ReplayCollector* collector) {
+  collector_ = collector;
+  if (collector_ == nullptr) return;
+  collector_->bus_tracker().set_capacity(num_buses_);
+  for (std::size_t n = 0; n < out_in_use_.size(); ++n) {
+    const auto node = static_cast<trace::Rank>(n);
+    collector_->out_tracker(node).set_capacity(output_ports_);
+    collector_->in_tracker(node).set_capacity(input_ports_);
+  }
+}
+
+metrics::QueueReason BusNetwork::admission_block(
+    const Transfer& transfer) const {
+  if (num_buses_ > 0 && buses_in_use_ >= num_buses_) {
+    return metrics::QueueReason::kBus;
+  }
+  if (out_in_use_[static_cast<std::size_t>(transfer.src)] >= output_ports_) {
+    return metrics::QueueReason::kOutPort;
+  }
+  if (in_in_use_[static_cast<std::size_t>(transfer.dst)] >= input_ports_) {
+    return metrics::QueueReason::kInPort;
+  }
+  return metrics::QueueReason::kNone;
+}
+
+void BusNetwork::record_occupancy(const Transfer& transfer) const {
+  if (collector_ == nullptr) return;
+  const double now = events_.now();
+  // The bus pool level is the number of transfers holding resources, which
+  // is meaningful (and tracked) even when the pool is unbounded.
+  collector_->bus_tracker().set_level(now,
+                                      static_cast<std::int64_t>(active_));
+  collector_->out_tracker(transfer.src)
+      .set_level(now, out_in_use_[static_cast<std::size_t>(transfer.src)]);
+  collector_->in_tracker(transfer.dst)
+      .set_level(now, in_in_use_[static_cast<std::size_t>(transfer.dst)]);
+}
+
 void BusNetwork::start(Pending pending) {
   const Transfer transfer = pending.transfer;
   ++out_in_use_[static_cast<std::size_t>(transfer.src)];
   ++in_in_use_[static_cast<std::size_t>(transfer.dst)];
   if (num_buses_ > 0) ++buses_in_use_;
   ++active_;
+  record_occupancy(transfer);
   if (pending.on_start) pending.on_start(events_.now());
   // Ports and buses are held for the serialization time (bytes/bandwidth);
   // the wire latency is pipelined and does not occupy resources, so
@@ -62,6 +101,7 @@ void BusNetwork::start(Pending pending) {
     --in_in_use_[static_cast<std::size_t>(transfer.dst)];
     if (num_buses_ > 0) --buses_in_use_;
     --active_;
+    record_occupancy(transfer);
     // Freed resources may unblock queued transfers.
     try_start_pending();
   });
@@ -162,6 +202,12 @@ void FairShareNetwork::submit(const Transfer& transfer, ArrivalFn on_arrival,
 void FairShareNetwork::activate(Flow flow) {
   update_progress();
   active_.push_back(std::move(flow));
+  if (collector_ != nullptr) {
+    // The fair-share model has no bus pool; track the concurrent flow count
+    // on the (uncapped) bus tracker instead.
+    collector_->bus_tracker().set_level(
+        events_.now(), static_cast<std::int64_t>(active_.size()));
+  }
   rebalance();
 }
 
@@ -221,6 +267,10 @@ void FairShareNetwork::on_completion_event(std::uint64_t generation) {
     }
   }
   OSIM_CHECK_MSG(!done.empty(), "completion event with no finished flow");
+  if (collector_ != nullptr) {
+    collector_->bus_tracker().set_level(
+        events_.now(), static_cast<std::int64_t>(active_.size()));
+  }
   rebalance();
   for (ArrivalFn& fn : done) fn(events_.now());
 }

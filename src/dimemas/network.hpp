@@ -21,6 +21,7 @@
 #include "dimemas/events.hpp"
 #include "dimemas/fairshare.hpp"
 #include "dimemas/platform.hpp"
+#include "metrics/collector.hpp"
 #include "trace/record.hpp"
 
 namespace osim::dimemas {
@@ -52,8 +53,28 @@ class Network {
   /// Transfers currently in flight or queued (diagnostics).
   virtual std::size_t in_flight() const = 0;
 
+  /// Wires the optional metrics collector (nullptr disables occupancy
+  /// tracking). Called once, before the first submit. Tracking is passive:
+  /// it never changes event scheduling, so replay results are bit-identical
+  /// with a collector attached or not.
+  virtual void set_collector(metrics::ReplayCollector* collector) {
+    collector_ = collector;
+  }
+
+  /// Why a transfer submitted at the current instant would queue instead of
+  /// starting (kNone = it would start immediately). Used by the replay
+  /// engine to classify queueing delay as bus vs port contention.
+  virtual metrics::QueueReason admission_block(const Transfer&) const {
+    return metrics::QueueReason::kNone;
+  }
+
+  /// The model's fixed per-message delay (the latency term of the wait-time
+  /// decomposition).
+  virtual double fixed_latency_s() const = 0;
+
  protected:
   EventQueue& events_;
+  metrics::ReplayCollector* collector_ = nullptr;
 };
 
 class BusNetwork final : public Network {
@@ -63,6 +84,9 @@ class BusNetwork final : public Network {
   void submit(const Transfer& transfer, ArrivalFn on_arrival,
               StartFn on_start = nullptr) override;
   std::size_t in_flight() const override { return active_ + pending_.size(); }
+  void set_collector(metrics::ReplayCollector* collector) override;
+  metrics::QueueReason admission_block(const Transfer& transfer) const override;
+  double fixed_latency_s() const override { return latency_s_; }
 
   /// End-to-end duration for `bytes` with no queueing: latency + bytes/bw.
   double wire_time(std::uint64_t bytes) const;
@@ -70,6 +94,8 @@ class BusNetwork final : public Network {
   double serialization_time(std::uint64_t bytes) const;
 
  private:
+  void record_occupancy(const Transfer& transfer) const;
+
   struct Pending {
     Transfer transfer;
     ArrivalFn on_arrival;
@@ -100,6 +126,9 @@ class FairShareNetwork final : public Network {
   void submit(const Transfer& transfer, ArrivalFn on_arrival,
               StartFn on_start = nullptr) override;
   std::size_t in_flight() const override;
+  /// Includes the per-message overhead: the fair-share model charges it as
+  /// additional fixed delay before the flow starts.
+  double fixed_latency_s() const override { return latency_s_; }
 
  private:
   struct Flow {

@@ -12,6 +12,7 @@
 #include "dimemas/events.hpp"
 #include "dimemas/matching.hpp"
 #include "dimemas/network.hpp"
+#include "metrics/collector.hpp"
 
 namespace osim::dimemas {
 
@@ -43,6 +44,11 @@ class Replayer {
     inbox_.resize(static_cast<std::size_t>(trace.num_ranks));
     for (Rank r = 0; r < trace.num_ranks; ++r) {
       procs_[static_cast<std::size_t>(r)].rank = r;
+    }
+    if (options.collect_metrics) {
+      collector_ = std::make_unique<metrics::ReplayCollector>(
+          trace.num_ranks, platform.num_nodes);
+      network_->set_collector(collector_.get());
     }
   }
 
@@ -76,6 +82,10 @@ class Replayer {
       result.comms.reserve(comms_.size());
       for (const auto& comm : comms_) result.comms.push_back(*comm);
     }
+    if (collector_ != nullptr) {
+      result.metrics = std::make_shared<const metrics::ReplayMetrics>(
+          collector_->finish(result.makespan));
+    }
     result.des_events = events_.events_processed();
     return result;
   }
@@ -97,6 +107,9 @@ class Replayer {
     double call_time = 0.0;  // when the sender reached the send record
     PostedRecv* partner = nullptr;
     CommEvent* comm = nullptr;  // owned by comms_; null unless recording
+    // Submit/start timestamps and queue reason for wait-time attribution;
+    // only filled in when metrics collection is on.
+    metrics::TransferTiming timing;
   };
 
   struct PostedRecv {
@@ -122,10 +135,14 @@ class Replayer {
     double block_begin = 0.0;
     std::size_t outstanding = 0;  // incomplete requests a Wait waits on
     PostedRecv* blocking_recv = nullptr;
-    // Cause of the most recent request completion (drives the causal link
-    // of wait blocks).
-    Rank pending_cause_rank = -1;
-    double pending_cause_time = 0.0;
+    // Cause of the current wait block: the *last* releasing completion
+    // wins (latest completion time; on ties, a real remote cause beats
+    // "released by pure network time"). Reset when a Wait blocks.
+    Rank wait_cause_rank = -1;
+    double wait_cause_time = 0.0;
+    double wait_release_time = 0.0;
+    const SendSide* wait_releaser = nullptr;
+    bool wait_completed_any = false;
     std::unordered_map<ReqId, bool> request_complete;
     RankStats stats;
     std::vector<StateInterval> timeline;
@@ -156,7 +173,8 @@ class Replayer {
     proc.block_begin = now();
   }
 
-  void unblock(Proc& proc, Rank cause_rank = -1, double cause_time = 0.0) {
+  void unblock(Proc& proc, Rank cause_rank = -1, double cause_time = 0.0,
+               const SendSide* releaser = nullptr) {
     OSIM_CHECK(proc.blocked);
     proc.blocked = false;
     const double blocked_for = now() - proc.block_begin;
@@ -178,6 +196,20 @@ class Replayer {
                                             proc.block_state, cause_rank,
                                             cause_time});
     }
+    if (collector_ != nullptr && now() > proc.block_begin) {
+      metrics::BlockKind kind = metrics::BlockKind::kWait;
+      if (proc.block_state == RankState::kSendBlocked) {
+        kind = metrics::BlockKind::kSend;
+      } else if (proc.block_state == RankState::kRecvBlocked) {
+        kind = metrics::BlockKind::kRecv;
+      }
+      Rank peer = -1;
+      if (releaser != nullptr) {
+        peer = releaser->src == proc.rank ? releaser->dst : releaser->src;
+      }
+      collector_->attribute(proc.rank, peer, kind, proc.block_begin, now(),
+                            releaser != nullptr ? &releaser->timing : nullptr);
+    }
     if (!proc.running) {
       // Resume the interpretation loop in a fresh event so the current
       // callback stack unwinds first.
@@ -185,10 +217,36 @@ class Replayer {
     }
   }
 
+  // Tracks which completion releases a blocked Wait. The last one (latest
+  // completion time) wins; at equal times a real remote cause beats
+  // cause_rank == -1, and among real causes the latest remote constraint
+  // wins. Without the tie-break, FIFO event order could surface a
+  // simultaneous completion with no cause and hide the true releaser.
+  void record_wait_release(Proc& proc, Rank cause_rank, double cause_time,
+                           const SendSide* releaser) {
+    const double t = now();
+    bool adopt = false;
+    if (!proc.wait_completed_any || t > proc.wait_release_time) {
+      adopt = true;
+    } else if (t == proc.wait_release_time) {
+      if (proc.wait_cause_rank == -1) {
+        adopt = cause_rank != -1;
+      } else if (cause_rank != -1) {
+        adopt = cause_time > proc.wait_cause_time;
+      }
+    }
+    if (adopt) {
+      proc.wait_cause_rank = cause_rank;
+      proc.wait_cause_time = cause_time;
+      proc.wait_releaser = releaser;
+    }
+    proc.wait_completed_any = true;
+    proc.wait_release_time = std::max(proc.wait_release_time, t);
+  }
+
   void complete_request(Proc& proc, ReqId request, Rank cause_rank = -1,
-                        double cause_time = 0.0) {
-    proc.pending_cause_rank = cause_rank;
-    proc.pending_cause_time = cause_time;
+                        double cause_time = 0.0,
+                        const SendSide* releaser = nullptr) {
     auto it = proc.request_complete.find(request);
     OSIM_CHECK_MSG(it != proc.request_complete.end(),
                    "request completion for unknown request");
@@ -202,9 +260,11 @@ class Replayer {
       const auto waited = waited_.find(&proc);
       if (waited != waited_.end() && waited->second.count(request) > 0) {
         waited->second.erase(request);
+        record_wait_release(proc, cause_rank, cause_time, releaser);
         if (--proc.outstanding == 0) {
           waited_.erase(waited);
-          unblock(proc, proc.pending_cause_rank, proc.pending_cause_time);
+          unblock(proc, proc.wait_cause_rank, proc.wait_cause_time,
+                  proc.wait_releaser);
         }
       }
     }
@@ -276,6 +336,9 @@ class Replayer {
     }
     proc.stats.messages_sent++;
     proc.stats.bytes_sent += rec.bytes;
+    if (collector_ != nullptr) {
+      collector_->count_message(send->eager, rec.bytes);
+    }
 
     if (rec.immediate) {
       const bool inserted =
@@ -354,6 +417,11 @@ class Replayer {
       return;
     }
     proc.outstanding = incomplete;
+    proc.wait_cause_rank = -1;
+    proc.wait_cause_time = 0.0;
+    proc.wait_release_time = 0.0;
+    proc.wait_releaser = nullptr;
+    proc.wait_completed_any = false;
     block(proc, RankState::kWaitBlocked);
   }
 
@@ -405,11 +473,27 @@ class Replayer {
   void submit_transfer(SendSide* send) {
     Transfer transfer{send->src, send->dst, send->bytes};
     CommEvent* comm = send->comm;
-    network_->submit(
-        transfer, [this, send](double time) { on_arrival(send, time); },
-        comm != nullptr
-            ? StartFn([comm](double time) { comm->transfer_start = time; })
-            : StartFn(nullptr));
+    StartFn on_start;
+    if (collector_ != nullptr) {
+      send->timing.submit_s = now();
+      send->timing.fixed_latency_s = network_->fixed_latency_s();
+      on_start = [send](double time) {
+        send->timing.start_s = time;
+        if (send->comm != nullptr) send->comm->transfer_start = time;
+      };
+    } else if (comm != nullptr) {
+      on_start = [comm](double time) { comm->transfer_start = time; };
+    }
+    network_->submit(transfer,
+                     [this, send](double time) { on_arrival(send, time); },
+                     std::move(on_start));
+    if (collector_ != nullptr && send->timing.start_s < 0.0) {
+      // Still queued after submit: sample what blocked admission. This is
+      // accurate because the network starts every pending transfer that
+      // fits before submit() returns, so an unstarted transfer has a
+      // concrete blocking resource right now.
+      send->timing.queue_reason = network_->admission_block(transfer);
+    }
   }
 
   void on_arrival(SendSide* send, double time) {
@@ -427,9 +511,9 @@ class Replayer {
         cause_time = send->partner->post_time;
       }
       if (send->immediate) {
-        complete_request(sender, send->request, cause_rank, cause_time);
+        complete_request(sender, send->request, cause_rank, cause_time, send);
       } else {
-        unblock(sender, cause_rank, cause_time);
+        unblock(sender, cause_rank, cause_time, send);
       }
     }
     if (send->partner != nullptr) finish_recv(*send->partner);
@@ -443,6 +527,9 @@ class Replayer {
       recv.partner->comm->recv_complete_time = now();
     }
     Proc& receiver = procs_[static_cast<std::size_t>(recv.dst)];
+    // Delivery accounting: the global sums of bytes_sent and
+    // bytes_received match once every message has been delivered.
+    receiver.stats.bytes_received += recv.partner->bytes;
     // The causal constraint is the sender's send call when it happened
     // after this receive was posted (the receiver truly waited on it).
     Rank cause_rank = -1;
@@ -452,14 +539,15 @@ class Replayer {
       cause_time = recv.partner->call_time;
     }
     if (recv.immediate) {
-      complete_request(receiver, recv.request, cause_rank, cause_time);
+      complete_request(receiver, recv.request, cause_rank, cause_time,
+                       recv.partner);
       return;
     }
     if (receiver.blocking_recv == &recv) {
       receiver.blocking_recv = nullptr;
       if (receiver.blocked &&
           receiver.block_state == RankState::kRecvBlocked) {
-        unblock(receiver, cause_rank, cause_time);
+        unblock(receiver, cause_rank, cause_time, recv.partner);
       }
       // If the receiver never blocked (message was already here when the
       // recv posted), step() simply continues inline.
@@ -517,6 +605,7 @@ class Replayer {
   std::vector<std::unique_ptr<CommEvent>> comms_;
   std::unordered_map<const PostedRecv*, double> recv_post_times_;
   std::unordered_map<Proc*, std::unordered_set<ReqId>> waited_;
+  std::unique_ptr<metrics::ReplayCollector> collector_;  // null unless on
 };
 
 }  // namespace

@@ -40,6 +40,11 @@ namespace osim::dimemas {
 struct ReplayOptions {
   bool record_timeline = false;  // populate SimResult::timelines
   bool record_comms = false;     // populate SimResult::comms
+  /// Populate SimResult::metrics (wait-time attribution, resource
+  /// occupancy, protocol counters). Collection is passive: replay results
+  /// are bit-identical with this flag on or off, and the hooks cost
+  /// nothing when it is off.
+  bool collect_metrics = false;
   bool auto_expand_collectives = true;
   CollectiveAlgo collective_algo = CollectiveAlgo::kBinomialTree;
   bool validate_input = true;

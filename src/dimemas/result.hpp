@@ -4,9 +4,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "metrics/replay_metrics.hpp"
 #include "trace/record.hpp"
 
 namespace osim::dimemas {
@@ -57,6 +59,9 @@ struct RankStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
   std::uint64_t bytes_sent = 0;
+  /// Accumulated at delivery, so at the end of a replay the global sums of
+  /// bytes_sent and bytes_received are equal (message conservation).
+  std::uint64_t bytes_received = 0;
 
   double blocked_s() const {
     return send_blocked_s + recv_blocked_s + wait_blocked_s;
@@ -72,6 +77,10 @@ struct SimResult {
   /// All point-to-point transfers; only populated when
   /// ReplayOptions::record_comms is set.
   std::vector<CommEvent> comms;
+  /// Wait-time attribution, occupancy and protocol metrics; only populated
+  /// when ReplayOptions::collect_metrics is set. Shared so SimResult stays
+  /// cheap to copy.
+  std::shared_ptr<const metrics::ReplayMetrics> metrics;
   std::uint64_t des_events = 0;  // DES events processed (perf diagnostics)
 
   double total_compute_s() const;

@@ -1,0 +1,66 @@
+#include "metrics/attribution.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace osim::metrics {
+
+const char* queue_reason_name(QueueReason reason) {
+  switch (reason) {
+    case QueueReason::kNone:
+      return "none";
+    case QueueReason::kBus:
+      return "bus";
+    case QueueReason::kOutPort:
+      return "out-port";
+    case QueueReason::kInPort:
+      return "in-port";
+  }
+  OSIM_UNREACHABLE("bad QueueReason");
+}
+
+WaitComponents& WaitComponents::operator+=(const WaitComponents& other) {
+  dependency_s += other.dependency_s;
+  bus_contention_s += other.bus_contention_s;
+  port_contention_s += other.port_contention_s;
+  wire_s += other.wire_s;
+  latency_s += other.latency_s;
+  return *this;
+}
+
+WaitComponents decompose(double begin, double end,
+                         const TransferTiming* timing) {
+  WaitComponents c;
+  if (end <= begin) return c;
+  if (timing == nullptr || timing->submit_s < 0.0) {
+    // No releasing transfer known: the block was resolved by something we
+    // cannot see into (conservatively: a remote dependency).
+    c.dependency_s = end - begin;
+    return c;
+  }
+  const double submit = std::clamp(timing->submit_s, begin, end);
+  const double raw_start = timing->start_s >= 0.0 ? timing->start_s : end;
+  const double start = std::clamp(raw_start, submit, end);
+
+  // Telescoping partition of [begin, end]: the three differences sum to
+  // end - begin exactly, in floating point too.
+  c.dependency_s = submit - begin;
+  const double queued = start - submit;
+  switch (timing->queue_reason) {
+    case QueueReason::kOutPort:
+    case QueueReason::kInPort:
+      c.port_contention_s = queued;
+      break;
+    case QueueReason::kBus:
+    case QueueReason::kNone:  // queued without a sampled reason: bus pool
+      c.bus_contention_s = queued;
+      break;
+  }
+  const double in_network = end - start;
+  c.latency_s = std::min(timing->fixed_latency_s, in_network);
+  c.wire_s = in_network - c.latency_s;
+  return c;
+}
+
+}  // namespace osim::metrics

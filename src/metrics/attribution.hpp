@@ -1,0 +1,64 @@
+// Wait-time attribution: decomposing a blocked interval of the replay into
+// the physical reasons it blocked.
+//
+// Every blocked span ends when one specific message transfer arrives (or,
+// for a rendezvous send, when its transfer arrives at the peer). Given that
+// transfer's network timing, the span decomposes exactly into:
+//
+//   dependency       the remote rank had not yet enabled the transfer
+//                    (sender had not reached the send call / receiver had
+//                    not posted the rendezvous receive)
+//   bus contention   the transfer was queued because the global bus pool
+//                    was exhausted
+//   port contention  the transfer was queued on a node input/output port
+//   wire             serialization time (bytes / bandwidth, plus any
+//                    per-message endpoint overhead)
+//   latency          the fixed per-message network latency
+//
+// decompose() partitions [begin, end] with telescoping differences, so the
+// five components always sum to exactly end - begin.
+#pragma once
+
+#include <cstdint>
+
+namespace osim::metrics {
+
+/// Why a transfer could not start when it was handed to the network.
+/// Sampled once, right after submission; the whole queueing delay is
+/// attributed to the resource that was exhausted at that instant.
+enum class QueueReason : std::uint8_t { kNone, kBus, kOutPort, kInPort };
+
+const char* queue_reason_name(QueueReason reason);
+
+/// Network-side timing of one transfer, filled in by the replay engine as
+/// the transfer moves through the network model. Negative timestamps mean
+/// "not reached".
+struct TransferTiming {
+  double submit_s = -1.0;  // handed to the network model
+  double start_s = -1.0;   // resources acquired / flow activated
+  double fixed_latency_s = 0.0;  // model's fixed per-message delay
+  QueueReason queue_reason = QueueReason::kNone;
+};
+
+/// Blocked-time decomposition, in seconds. See the file comment.
+struct WaitComponents {
+  double dependency_s = 0.0;
+  double bus_contention_s = 0.0;
+  double port_contention_s = 0.0;
+  double wire_s = 0.0;
+  double latency_s = 0.0;
+
+  double total_s() const {
+    return dependency_s + bus_contention_s + port_contention_s + wire_s +
+           latency_s;
+  }
+  WaitComponents& operator+=(const WaitComponents& other);
+};
+
+/// Decomposes the blocked interval [begin, end] that was released by the
+/// transfer described by `timing`. A null timing (no releasing transfer is
+/// known) attributes the whole span to the dependency component.
+WaitComponents decompose(double begin, double end,
+                         const TransferTiming* timing);
+
+}  // namespace osim::metrics

@@ -1,0 +1,77 @@
+#include "metrics/collector.hpp"
+
+#include "common/expect.hpp"
+
+namespace osim::metrics {
+
+ReplayCollector::ReplayCollector(std::int32_t num_ranks,
+                                 std::int32_t num_nodes)
+    : rank_waits_(static_cast<std::size_t>(num_ranks)),
+      in_(static_cast<std::size_t>(num_nodes)),
+      out_(static_cast<std::size_t>(num_nodes)) {
+  OSIM_CHECK(num_ranks > 0 && num_nodes > 0);
+}
+
+void ReplayCollector::attribute(std::int32_t rank, std::int32_t peer,
+                                BlockKind kind, double begin, double end,
+                                const TransferTiming* timing) {
+  if (end <= begin) return;
+  const WaitComponents components = decompose(begin, end, timing);
+  auto& attribution = rank_waits_[static_cast<std::size_t>(rank)];
+  switch (kind) {
+    case BlockKind::kSend:
+      attribution.send += components;
+      break;
+    case BlockKind::kRecv:
+      attribution.recv += components;
+      break;
+    case BlockKind::kWait:
+      attribution.wait += components;
+      break;
+  }
+  PeerWait& pair = peer_waits_[{rank, peer}];
+  pair.rank = rank;
+  pair.peer = peer;
+  pair.blocks++;
+  pair.components += components;
+}
+
+void ReplayCollector::count_message(bool eager, std::uint64_t bytes) {
+  if (eager) {
+    protocol_.eager_messages++;
+    protocol_.eager_bytes += bytes;
+  } else {
+    protocol_.rendezvous_messages++;
+    protocol_.rendezvous_bytes += bytes;
+  }
+}
+
+OccupancyTracker& ReplayCollector::in_tracker(std::int32_t node) {
+  return in_[static_cast<std::size_t>(node)];
+}
+
+OccupancyTracker& ReplayCollector::out_tracker(std::int32_t node) {
+  return out_[static_cast<std::size_t>(node)];
+}
+
+ReplayMetrics ReplayCollector::finish(double end_time) const {
+  ReplayMetrics metrics;
+  metrics.rank_waits = rank_waits_;
+  metrics.peer_waits.reserve(peer_waits_.size());
+  for (const auto& [key, pair] : peer_waits_) {
+    metrics.peer_waits.push_back(pair);
+  }
+  metrics.bus = bus_.finish(end_time);
+  metrics.node_in.reserve(in_.size());
+  for (const OccupancyTracker& tracker : in_) {
+    metrics.node_in.push_back(tracker.finish(end_time));
+  }
+  metrics.node_out.reserve(out_.size());
+  for (const OccupancyTracker& tracker : out_) {
+    metrics.node_out.push_back(tracker.finish(end_time));
+  }
+  metrics.protocol = protocol_;
+  return metrics;
+}
+
+}  // namespace osim::metrics

@@ -1,0 +1,66 @@
+// The aggregated observability output of one replay: per-rank and per-peer
+// wait-time attribution, resource-occupancy statistics, and protocol
+// counters. Produced by metrics::ReplayCollector when
+// dimemas::ReplayOptions::collect_metrics is set; carried on
+// dimemas::SimResult and serialized by pipeline/report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/attribution.hpp"
+#include "metrics/occupancy.hpp"
+
+namespace osim::metrics {
+
+/// Which kind of blocked span an attribution belongs to; mirrors the
+/// send/recv/wait split of dimemas::RankStats.
+enum class BlockKind : std::uint8_t { kSend = 0, kRecv = 1, kWait = 2 };
+
+/// One rank's attributed blocked time. Each member's total_s() equals the
+/// matching RankStats counter (send_blocked_s / recv_blocked_s /
+/// wait_blocked_s) up to floating-point accumulation order.
+struct RankWaitAttribution {
+  WaitComponents send;
+  WaitComponents recv;
+  WaitComponents wait;
+
+  WaitComponents total() const {
+    WaitComponents t = send;
+    t += recv;
+    t += wait;
+    return t;
+  }
+};
+
+/// Attributed blocked time of `rank` over the spans released by `peer`.
+/// peer == -1 collects spans whose releasing transfer was unknown.
+struct PeerWait {
+  std::int32_t rank = -1;
+  std::int32_t peer = -1;
+  std::uint64_t blocks = 0;  // blocked spans released by this peer
+  WaitComponents components;
+};
+
+struct ProtocolCounts {
+  std::uint64_t eager_messages = 0;
+  std::uint64_t rendezvous_messages = 0;
+  std::uint64_t eager_bytes = 0;
+  std::uint64_t rendezvous_bytes = 0;
+};
+
+struct ReplayMetrics {
+  /// One entry per rank.
+  std::vector<RankWaitAttribution> rank_waits;
+  /// Sorted by (rank, peer); only pairs that actually blocked appear.
+  std::vector<PeerWait> peer_waits;
+  /// Global bus pool (bus model) or concurrent-flow count (fair-share).
+  OccupancyStats bus;
+  /// Per-node port occupancy; empty histograms when the network model has
+  /// no port stage (fair-share).
+  std::vector<OccupancyStats> node_in;
+  std::vector<OccupancyStats> node_out;
+  ProtocolCounts protocol;
+};
+
+}  // namespace osim::metrics

@@ -77,6 +77,34 @@ void write_prv_bundle(const SimResult& result, const std::string& base,
         << to_ns(comm.recv_post_time) << ":" << to_ns(comm.arrival_time)
         << ":" << comm.bytes << ":" << comm.tag << "\n";
   }
+  // Counter records (resource occupancy, when metrics were collected):
+  // 2:cpu:appl:task:thread:time:type:value
+  if (result.metrics != nullptr) {
+    const auto& metrics = *result.metrics;
+    const auto counter = [&prv](std::size_t task, std::int64_t time,
+                                long type, std::int64_t value) {
+      prv << "2:" << task << ":1:" << task << ":1:" << time << ":" << type
+          << ":" << value << "\n";
+    };
+    // The bus pool is a machine-global resource; its counter rides on the
+    // first task's timeline.
+    for (const auto& sample : metrics.bus.samples) {
+      counter(1, to_ns(sample.time_s), kPrvBusOccupancy, sample.level);
+    }
+    // Port counters only for nodes that host a rank (the platform may have
+    // more nodes than the trace has ranks; spare nodes have no task row).
+    const std::size_t nodes = std::min(metrics.node_in.size(), ranks);
+    for (std::size_t n = 0; n < nodes; ++n) {
+      for (const auto& sample : metrics.node_in[n].samples) {
+        counter(n + 1, to_ns(sample.time_s), kPrvInPortOccupancy,
+                sample.level);
+      }
+      for (const auto& sample : metrics.node_out[n].samples) {
+        counter(n + 1, to_ns(sample.time_s), kPrvOutPortOccupancy,
+                sample.level);
+      }
+    }
+  }
   if (!prv) throw Error("error writing " + base + ".prv");
 
   // --- .pcf -------------------------------------------------------------
@@ -97,7 +125,16 @@ void write_prv_bundle(const SimResult& result, const std::string& base,
          "3    {255,0,0}\n"
          "4    {255,146,24}\n"
          "5    {255,0,174}\n"
-         "9    {172,174,41}\n";
+         "9    {172,174,41}\n\n"
+         "EVENT_TYPE\n"
+         "0    "
+      << kPrvBusOccupancy
+      << "    Network bus occupancy (concurrent transfers)\n"
+         "0    "
+      << kPrvInPortOccupancy
+      << "    Node input-port occupancy\n"
+         "0    "
+      << kPrvOutPortOccupancy << "    Node output-port occupancy\n";
   if (!pcf) throw Error("error writing " + base + ".pcf");
 
   // --- .row -------------------------------------------------------------

@@ -28,9 +28,16 @@ enum class PrvState : int {
 
 PrvState to_prv_state(dimemas::RankState state);
 
+/// Paraver event (counter) types for the occupancy timelines emitted when
+/// the SimResult carries metrics (ReplayOptions::collect_metrics).
+inline constexpr long kPrvBusOccupancy = 90000001;
+inline constexpr long kPrvInPortOccupancy = 90000002;
+inline constexpr long kPrvOutPortOccupancy = 90000003;
+
 /// Writes `base`.prv, `base`.pcf and `base`.row. The SimResult must carry
 /// timelines (ReplayOptions::record_timeline); communication records are
-/// emitted when comms were recorded too. Times are nanoseconds.
+/// emitted when comms were recorded too, and resource-occupancy counter
+/// records when metrics were collected. Times are nanoseconds.
 void write_prv_bundle(const dimemas::SimResult& result,
                       const std::string& base,
                       const std::string& app_name);

@@ -109,6 +109,7 @@ void hash_platform(Hasher& h, const dimemas::Platform& p) {
 void hash_options(Hasher& h, const dimemas::ReplayOptions& o) {
   h.boolean(o.record_timeline);
   h.boolean(o.record_comms);
+  h.boolean(o.collect_metrics);
   h.boolean(o.auto_expand_collectives);
   h.u64(static_cast<std::uint64_t>(o.collective_algo));
   // validate_input is excluded: a sealed context always replays with it off.

@@ -1,0 +1,202 @@
+#include "pipeline/report.hpp"
+
+#include <fstream>
+
+#include "common/expect.hpp"
+#include "common/strings.hpp"
+#include "metrics/json.hpp"
+
+namespace osim::pipeline {
+
+namespace {
+
+using metrics::JsonWriter;
+
+const char* model_name(dimemas::NetworkModelKind model) {
+  switch (model) {
+    case dimemas::NetworkModelKind::kBus:
+      return "bus";
+    case dimemas::NetworkModelKind::kFairShare:
+      return "fairshare";
+  }
+  OSIM_UNREACHABLE("bad NetworkModelKind");
+}
+
+void write_components(JsonWriter& w, const metrics::WaitComponents& c) {
+  w.begin_object();
+  w.key("dependency_s").value(c.dependency_s);
+  w.key("bus_contention_s").value(c.bus_contention_s);
+  w.key("port_contention_s").value(c.port_contention_s);
+  w.key("wire_s").value(c.wire_s);
+  w.key("latency_s").value(c.latency_s);
+  w.key("total_s").value(c.total_s());
+  w.end_object();
+}
+
+void write_occupancy(JsonWriter& w, const metrics::OccupancyStats& stats) {
+  w.begin_object();
+  w.key("tracked").value(stats.tracked);
+  w.key("capacity").value(stats.capacity);
+  w.key("peak").value(stats.peak);
+  w.key("mean_level").value(stats.mean_level);
+  w.key("busy_s").value(stats.busy_s);
+  w.key("utilization").value(stats.utilization);
+  w.key("histogram_s").begin_array();
+  for (const double seconds : stats.histogram) w.value(seconds);
+  w.end_array();
+  w.end_object();
+}
+
+void write_platform(JsonWriter& w, const dimemas::Platform& p) {
+  w.begin_object();
+  w.key("num_nodes").value(p.num_nodes);
+  w.key("model").value(model_name(p.model));
+  w.key("relative_cpu_speed").value(p.relative_cpu_speed);
+  w.key("bandwidth_MBps").value(p.bandwidth_MBps);
+  w.key("latency_us").value(p.latency_us);
+  w.key("per_message_overhead_us").value(p.per_message_overhead_us);
+  w.key("num_buses").value(p.num_buses);
+  w.key("input_ports").value(p.input_ports);
+  w.key("output_ports").value(p.output_ports);
+  w.key("fabric_capacity_links").value(p.fabric_capacity_links);
+  w.key("eager_threshold_bytes").value(p.eager_threshold_bytes);
+  w.end_object();
+}
+
+std::string fingerprint_hex(const Fingerprint& f) {
+  return strprintf("%016llx%016llx",
+                   static_cast<unsigned long long>(f.hi),
+                   static_cast<unsigned long long>(f.lo));
+}
+
+}  // namespace
+
+std::string replay_report_json(const dimemas::SimResult& result,
+                               const dimemas::Platform& platform,
+                               const std::string& app) {
+  const metrics::ReplayMetrics* m = result.metrics.get();
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("osim.replay_report");
+  w.key("version").value(static_cast<std::int64_t>(kReportVersion));
+  w.key("app").value(app);
+  w.key("platform");
+  write_platform(w, platform);
+
+  w.key("summary").begin_object();
+  w.key("makespan_s").value(result.makespan);
+  w.key("efficiency").value(result.efficiency());
+  w.key("total_compute_s").value(result.total_compute_s());
+  w.key("total_blocked_s").value(result.total_blocked_s());
+  w.key("des_events").value(result.des_events);
+  w.end_object();
+
+  w.key("ranks").begin_array();
+  for (std::size_t r = 0; r < result.rank_stats.size(); ++r) {
+    const dimemas::RankStats& stats = result.rank_stats[r];
+    w.begin_object();
+    w.key("rank").value(static_cast<std::int64_t>(r));
+    w.key("compute_s").value(stats.compute_s);
+    w.key("send_blocked_s").value(stats.send_blocked_s);
+    w.key("recv_blocked_s").value(stats.recv_blocked_s);
+    w.key("wait_blocked_s").value(stats.wait_blocked_s);
+    w.key("blocked_s").value(stats.blocked_s());
+    w.key("finish_time_s").value(stats.finish_time);
+    w.key("messages_sent").value(stats.messages_sent);
+    w.key("messages_received").value(stats.messages_received);
+    w.key("bytes_sent").value(stats.bytes_sent);
+    w.key("bytes_received").value(stats.bytes_received);
+    if (m != nullptr && r < m->rank_waits.size()) {
+      const metrics::RankWaitAttribution& attr = m->rank_waits[r];
+      w.key("wait_attribution").begin_object();
+      w.key("send");
+      write_components(w, attr.send);
+      w.key("recv");
+      write_components(w, attr.recv);
+      w.key("wait");
+      write_components(w, attr.wait);
+      w.key("total");
+      write_components(w, attr.total());
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  if (m != nullptr) {
+    w.key("peer_waits").begin_array();
+    for (const metrics::PeerWait& pw : m->peer_waits) {
+      w.begin_object();
+      w.key("rank").value(pw.rank);
+      w.key("peer").value(pw.peer);
+      w.key("blocks").value(pw.blocks);
+      w.key("components");
+      write_components(w, pw.components);
+      w.end_object();
+    }
+    w.end_array();
+
+    w.key("occupancy").begin_object();
+    w.key("bus");
+    write_occupancy(w, m->bus);
+    w.key("nodes").begin_array();
+    const std::size_t nodes = m->node_in.size();
+    for (std::size_t n = 0; n < nodes; ++n) {
+      w.begin_object();
+      w.key("node").value(static_cast<std::int64_t>(n));
+      w.key("in");
+      write_occupancy(w, m->node_in[n]);
+      w.key("out");
+      write_occupancy(w, m->node_out[n]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+
+    w.key("protocol").begin_object();
+    w.key("eager_messages").value(m->protocol.eager_messages);
+    w.key("rendezvous_messages").value(m->protocol.rendezvous_messages);
+    w.key("eager_bytes").value(m->protocol.eager_bytes);
+    w.key("rendezvous_bytes").value(m->protocol.rendezvous_bytes);
+    w.end_object();
+  }
+
+  w.end_object();
+  return w.str();
+}
+
+std::string study_report_json(const Study& study) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("osim.study_report");
+  w.key("version").value(static_cast<std::int64_t>(kReportVersion));
+  w.key("jobs").value(static_cast<std::int64_t>(study.jobs()));
+  w.key("cache").begin_object();
+  w.key("hits").value(static_cast<std::uint64_t>(study.cache_hits()));
+  w.key("misses").value(static_cast<std::uint64_t>(study.cache_misses()));
+  w.key("size").value(static_cast<std::uint64_t>(study.cache_size()));
+  w.end_object();
+  w.key("scenarios").begin_array();
+  for (const ScenarioRecord& record : study.scenarios()) {
+    w.begin_object();
+    w.key("label").value(record.label);
+    w.key("fingerprint").value(fingerprint_hex(record.fingerprint));
+    w.key("makespan_s").value(record.makespan);
+    w.key("wall_s").value(record.wall_s);
+    w.key("cache_hit").value(record.cache_hit);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void write_report(const std::string& path, const std::string& json) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open report file: " + path);
+  out << json << '\n';
+  out.flush();
+  if (!out) throw Error("failed writing report file: " + path);
+}
+
+}  // namespace osim::pipeline

@@ -1,0 +1,34 @@
+// Structured run reports.
+//
+// Serializes one replay (summary, per-rank statistics, wait-time
+// attribution, resource occupancy, protocol counters) or one study (cache
+// behaviour, per-scenario makespans and wall times) as a versioned JSON
+// document. The schema is documented in DESIGN.md ("JSON run reports");
+// bump kReportVersion on any incompatible change.
+#pragma once
+
+#include <string>
+
+#include "dimemas/platform.hpp"
+#include "dimemas/result.hpp"
+#include "pipeline/study.hpp"
+
+namespace osim::pipeline {
+
+inline constexpr int kReportVersion = 1;
+
+/// JSON report for one replay. `app` labels the document (typically
+/// trace.app). The attribution/occupancy/protocol sections are emitted only
+/// when `result.metrics` is populated (ReplayOptions::collect_metrics).
+std::string replay_report_json(const dimemas::SimResult& result,
+                               const dimemas::Platform& platform,
+                               const std::string& app);
+
+/// JSON report for a sweep: cache statistics plus one record per evaluated
+/// scenario (requires StudyOptions::record_scenarios for the latter).
+std::string study_report_json(const Study& study);
+
+/// Writes `json` to `path`; throws osim::Error on I/O failure.
+void write_report(const std::string& path, const std::string& json);
+
+}  // namespace osim::pipeline

@@ -1,5 +1,7 @@
 #include "pipeline/study.hpp"
 
+#include <chrono>
+
 #include "common/expect.hpp"
 #include "dimemas/replay.hpp"
 
@@ -59,13 +61,14 @@ void Study::worker_loop() {
   }
 }
 
-double Study::makespan(const ReplayContext& context) {
-  if (!options_.cache_replays) return run(context).makespan;
+double Study::makespan(const ReplayContext& context, std::string_view label) {
   const Fingerprint key = context.fingerprint();
-  {
+  if (options_.cache_replays) {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     if (const auto it = cache_.find(key); it != cache_.end()) {
       ++hits_;
+      record_scenario(
+          ScenarioRecord{key, it->second, 0.0, true, std::string(label)});
       return it->second;
     }
     ++misses_;
@@ -73,12 +76,25 @@ double Study::makespan(const ReplayContext& context) {
   // Computed outside the lock; a concurrent miss on the same key computes
   // the identical value (replay is pure), so the duplicate insert is
   // harmless.
+  const auto wall_begin = std::chrono::steady_clock::now();
   const double value = run(context).makespan;
-  {
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_begin)
+          .count();
+  if (options_.cache_replays) {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     cache_.emplace(key, value);
   }
+  record_scenario(ScenarioRecord{key, value, wall_s, false,
+                                 std::string(label)});
   return value;
+}
+
+void Study::record_scenario(ScenarioRecord record) {
+  if (!options_.record_scenarios) return;
+  std::lock_guard<std::mutex> lock(scenario_mutex_);
+  scenarios_.push_back(std::move(record));
 }
 
 dimemas::SimResult Study::run(const ReplayContext& context) const {
@@ -99,6 +115,11 @@ std::size_t Study::cache_misses() const {
 std::size_t Study::cache_size() const {
   std::lock_guard<std::mutex> lock(cache_mutex_);
   return cache_.size();
+}
+
+std::vector<ScenarioRecord> Study::scenarios() const {
+  std::lock_guard<std::mutex> lock(scenario_mutex_);
+  return scenarios_;
 }
 
 }  // namespace osim::pipeline

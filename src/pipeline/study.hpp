@@ -25,6 +25,8 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <type_traits>
 #include <unordered_map>
@@ -41,6 +43,20 @@ struct StudyOptions {
   int jobs = 1;
   /// Serve repeated scenarios from the fingerprint-keyed makespan cache.
   bool cache_replays = true;
+  /// Keep one ScenarioRecord per makespan() evaluation (see scenarios()),
+  /// for structured study reports.
+  bool record_scenarios = false;
+};
+
+/// One evaluated sweep scenario: what was replayed, the result, and what it
+/// cost. Records accumulate in completion order, which depends on thread
+/// scheduling — sort by label or fingerprint for stable output.
+struct ScenarioRecord {
+  Fingerprint fingerprint;
+  double makespan = 0.0;
+  double wall_s = 0.0;  // replay wall time; 0 for cache hits
+  bool cache_hit = false;
+  std::string label;
 };
 
 class Study {
@@ -52,8 +68,9 @@ class Study {
 
   /// Replay makespan of `context`, served from the cache when this exact
   /// (trace, platform, options) fingerprint has been evaluated before.
-  /// Thread-safe; callable from inside map() work items.
-  double makespan(const ReplayContext& context);
+  /// Thread-safe; callable from inside map() work items. `label` tags the
+  /// ScenarioRecord when StudyOptions::record_scenarios is on.
+  double makespan(const ReplayContext& context, std::string_view label = {});
 
   /// Full simulation result (timelines, comms, per-rank stats). Never
   /// cached — results with recording enabled are large and typically
@@ -73,9 +90,14 @@ class Study {
   std::size_t cache_misses() const;
   std::size_t cache_size() const;
 
+  /// Copy of the scenario records accumulated so far. Empty unless
+  /// StudyOptions::record_scenarios is set. Thread-safe.
+  std::vector<ScenarioRecord> scenarios() const;
+
  private:
   void enqueue(std::function<void()> task);
   void worker_loop();
+  void record_scenario(ScenarioRecord record);
 
   int jobs_ = 1;
   StudyOptions options_;
@@ -84,6 +106,9 @@ class Study {
   std::unordered_map<Fingerprint, double, FingerprintHash> cache_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+
+  mutable std::mutex scenario_mutex_;
+  std::vector<ScenarioRecord> scenarios_;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

@@ -243,6 +243,18 @@ TEST(Csv, InMemoryEscaping) {
   EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
 }
 
+// Regression: a bare carriage return must be quoted like \n, or a cell
+// containing CRLF text splits the row in readers that treat \r as a line
+// ending.
+TEST(Csv, CarriageReturnIsQuoted) {
+  CsvWriter csv({"a"});
+  csv.add_row({"line\r\nbreak"});
+  csv.add_row({"bare\rreturn"});
+  const std::string out = csv.str();
+  EXPECT_NE(out.find("\"line\r\nbreak\""), std::string::npos);
+  EXPECT_NE(out.find("\"bare\rreturn\""), std::string::npos);
+}
+
 TEST(Csv, FileMode) {
   const std::string path = ::testing::TempDir() + "/osim_csv_test.csv";
   {
@@ -299,6 +311,51 @@ TEST(Flags, BoolExplicitFalse) {
   const char* argv[] = {"prog", "--enabled=false"};
   EXPECT_TRUE(flags.parse(2, argv));
   EXPECT_FALSE(enabled);
+}
+
+TEST(Flags, EmptyValueAfterEqualsSetsEmptyString) {
+  std::string name = "default";
+  Flags flags("test");
+  flags.add("name", &name, "a string");
+  const char* argv[] = {"prog", "--name="};
+  EXPECT_TRUE(flags.parse(2, argv));
+  EXPECT_EQ(name, "");
+}
+
+TEST(Flags, BoolExplicitValues) {
+  bool enabled = false;
+  Flags flags("test");
+  flags.add("enabled", &enabled, "bool");
+
+  const char* on_1[] = {"prog", "--enabled=1"};
+  EXPECT_TRUE(flags.parse(2, on_1));
+  EXPECT_TRUE(enabled);
+
+  const char* off_0[] = {"prog", "--enabled=0"};
+  EXPECT_TRUE(flags.parse(2, off_0));
+  EXPECT_FALSE(enabled);
+
+  const char* on_true[] = {"prog", "--enabled=true"};
+  EXPECT_TRUE(flags.parse(2, on_true));
+  EXPECT_TRUE(enabled);
+
+  enabled = false;
+  const char* on_bare_eq[] = {"prog", "--enabled="};
+  EXPECT_TRUE(flags.parse(2, on_bare_eq));
+  EXPECT_TRUE(enabled);  // --enabled= behaves like bare --enabled
+}
+
+TEST(Flags, RepeatedFlagLastOccurrenceWins) {
+  std::string name = "default";
+  std::int64_t count = 0;
+  Flags flags("test");
+  flags.add("name", &name, "a string");
+  flags.add("count", &count, "an int");
+  const char* argv[] = {"prog", "--name=first", "--count=1", "--name=second",
+                        "--count", "2"};
+  EXPECT_TRUE(flags.parse(6, argv));
+  EXPECT_EQ(name, "second");
+  EXPECT_EQ(count, 2);
 }
 
 TEST(Flags, PositionalArgumentRejected) {

@@ -7,11 +7,14 @@
 #include <cstddef>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "analysis/bandwidth.hpp"
 #include "common/expect.hpp"
+#include "metrics/replay_metrics.hpp"
 #include "pipeline/context.hpp"
+#include "pipeline/report.hpp"
 #include "pipeline/scenario.hpp"
 #include "pipeline/study.hpp"
 #include "trace/trace.hpp"
@@ -322,6 +325,91 @@ TEST(Study, JobsZeroMeansHardwareConcurrency) {
   options.jobs = 0;
   Study study(options);
   EXPECT_GE(study.jobs(), 1);
+}
+
+// --- metrics & structured reports -------------------------------------------
+
+TEST(Metrics, CollectionDoesNotPerturbReplay) {
+  const ReplayContext plain(ring_trace(4, 3), ring_platform(4));
+  dimemas::ReplayOptions on;
+  on.collect_metrics = true;
+  const ReplayContext metered = plain.with_options(on);
+  EXPECT_NE(plain.fingerprint(), metered.fingerprint());
+
+  Study study;
+  const dimemas::SimResult a = study.run(plain);
+  const dimemas::SimResult b = study.run(metered);
+  EXPECT_EQ(a.metrics, nullptr);
+  ASSERT_NE(b.metrics, nullptr);
+  // Bit-identical, not merely close: collection must be purely passive.
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.des_events, b.des_events);
+  ASSERT_EQ(a.rank_stats.size(), b.rank_stats.size());
+  for (std::size_t r = 0; r < a.rank_stats.size(); ++r) {
+    EXPECT_EQ(a.rank_stats[r].compute_s, b.rank_stats[r].compute_s);
+    EXPECT_EQ(a.rank_stats[r].send_blocked_s, b.rank_stats[r].send_blocked_s);
+    EXPECT_EQ(a.rank_stats[r].recv_blocked_s, b.rank_stats[r].recv_blocked_s);
+    EXPECT_EQ(a.rank_stats[r].wait_blocked_s, b.rank_stats[r].wait_blocked_s);
+    EXPECT_EQ(a.rank_stats[r].finish_time, b.rank_stats[r].finish_time);
+    EXPECT_EQ(a.rank_stats[r].messages_sent, b.rank_stats[r].messages_sent);
+    EXPECT_EQ(a.rank_stats[r].bytes_sent, b.rank_stats[r].bytes_sent);
+    EXPECT_EQ(a.rank_stats[r].bytes_received, b.rank_stats[r].bytes_received);
+  }
+}
+
+TEST(Metrics, AttributionSumsToBlockedStats) {
+  dimemas::ReplayOptions on;
+  on.collect_metrics = true;
+  const ReplayContext context(ring_trace(6, 4), ring_platform(6), on);
+  Study study;
+  const dimemas::SimResult result = study.run(context);
+  ASSERT_NE(result.metrics, nullptr);
+  ASSERT_EQ(result.metrics->rank_waits.size(), result.rank_stats.size());
+  for (std::size_t r = 0; r < result.rank_stats.size(); ++r) {
+    const metrics::RankWaitAttribution& w = result.metrics->rank_waits[r];
+    EXPECT_NEAR(w.send.total_s(), result.rank_stats[r].send_blocked_s, 1e-9);
+    EXPECT_NEAR(w.recv.total_s(), result.rank_stats[r].recv_blocked_s, 1e-9);
+    EXPECT_NEAR(w.wait.total_s(), result.rank_stats[r].wait_blocked_s, 1e-9);
+  }
+}
+
+TEST(Report, ReplayReportCarriesSchemaAndAttribution) {
+  dimemas::ReplayOptions on;
+  on.collect_metrics = true;
+  const ReplayContext context(ring_trace(4, 2), ring_platform(4), on);
+  Study study;
+  const dimemas::SimResult result = study.run(context);
+  const std::string json =
+      replay_report_json(result, context.platform(), "ring");
+  EXPECT_NE(json.find("\"schema\":\"osim.replay_report\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"wait_attribution\""), std::string::npos);
+  EXPECT_NE(json.find("\"peer_waits\""), std::string::npos);
+  EXPECT_NE(json.find("\"occupancy\""), std::string::npos);
+  EXPECT_NE(json.find("\"protocol\""), std::string::npos);
+}
+
+TEST(Report, StudyReportRecordsScenarios) {
+  StudyOptions options;
+  options.record_scenarios = true;
+  Study study(options);
+  const ReplayContext context(ring_trace(2, 2), ring_platform(2));
+  const double first = study.makespan(context, "first");
+  const double again = study.makespan(context, "again");
+  EXPECT_EQ(first, again);
+  const std::vector<ScenarioRecord> scenarios = study.scenarios();
+  ASSERT_EQ(scenarios.size(), 2u);
+  EXPECT_EQ(scenarios[0].label, "first");
+  EXPECT_FALSE(scenarios[0].cache_hit);
+  EXPECT_EQ(scenarios[1].label, "again");
+  EXPECT_TRUE(scenarios[1].cache_hit);
+  EXPECT_EQ(scenarios[1].makespan, scenarios[0].makespan);
+  const std::string json = study_report_json(study);
+  EXPECT_NE(json.find("\"schema\":\"osim.study_report\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"again\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hit\":true"), std::string::npos);
 }
 
 }  // namespace

@@ -379,5 +379,69 @@ TEST(Replay, FairShareModelRuns) {
   EXPECT_LE(replay(t, bus).makespan, result.makespan + 1e-9);
 }
 
+// Regression: a wait over several requests must attribute the blocked
+// interval to the *last* releasing rank, preferring a real remote
+// constraint over "no constraint" when completions tie. Rank 2 waits on
+// two rendezvous receives that arrive at the same instant: the transfer
+// from rank 0 carries a causal constraint (rank 0's send call at 100 us,
+// after the recv was posted) while the transfer from rank 1 was only
+// gated by rank 2's own late post (cause -1). The recorded cause must be
+// rank 0, not whichever request happened to complete last in event order.
+TEST(Replay, WaitallRecordsLastReleasingRank) {
+  constexpr std::int64_t kInstr = 100'000;   // 100 us at 1000 MIPS
+  constexpr std::uint64_t kBytes = 100'000;  // rendezvous (> 16 KiB)
+  TraceBuilder b(3, 1000.0);
+  b.compute(0, kInstr);
+  b.send(0, 2, 0, kBytes);      // called at 100 us, recv already posted
+  b.isend(1, 2, 1, kBytes, 9);  // called at t=0, recv posted at 100 us
+  b.wait(1, {9});
+  b.irecv(2, 0, 0, kBytes, 1);  // posted at t=0
+  b.compute(2, kInstr);
+  b.irecv(2, 1, 1, kBytes, 2);  // posted at 100 us
+  b.wait(2, {1, 2});
+  Platform p = test_platform(3);
+  p.input_ports = 2;  // both transfers start together: identical arrivals
+  ReplayOptions options;
+  options.record_timeline = true;
+  const SimResult result = replay(std::move(b).build(), p, options);
+
+  const StateInterval* wait = nullptr;
+  for (const StateInterval& iv : result.timelines[2]) {
+    if (iv.state == RankState::kWaitBlocked) wait = &iv;
+  }
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->cause_rank, 0);
+  EXPECT_NEAR(wait->cause_time, 100.0 * kUs, 1e-12);
+}
+
+// Message conservation: bytes are credited to the receiver at delivery,
+// so once a replay drains, global bytes_sent == bytes_received — across
+// eager, rendezvous, and expanded collective traffic alike.
+TEST(Replay, BytesConservationIncludingCollectives) {
+  TraceBuilder b(4, 1000.0);
+  for (Rank r = 0; r < 4; ++r) {
+    b.compute(r, 1000 * (r + 1));
+    b.global(r, CollectiveKind::kAllreduce, 0, 4096, 0);
+  }
+  b.send(0, 1, 0, 2000);  // eager
+  b.recv(1, 0, 0, 2000);
+  b.isend(2, 3, 1, 50'000, 5);  // rendezvous
+  b.wait(2, {5});
+  b.irecv(3, 2, 1, 50'000, 7);
+  b.wait(3, {7});
+  for (Rank r = 0; r < 4; ++r) {
+    b.global(r, CollectiveKind::kAlltoall, 0, 8192, 1);
+  }
+  const SimResult result = replay(std::move(b).build(), test_platform(4));
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  for (const RankStats& s : result.rank_stats) {
+    sent += s.bytes_sent;
+    received += s.bytes_received;
+  }
+  EXPECT_GT(sent, 0u);
+  EXPECT_EQ(sent, received);
+}
+
 }  // namespace
 }  // namespace osim::dimemas

@@ -8,6 +8,7 @@
 //   osim_replay --trace /tmp/cg.original.trace --bandwidth 250 --buses 6
 //   osim_replay --trace t.trace --platform marenostrum.cfg --timeline
 //   osim_replay --trace t.trace --prv /tmp/run     # + .prv/.pcf/.row
+//   osim_replay --trace t.trace --report run.json  # structured run report
 #include <cstdio>
 
 #include "analysis/critical_path.hpp"
@@ -18,6 +19,7 @@
 #include "dimemas/platform_io.hpp"
 #include "paraver/paraver.hpp"
 #include "pipeline/context.hpp"
+#include "pipeline/report.hpp"
 #include "pipeline/study.hpp"
 #include "trace/binary_io.hpp"
 
@@ -26,6 +28,7 @@ int main(int argc, char** argv) try {
   std::string trace_path;
   std::string platform_path;
   std::string prv_base;
+  std::string report_path;
   double bandwidth = 250.0;
   double latency = 4.0;
   std::int64_t buses = 0;
@@ -58,6 +61,9 @@ int main(int argc, char** argv) try {
             "collective algorithm: binomial-tree | linear | "
             "recursive-doubling");
   flags.add("prv", &prv_base, "write a Paraver bundle to <prv>.prv/.pcf/.row");
+  flags.add("report", &report_path,
+            "write a JSON run report (wait-time attribution, occupancy, "
+            "protocol counters) to this path");
   flags.add("jobs", &jobs,
             "replay jobs for batch studies (0 = one per hardware thread)");
   if (!flags.parse(argc, argv)) return 0;
@@ -86,6 +92,7 @@ int main(int argc, char** argv) try {
   options.record_timeline =
       timeline || profile || critpath || !prv_base.empty();
   options.record_comms = !prv_base.empty();
+  options.collect_metrics = !report_path.empty() || !prv_base.empty();
   if (collectives == "binomial-tree") {
     options.collective_algo = dimemas::CollectiveAlgo::kBinomialTree;
   } else if (collectives == "linear") {
@@ -111,7 +118,8 @@ int main(int argc, char** argv) try {
 
   if (per_rank) {
     TextTable table({"rank", "compute", "send-blocked", "recv-blocked",
-                     "wait-blocked", "finish", "msgs sent", "bytes sent"});
+                     "wait-blocked", "finish", "msgs sent", "bytes sent",
+                     "bytes recvd"});
     for (std::size_t r = 0; r < result.rank_stats.size(); ++r) {
       const auto& rs = result.rank_stats[r];
       table.add_row({std::to_string(r), format_seconds(rs.compute_s),
@@ -120,7 +128,8 @@ int main(int argc, char** argv) try {
                      format_seconds(rs.wait_blocked_s),
                      format_seconds(rs.finish_time),
                      std::to_string(rs.messages_sent),
-                     format_bytes(static_cast<double>(rs.bytes_sent))});
+                     format_bytes(static_cast<double>(rs.bytes_sent)),
+                     format_bytes(static_cast<double>(rs.bytes_received))});
     }
     std::printf("%s", table.render().c_str());
   }
@@ -142,6 +151,12 @@ int main(int argc, char** argv) try {
                               t.app.empty() ? "app" : t.app);
     std::printf("Paraver bundle written to %s.{prv,pcf,row}\n",
                 prv_base.c_str());
+  }
+  if (!report_path.empty()) {
+    pipeline::write_report(
+        report_path, pipeline::replay_report_json(
+                         result, platform, t.app.empty() ? "app" : t.app));
+    std::printf("run report written to %s\n", report_path.c_str());
   }
   return 0;
 } catch (const std::exception& e) {
