@@ -76,6 +76,85 @@ grep -q '"occupancy"' "$OUT/report.json"
     --bandwidth 250 --latency 4 > "$OUT/pop.txt"
 grep -q "makespan:" "$OUT/pop.txt"
 
+# --- CLI error-path contract (common/exit_codes.hpp) ------------------------
+
+# Unknown flag: usage error (exit 2) with a nearest-flag suggestion.
+set +e
+"$BUILD/tools/osim_replay" --tracee "$OUT/cg.original.trace" \
+    > /dev/null 2> "$OUT/badflag.txt"
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || { echo "unknown flag: expected exit 2, got $rc" >&2; exit 1; }
+grep -q "did you mean --trace?" "$OUT/badflag.txt"
+
+# Malformed flag value is a usage error too.
+set +e
+"$BUILD/tools/osim_replay" --trace "$OUT/cg.original.trace" --buses lots \
+    > /dev/null 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || { echo "bad value: expected exit 2, got $rc" >&2; exit 1; }
+
+# Truncated binary trace: strict read refuses with exit 3...
+head -c 40 "$OUT/pop.original.btrace" > "$OUT/pop.cut.btrace"
+set +e
+"$BUILD/tools/osim_replay" --trace "$OUT/pop.cut.btrace" \
+    > /dev/null 2> "$OUT/cut.txt"
+rc=$?
+set -e
+[ "$rc" -eq 3 ] || { echo "truncated strict: expected exit 3, got $rc" >&2; exit 1; }
+grep -q "recover" "$OUT/cut.txt"
+
+# ...and osim_inspect --validate triages it as damaged-but-salvageable.
+set +e
+"$BUILD/tools/osim_inspect" --trace "$OUT/pop.cut.btrace" --validate \
+    > "$OUT/triage.txt" 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 4 ] || { echo "inspect --validate: expected exit 4, got $rc" >&2; exit 1; }
+grep -q "trace damage report" "$OUT/triage.txt"
+
+# A damaged footer (flipped CRC byte) still salvages every record, so
+# --recover replays it and reports the damage through exit 4.
+cp "$OUT/pop.original.btrace" "$OUT/pop.crc.btrace"
+python3 - "$OUT/pop.crc.btrace" <<'PY'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, 'rb').read())
+data[-1] ^= 0x40
+open(path, 'wb').write(data)
+PY
+set +e
+"$BUILD/tools/osim_replay" --trace "$OUT/pop.crc.btrace" --recover \
+    > "$OUT/salvaged.txt" 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 4 ] || { echo "salvaged replay: expected exit 4, got $rc" >&2; exit 1; }
+grep -q "makespan:" "$OUT/salvaged.txt"
+
+# Garbage input is unreadable even in recover mode: exit 3.
+printf 'not a trace at all\n' > "$OUT/garbage.trace"
+set +e
+"$BUILD/tools/osim_replay" --trace "$OUT/garbage.trace" --recover \
+    > /dev/null 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 3 ] || { echo "garbage recover: expected exit 3, got $rc" >&2; exit 1; }
+
+# Fault injection smoke: counters reach the run report, and faults off
+# means no fault section.
+"$BUILD/tools/osim_replay" --trace "$OUT/cg.original.trace" \
+    --platform "$OUT/platform.cfg" \
+    --faults 'seed=7;loss=0.05,timeout=20us' \
+    --report "$OUT/faulty.json" > "$OUT/faulty.txt"
+grep -q "faults: seed=7" "$OUT/faulty.txt"
+grep -q '"faults"' "$OUT/faulty.json"
+grep -q '"retransmits"' "$OUT/faulty.json"
+if grep -q '"faults"' "$OUT/report.json"; then
+  echo "fault-free report contains a fault section" >&2
+  exit 1
+fi
+
 # Offline transformation from the annotated trace reproduces the
 # tracer-emitted original trace byte for byte.
 "$BUILD/tools/osim_overlap" --annotated "$OUT/cg.ann" --mode original \

@@ -1,0 +1,23 @@
+// Exit-code contract shared by every osim_* tool, so scripts and CI can
+// branch on *why* a tool stopped without parsing stderr:
+//
+//   0  success; output is complete and trustworthy
+//   1  runtime failure (invalid trace semantics, I/O error, bad config)
+//   2  usage error: the command line itself was wrong (unknown flag,
+//      malformed value, missing required flag) — see osim::UsageError
+//   3  input trace unreadable: nothing could be salvaged from it
+//   4  input trace was damaged but salvaged (--recover); results reflect
+//      only the recovered prefix
+//
+// Keep the numbers stable: scripts/pipeline_test.sh asserts them.
+#pragma once
+
+namespace osim {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitError = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitUnreadable = 3;
+inline constexpr int kExitSalvaged = 4;
+
+}  // namespace osim

@@ -23,6 +23,14 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Error in how a tool was invoked (unknown flag, malformed flag value,
+/// missing argument). Tools map this to exit code 2 — distinct from runtime
+/// failures — so scripts can tell "you called it wrong" from "it failed".
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] inline void check_failed(const char* cond, const char* file,

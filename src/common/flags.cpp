@@ -1,7 +1,9 @@
 #include "common/flags.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
+#include <vector>
 
 #include "common/expect.hpp"
 #include "common/strings.hpp"
@@ -33,6 +35,49 @@ void Flags::add(const std::string& name, bool* target,
 
 std::string Flags::cellrepr(double v) { return strprintf("%g", v); }
 
+namespace {
+
+/// Levenshtein distance, early-exiting once the best possible outcome
+/// exceeds `cap` (we only care about distances <= 2 for suggestions).
+std::size_t edit_distance_capped(const std::string& a, const std::string& b,
+                                 std::size_t cap) {
+  const std::size_t la = a.size();
+  const std::size_t lb = b.size();
+  if (la > lb + cap || lb > la + cap) return cap + 1;
+  std::vector<std::size_t> row(lb + 1);
+  for (std::size_t j = 0; j <= lb; ++j) row[j] = j;
+  for (std::size_t i = 1; i <= la; ++i) {
+    std::size_t prev = row[0];  // row[i-1][j-1]
+    row[0] = i;
+    std::size_t best = row[0];
+    for (std::size_t j = 1; j <= lb; ++j) {
+      const std::size_t subst = prev + (a[i - 1] == b[j - 1] ? 0 : 1);
+      prev = row[j];
+      row[j] = std::min({subst, row[j] + 1, row[j - 1] + 1});
+      best = std::min(best, row[j]);
+    }
+    if (best > cap) return cap + 1;
+  }
+  return row[lb];
+}
+
+}  // namespace
+
+std::string Flags::suggestion(const std::string& name) const {
+  constexpr std::size_t kMaxDistance = 2;
+  std::string best;
+  std::size_t best_distance = kMaxDistance + 1;
+  for (const auto& [candidate, entry] : entries_) {
+    const std::size_t d =
+        edit_distance_capped(name, candidate, kMaxDistance);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
 void Flags::set_value(const std::string& name, Entry& entry,
                       const std::string& value) {
   switch (entry.kind) {
@@ -41,13 +86,17 @@ void Flags::set_value(const std::string& name, Entry& entry,
       return;
     case Kind::kInt: {
       const auto parsed = parse_i64(value);
-      if (!parsed) throw Error("flag --" + name + ": bad integer '" + value + "'");
+      if (!parsed) {
+        throw UsageError("flag --" + name + ": bad integer '" + value + "'");
+      }
       *static_cast<std::int64_t*>(entry.target) = *parsed;
       return;
     }
     case Kind::kDouble: {
       const auto parsed = parse_f64(value);
-      if (!parsed) throw Error("flag --" + name + ": bad number '" + value + "'");
+      if (!parsed) {
+        throw UsageError("flag --" + name + ": bad number '" + value + "'");
+      }
       *static_cast<double*>(entry.target) = *parsed;
       return;
     }
@@ -57,7 +106,7 @@ void Flags::set_value(const std::string& name, Entry& entry,
       } else if (value == "false" || value == "0") {
         *static_cast<bool*>(entry.target) = false;
       } else {
-        throw Error("flag --" + name + ": bad boolean '" + value + "'");
+        throw UsageError("flag --" + name + ": bad boolean '" + value + "'");
       }
       return;
     }
@@ -74,7 +123,8 @@ bool Flags::parse(int argc, const char* const* argv) {
       return false;
     }
     if (!starts_with(arg, "--")) {
-      throw Error("unexpected positional argument '" + arg + "'\n" + usage());
+      throw UsageError("unexpected positional argument '" + arg + "'\n" +
+                       usage());
     }
     arg = arg.substr(2);
     std::string name = arg;
@@ -88,10 +138,16 @@ bool Flags::parse(int argc, const char* const* argv) {
     }
     const auto it = entries_.find(name);
     if (it == entries_.end()) {
-      throw Error("unknown flag --" + name + "\n" + usage());
+      std::string message = "unknown flag --" + name;
+      if (const std::string near = suggestion(name); !near.empty()) {
+        message += " (did you mean --" + near + "?)";
+      }
+      throw UsageError(message + "\n" + usage());
     }
     if (!have_value && it->second.kind != Kind::kBool) {
-      if (i + 1 >= argc) throw Error("flag --" + name + " needs a value");
+      if (i + 1 >= argc) {
+        throw UsageError("flag --" + name + " needs a value");
+      }
       value = argv[++i];
     }
     set_value(name, it->second, value);

@@ -3,9 +3,11 @@
 // Accepted syntax: --name=value or --name value; bare --name for booleans
 // (explicit --name=true/false/1/0 also works). A flag repeated on the
 // command line is applied left to right, so the last occurrence wins —
-// convenient for overriding a scripted default. Unknown flags raise
-// osim::Error listing the registered flags, so every binary gets a usable
-// --help for free.
+// convenient for overriding a scripted default. Unknown flags and
+// malformed values raise osim::UsageError naming the offending flag —
+// with a "did you mean --x?" suggestion when a registered flag is within
+// edit distance 2 — and listing the registered flags, so every binary
+// gets a usable --help for free.
 #pragma once
 
 #include <cstdint>
@@ -29,10 +31,14 @@ class Flags {
   void add(const std::string& name, bool* target, const std::string& help);
 
   /// Parses argv. On --help, prints usage and returns false (caller should
-  /// exit 0). Throws osim::Error on unknown flags or bad values.
+  /// exit 0). Throws osim::UsageError on unknown flags or bad values.
   bool parse(int argc, const char* const* argv);
 
   std::string usage() const;
+
+  /// Registered flag closest to `name` within edit distance 2, or "" when
+  /// nothing is close enough to suggest.
+  std::string suggestion(const std::string& name) const;
 
  private:
   enum class Kind { kString, kInt, kDouble, kBool };

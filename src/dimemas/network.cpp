@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/expect.hpp"
+#include "faults/injector.hpp"
 
 namespace osim::dimemas {
 
@@ -94,8 +95,20 @@ void BusNetwork::start(Pending pending) {
   // Ports and buses are held for the serialization time (bytes/bandwidth);
   // the wire latency is pipelined and does not occupy resources, so
   // back-to-back messages pay the latency only once on the critical path.
-  const double release = events_.now() + serialization_time(transfer.bytes);
-  const double arrival = release + latency_s_;
+  // Fault-injected link degradation (sampled once, when the wire time
+  // begins) scales the serialization time and inflates the latency.
+  double serialization = serialization_time(transfer.bytes);
+  double arrival_latency = latency_s_;
+  if (injector_ != nullptr && injector_->has_link_faults()) {
+    const auto effect =
+        injector_->link_effect(transfer.src, transfer.dst, events_.now());
+    serialization = overhead_s_ + (static_cast<double>(transfer.bytes) /
+                                   bytes_per_s_) /
+                                      effect.bandwidth_scale;
+    arrival_latency += effect.extra_latency_s;
+  }
+  const double release = events_.now() + serialization;
+  const double arrival = release + arrival_latency;
   events_.schedule(release, [this, transfer] {
     --out_in_use_[static_cast<std::size_t>(transfer.src)];
     --in_in_use_[static_cast<std::size_t>(transfer.dst)];
@@ -181,8 +194,17 @@ void FairShareNetwork::submit(const Transfer& transfer, ArrivalFn on_arrival,
   OSIM_CHECK(transfer.src >= 0 && transfer.src < caps_.num_nodes);
   OSIM_CHECK(transfer.dst >= 0 && transfer.dst < caps_.num_nodes);
   if (on_start) on_start(events_.now());
+  // Fault-injected extra latency is charged in the fixed-delay stage
+  // (sampled at submit); bandwidth degradation is sampled at activation.
+  double entry_latency = latency_s_;
+  if (injector_ != nullptr && injector_->has_link_faults()) {
+    entry_latency += injector_
+                         ->link_effect(transfer.src, transfer.dst,
+                                       events_.now(), /*count=*/false)
+                         .extra_latency_s;
+  }
   if (transfer.bytes == 0) {
-    events_.schedule_after(latency_s_,
+    events_.schedule_after(entry_latency,
                            [on_arrival = std::move(on_arrival), this] {
                              on_arrival(events_.now());
                            });
@@ -193,7 +215,8 @@ void FairShareNetwork::submit(const Transfer& transfer, ArrivalFn on_arrival,
   flow.remaining_bytes = static_cast<double>(transfer.bytes);
   flow.on_arrival = std::move(on_arrival);
   ++latency_stage_;
-  events_.schedule_after(latency_s_, [this, flow = std::move(flow)]() mutable {
+  events_.schedule_after(entry_latency,
+                         [this, flow = std::move(flow)]() mutable {
     --latency_stage_;
     activate(std::move(flow));
   });
@@ -201,6 +224,12 @@ void FairShareNetwork::submit(const Transfer& transfer, ArrivalFn on_arrival,
 
 void FairShareNetwork::activate(Flow flow) {
   update_progress();
+  if (injector_ != nullptr && injector_->has_link_faults()) {
+    flow.rate_scale = injector_
+                          ->link_effect(flow.transfer.src, flow.transfer.dst,
+                                        events_.now())
+                          .bandwidth_scale;
+  }
   active_.push_back(std::move(flow));
   if (collector_ != nullptr) {
     // The fair-share model has no bus pool; track the concurrent flow count
@@ -236,7 +265,9 @@ void FairShareNetwork::rebalance() {
   double next_completion = std::numeric_limits<double>::infinity();
   std::size_t i = 0;
   for (Flow& flow : active_) {
-    flow.rate = rates[i++];
+    // rate_scale == 1.0 leaves the fair-share rate bit-identical (IEEE
+    // multiplication by 1.0 is exact), so undegraded replays don't change.
+    flow.rate = rates[i++] * flow.rate_scale;
     OSIM_CHECK(flow.rate > 0.0);
     next_completion =
         std::min(next_completion, flow.remaining_bytes / flow.rate);

@@ -24,6 +24,10 @@
 #include "metrics/collector.hpp"
 #include "trace/record.hpp"
 
+namespace osim::faults {
+class FaultInjector;
+}
+
 namespace osim::dimemas {
 
 struct Transfer {
@@ -72,9 +76,18 @@ class Network {
   /// decomposition).
   virtual double fixed_latency_s() const = 0;
 
+  /// Wires the optional fault injector (nullptr disables link-degradation
+  /// sampling). Called once, before the first submit. With no injector the
+  /// transfer-timing code paths are exactly the pre-fault ones, keeping
+  /// fault-free replays bit-identical.
+  void set_fault_injector(faults::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
  protected:
   EventQueue& events_;
   metrics::ReplayCollector* collector_ = nullptr;
+  faults::FaultInjector* injector_ = nullptr;
 };
 
 class BusNetwork final : public Network {
@@ -135,6 +148,8 @@ class FairShareNetwork final : public Network {
     Transfer transfer;
     double remaining_bytes = 0.0;
     double rate = 0.0;
+    /// Fault-injected bandwidth degradation, sampled once at activation.
+    double rate_scale = 1.0;
     ArrivalFn on_arrival;
   };
 

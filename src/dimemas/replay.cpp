@@ -12,6 +12,7 @@
 #include "dimemas/events.hpp"
 #include "dimemas/matching.hpp"
 #include "dimemas/network.hpp"
+#include "faults/injector.hpp"
 #include "metrics/collector.hpp"
 
 namespace osim::dimemas {
@@ -50,6 +51,10 @@ class Replayer {
           trace.num_ranks, platform.num_nodes);
       network_->set_collector(collector_.get());
     }
+    if (options.faults.enabled()) {
+      injector_ = std::make_unique<faults::FaultInjector>(options.faults);
+      network_->set_fault_injector(injector_.get());
+    }
   }
 
   SimResult run() {
@@ -86,6 +91,7 @@ class Replayer {
       result.metrics = std::make_shared<const metrics::ReplayMetrics>(
           collector_->finish(result.makespan));
     }
+    if (injector_ != nullptr) result.fault_counts = injector_->counts();
     result.des_events = events_.events_processed();
     return result;
   }
@@ -105,6 +111,9 @@ class Replayer {
     bool eager = false;
     bool arrived = false;
     double call_time = 0.0;  // when the sender reached the send record
+    /// Per-source message sequence number: the loss model's decision index,
+    /// assigned in record order so it is independent of event scheduling.
+    std::uint64_t fault_seq = 0;
     PostedRecv* partner = nullptr;
     CommEvent* comm = nullptr;  // owned by comms_; null unless recording
     // Submit/start timestamps and queue reason for wait-time attribution;
@@ -144,6 +153,9 @@ class Replayer {
     const SendSide* wait_releaser = nullptr;
     bool wait_completed_any = false;
     std::unordered_map<ReqId, bool> request_complete;
+    // Running per-rank decision indices for fault injection.
+    std::uint64_t burst_seq = 0;
+    std::uint64_t send_seq = 0;
     RankStats stats;
     std::vector<StateInterval> timeline;
   };
@@ -300,9 +312,13 @@ class Replayer {
   }
 
   void do_compute(Proc& proc, const CpuBurst& burst) {
-    const double duration =
+    double duration =
         static_cast<double>(burst.instructions) /
         (trace_.mips * 1.0e6 * platform_.node_cpu_speed(proc.rank));
+    if (injector_ != nullptr) {
+      duration = injector_->perturb_compute(proc.rank, proc.burst_seq++,
+                                            now(), duration);
+    }
     proc.stats.compute_s += duration;
     add_interval(proc, now(), now() + duration, RankState::kCompute);
     events_.schedule(now() + duration, [this, &proc] { step(proc); });
@@ -325,6 +341,7 @@ class Replayer {
     send->request = rec.request;
     send->eager = is_eager(rec);
     send->call_time = now();
+    send->fault_seq = proc.send_seq++;
     if (options_.record_comms) {
       comms_.push_back(std::make_unique<CommEvent>());
       send->comm = comms_.back().get();
@@ -471,11 +488,32 @@ class Replayer {
   // --- transfers ----------------------------------------------------------
 
   void submit_transfer(SendSide* send) {
+    // The loss model's injected delay (retransmission backoff) postpones
+    // the message's entry into the network; dropped attempts never occupy
+    // the wire. Sampled here — the submission point — for both eager
+    // payloads and rendezvous handshakes.
+    double fault_delay = 0.0;
+    if (injector_ != nullptr) {
+      fault_delay =
+          injector_->loss_delay_s(send->src, send->fault_seq, send->eager);
+    }
+    if (collector_ != nullptr) {
+      send->timing.submit_s = now();
+      send->timing.fault_delay_s = fault_delay;
+    }
+    if (fault_delay > 0.0) {
+      events_.schedule(now() + fault_delay,
+                       [this, send] { enter_network(send); });
+      return;
+    }
+    enter_network(send);
+  }
+
+  void enter_network(SendSide* send) {
     Transfer transfer{send->src, send->dst, send->bytes};
     CommEvent* comm = send->comm;
     StartFn on_start;
     if (collector_ != nullptr) {
-      send->timing.submit_s = now();
       send->timing.fixed_latency_s = network_->fixed_latency_s();
       on_start = [send](double time) {
         send->timing.start_s = time;
@@ -606,6 +644,7 @@ class Replayer {
   std::unordered_map<const PostedRecv*, double> recv_post_times_;
   std::unordered_map<Proc*, std::unordered_set<ReqId>> waited_;
   std::unique_ptr<metrics::ReplayCollector> collector_;  // null unless on
+  std::unique_ptr<faults::FaultInjector> injector_;      // null unless on
 };
 
 }  // namespace

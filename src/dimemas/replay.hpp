@@ -33,6 +33,7 @@
 #include "dimemas/collectives.hpp"
 #include "dimemas/platform.hpp"
 #include "dimemas/result.hpp"
+#include "faults/model.hpp"
 #include "trace/trace.hpp"
 
 namespace osim::dimemas {
@@ -50,6 +51,11 @@ struct ReplayOptions {
   bool validate_input = true;
   /// Abort with osim::Error if simulated time exceeds this (runaway guard).
   double max_sim_time_s = std::numeric_limits<double>::infinity();
+  /// Deterministic fault & perturbation injection (see faults/model.hpp).
+  /// Inert by default: with faults.enabled() == false no injector is
+  /// constructed and replay results are bit-identical to a fault-free
+  /// build. SimResult::fault_counts reports the injected activity.
+  faults::FaultModel faults;
 };
 
 /// Replays `trace` on `platform`. Throws osim::Error on malformed traces or

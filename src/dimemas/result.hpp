@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/model.hpp"
 #include "metrics/replay_metrics.hpp"
 #include "trace/record.hpp"
 
@@ -81,6 +82,9 @@ struct SimResult {
   /// when ReplayOptions::collect_metrics is set. Shared so SimResult stays
   /// cheap to copy.
   std::shared_ptr<const metrics::ReplayMetrics> metrics;
+  /// Fault-injection activity (ReplayOptions::faults). Always present and
+  /// independent of collect_metrics; enabled == false for fault-free runs.
+  faults::Counts fault_counts;
   std::uint64_t des_events = 0;  // DES events processed (perf diagnostics)
 
   double total_compute_s() const;

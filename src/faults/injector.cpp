@@ -1,0 +1,141 @@
+#include "faults/injector.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace osim::faults {
+
+namespace {
+
+// Mechanism stream selectors for per-decision seeding. Distinct constants
+// keep the loss draws of message k statistically independent from the noise
+// draws of burst k on the same rank.
+constexpr std::uint64_t kStreamLoss = 0x6c6f7373u;   // "loss"
+constexpr std::uint64_t kStreamNoise = 0x6e6f6973u;  // "nois"
+
+std::uint64_t mix(std::uint64_t x) {
+  // SplitMix64 finalizer: full-avalanche, so consecutive sequence numbers
+  // yield unrelated seeds.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Decision-scoped Rng: seeded purely by the identity of the decision.
+Rng decision_rng(std::uint64_t seed, std::uint64_t stream, std::uint64_t a,
+                 std::uint64_t b) {
+  std::uint64_t h = mix(seed ^ mix(stream));
+  h = mix(h ^ mix(a));
+  h = mix(h ^ mix(b));
+  return Rng(h);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultModel model) : model_(std::move(model)) {
+  OSIM_CHECK_MSG(model_.loss.probability >= 0.0 &&
+                     model_.loss.probability <= 1.0,
+                 "loss probability must be in [0, 1]");
+  OSIM_CHECK_MSG(model_.loss.backoff >= 1.0, "loss backoff must be >= 1");
+  OSIM_CHECK_MSG(model_.loss.timeout_us >= 0.0,
+                 "loss timeout must be non-negative");
+  OSIM_CHECK_MSG(model_.loss.max_retries >= 0,
+                 "loss max_retries must be non-negative");
+  OSIM_CHECK_MSG(model_.noise.magnitude >= 0.0,
+                 "noise magnitude must be non-negative");
+  for (const LinkDegradation& w : model_.degradations) {
+    OSIM_CHECK_MSG(w.bandwidth_scale > 0.0 && w.bandwidth_scale <= 1.0,
+                   "degradation bandwidth scale must be in (0, 1]");
+    OSIM_CHECK_MSG(w.extra_latency_us >= 0.0,
+                   "degradation extra latency must be non-negative");
+  }
+  for (const Straggler& w : model_.stragglers) {
+    OSIM_CHECK_MSG(w.cpu_scale > 0.0 && w.cpu_scale <= 1.0,
+                   "straggler cpu scale must be in (0, 1]");
+  }
+  counts_.enabled = model_.enabled();
+  counts_.seed = model_.seed;
+}
+
+double FaultInjector::perturb_compute(trace::Rank rank,
+                                      std::uint64_t burst_seq, double begin_s,
+                                      double duration_s) {
+  double perturbed = duration_s;
+  double cpu_scale = 1.0;
+  for (const Straggler& w : model_.stragglers) {
+    if ((w.rank < 0 || w.rank == rank) && begin_s >= w.begin_s &&
+        begin_s < w.end_s) {
+      cpu_scale *= w.cpu_scale;
+    }
+  }
+  if (cpu_scale < 1.0) {
+    perturbed /= cpu_scale;
+    ++counts_.straggled_bursts;
+  }
+  if (model_.noise.magnitude > 0.0) {
+    Rng rng = decision_rng(model_.seed, kStreamNoise,
+                           static_cast<std::uint64_t>(rank), burst_seq);
+    if (rng.uniform() < model_.noise.probability) {
+      perturbed *= 1.0 + model_.noise.magnitude * rng.uniform();
+      ++counts_.perturbed_bursts;
+    }
+  }
+  counts_.injected_compute_s += perturbed - duration_s;
+  return perturbed;
+}
+
+double FaultInjector::loss_delay_s(trace::Rank src, std::uint64_t msg_seq,
+                                   bool eager) {
+  if (model_.loss.probability <= 0.0) return 0.0;
+  Rng rng = decision_rng(model_.seed, kStreamLoss,
+                         static_cast<std::uint64_t>(src), msg_seq);
+  double delay = 0.0;
+  double timeout_s = model_.loss.timeout_us * 1e-6;
+  std::int64_t drops = 0;
+  while (drops <= model_.loss.max_retries) {
+    if (rng.uniform() >= model_.loss.probability) break;  // attempt delivered
+    ++drops;
+    ++counts_.messages_dropped;
+    delay += timeout_s;
+    timeout_s *= model_.loss.backoff;
+    if (drops <= model_.loss.max_retries) {
+      // The next attempt is a re-send of the payload (eager) or a fresh
+      // handshake (rendezvous).
+      if (eager) {
+        ++counts_.retransmits;
+      } else {
+        ++counts_.handshake_reissues;
+      }
+    }
+  }
+  if (drops > model_.loss.max_retries) {
+    // Retries exhausted: record a hard stall and deliver after the full
+    // capped backoff, so a lossy replay still terminates.
+    ++counts_.hard_stalls;
+  }
+  counts_.injected_delay_s += delay;
+  return delay;
+}
+
+FaultInjector::LinkEffect FaultInjector::link_effect(trace::Rank src,
+                                                     trace::Rank dst,
+                                                     double time_s,
+                                                     bool count) {
+  LinkEffect effect;
+  for (const LinkDegradation& w : model_.degradations) {
+    if ((w.src < 0 || w.src == src) && (w.dst < 0 || w.dst == dst) &&
+        time_s >= w.begin_s && time_s < w.end_s) {
+      effect.bandwidth_scale *= w.bandwidth_scale;
+      effect.extra_latency_s += w.extra_latency_us * 1e-6;
+    }
+  }
+  if (count && (effect.bandwidth_scale < 1.0 || effect.extra_latency_s > 0.0)) {
+    ++counts_.degraded_transfers;
+  }
+  return effect;
+}
+
+}  // namespace osim::faults

@@ -1,0 +1,65 @@
+// FaultInjector — the runtime side of the fault model.
+//
+// Reproducibility contract: every random decision is drawn from its own
+// Rng seeded by hashing (model seed, mechanism stream, rank, per-rank
+// sequence number). The draw therefore depends only on *which* decision is
+// being made, never on simulated-time event order, on how many other
+// mechanisms fired first, or on how many replays share a Study pool — so a
+// given (trace, platform, options) replays bit-identically for a fixed
+// seed, independent of --jobs, and two seeds give independent fault
+// patterns.
+//
+// The injector accumulates Counts as it fires; the replay engine copies
+// them onto the SimResult at the end of the run.
+#pragma once
+
+#include <cstdint>
+
+#include "faults/model.hpp"
+
+namespace osim::faults {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultModel model);
+
+  const FaultModel& model() const { return model_; }
+  const Counts& counts() const { return counts_; }
+
+  /// Perturbed duration of one compute burst (straggler windows scale the
+  /// rank's MIPS rate; noise stretches the burst multiplicatively). Both
+  /// effects are sampled once, at the burst's start time. `burst_seq` is
+  /// the rank's running burst counter.
+  double perturb_compute(trace::Rank rank, std::uint64_t burst_seq,
+                         double begin_s, double duration_s);
+
+  /// Injected delay, in seconds, before message number `msg_seq` from `src`
+  /// enters the network: the summed retransmission backoff over the
+  /// message's consecutive dropped attempts (0 for an undropped message).
+  /// `eager` selects which counter the re-sends land in (retransmits vs
+  /// handshake reissues). A message that exhausts max_retries counts as a
+  /// hard stall and is delivered after the full capped backoff — dropped
+  /// attempts delay the message, they never occupy the wire.
+  double loss_delay_s(trace::Rank src, std::uint64_t msg_seq, bool eager);
+
+  /// Composed link degradation for a transfer between `src` and `dst`
+  /// sampled at `time_s`. Overlapping windows compose: bandwidth scales
+  /// multiply, extra latencies add. `count` guards double-counting when a
+  /// network model samples the effect at more than one point.
+  struct LinkEffect {
+    double bandwidth_scale = 1.0;
+    double extra_latency_s = 0.0;
+  };
+  LinkEffect link_effect(trace::Rank src, trace::Rank dst, double time_s,
+                         bool count = true);
+
+  /// True when any degradation window exists (lets the network models skip
+  /// the sampling call entirely on undegraded configurations).
+  bool has_link_faults() const { return !model_.degradations.empty(); }
+
+ private:
+  FaultModel model_;
+  Counts counts_;
+};
+
+}  // namespace osim::faults

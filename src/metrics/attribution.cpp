@@ -22,6 +22,7 @@ const char* queue_reason_name(QueueReason reason) {
 
 WaitComponents& WaitComponents::operator+=(const WaitComponents& other) {
   dependency_s += other.dependency_s;
+  fault_s += other.fault_s;
   bus_contention_s += other.bus_contention_s;
   port_contention_s += other.port_contention_s;
   wire_s += other.wire_s;
@@ -40,13 +41,19 @@ WaitComponents decompose(double begin, double end,
     return c;
   }
   const double submit = std::clamp(timing->submit_s, begin, end);
+  // Injected fault delay sits between submission and network entry. With
+  // no injected delay fault_end == submit exactly, so the fault component
+  // is identically zero and the remaining differences are unchanged.
+  const double fault_end =
+      std::clamp(timing->submit_s + timing->fault_delay_s, submit, end);
   const double raw_start = timing->start_s >= 0.0 ? timing->start_s : end;
-  const double start = std::clamp(raw_start, submit, end);
+  const double start = std::clamp(raw_start, fault_end, end);
 
-  // Telescoping partition of [begin, end]: the three differences sum to
+  // Telescoping partition of [begin, end]: the differences sum to
   // end - begin exactly, in floating point too.
   c.dependency_s = submit - begin;
-  const double queued = start - submit;
+  c.fault_s = fault_end - submit;
+  const double queued = start - fault_end;
   switch (timing->queue_reason) {
     case QueueReason::kOutPort:
     case QueueReason::kInPort:

@@ -8,6 +8,8 @@
 //   dependency       the remote rank had not yet enabled the transfer
 //                    (sender had not reached the send call / receiver had
 //                    not posted the rendezvous receive)
+//   fault            injected fault delay (message loss retransmission
+//                    backoff) between submission and network entry
 //   bus contention   the transfer was queued because the global bus pool
 //                    was exhausted
 //   port contention  the transfer was queued on a node input/output port
@@ -16,7 +18,8 @@
 //   latency          the fixed per-message network latency
 //
 // decompose() partitions [begin, end] with telescoping differences, so the
-// five components always sum to exactly end - begin.
+// components always sum to exactly end - begin. The fault component is
+// identically zero (and absent from reports) when fault injection is off.
 #pragma once
 
 #include <cstdint>
@@ -37,20 +40,24 @@ struct TransferTiming {
   double submit_s = -1.0;  // handed to the network model
   double start_s = -1.0;   // resources acquired / flow activated
   double fixed_latency_s = 0.0;  // model's fixed per-message delay
+  /// Injected fault delay (retransmission backoff) between submission and
+  /// network entry; 0 unless fault injection dropped the message.
+  double fault_delay_s = 0.0;
   QueueReason queue_reason = QueueReason::kNone;
 };
 
 /// Blocked-time decomposition, in seconds. See the file comment.
 struct WaitComponents {
   double dependency_s = 0.0;
+  double fault_s = 0.0;
   double bus_contention_s = 0.0;
   double port_contention_s = 0.0;
   double wire_s = 0.0;
   double latency_s = 0.0;
 
   double total_s() const {
-    return dependency_s + bus_contention_s + port_contention_s + wire_s +
-           latency_s;
+    return dependency_s + fault_s + bus_contention_s + port_contention_s +
+           wire_s + latency_s;
   }
   WaitComponents& operator+=(const WaitComponents& other);
 };

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/expect.hpp"
+#include "faults/spec.hpp"
 #include "lint/lint.hpp"
 
 namespace osim::pipeline {
@@ -114,6 +115,9 @@ void hash_options(Hasher& h, const dimemas::ReplayOptions& o) {
   h.u64(static_cast<std::uint64_t>(o.collective_algo));
   // validate_input is excluded: a sealed context always replays with it off.
   h.f64(o.max_sim_time_s);
+  // Hashed only when enabled so faults-off fingerprints stay bit-identical
+  // to pre-fault builds. The canonical spec covers every model field.
+  if (o.faults.enabled()) h.str(faults::to_spec(o.faults));
 }
 
 std::shared_ptr<const trace::Trace> validated(
@@ -187,6 +191,12 @@ ReplayContext ReplayContext::with_bandwidth(double mbps) const {
   dimemas::Platform platform = platform_;
   platform.bandwidth_MBps = mbps;
   return with_platform(std::move(platform));
+}
+
+ReplayContext ReplayContext::with_faults(faults::FaultModel faults) const {
+  dimemas::ReplayOptions options = options_;
+  options.faults = std::move(faults);
+  return with_options(std::move(options));
 }
 
 }  // namespace osim::pipeline

@@ -63,6 +63,10 @@ class ReplayContext {
   ReplayContext with_platform(dimemas::Platform platform) const;
   ReplayContext with_options(dimemas::ReplayOptions options) const;
   ReplayContext with_bandwidth(double mbps) const;
+  /// Same scenario under fault injection. The fault model is hashed into
+  /// the fingerprint (via its canonical spec) only when enabled, so a
+  /// faults-off context keeps its pre-fault fingerprint bit for bit.
+  ReplayContext with_faults(faults::FaultModel faults) const;
 
  private:
   ReplayContext(std::shared_ptr<const trace::Trace> trace,

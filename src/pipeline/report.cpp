@@ -25,6 +25,9 @@ const char* model_name(dimemas::NetworkModelKind model) {
 void write_components(JsonWriter& w, const metrics::WaitComponents& c) {
   w.begin_object();
   w.key("dependency_s").value(c.dependency_s);
+  // Present only when fault injection actually delayed something, so
+  // fault-free reports stay byte-identical to pre-fault builds.
+  if (c.fault_s != 0.0) w.key("fault_s").value(c.fault_s);
   w.key("bus_contention_s").value(c.bus_contention_s);
   w.key("port_contention_s").value(c.port_contention_s);
   w.key("wire_s").value(c.wire_s);
@@ -67,6 +70,21 @@ std::string fingerprint_hex(const Fingerprint& f) {
   return strprintf("%016llx%016llx",
                    static_cast<unsigned long long>(f.hi),
                    static_cast<unsigned long long>(f.lo));
+}
+
+void write_fault_counts(JsonWriter& w, const faults::Counts& c) {
+  w.begin_object();
+  w.key("seed").value(c.seed);
+  w.key("messages_dropped").value(c.messages_dropped);
+  w.key("retransmits").value(c.retransmits);
+  w.key("handshake_reissues").value(c.handshake_reissues);
+  w.key("hard_stalls").value(c.hard_stalls);
+  w.key("degraded_transfers").value(c.degraded_transfers);
+  w.key("perturbed_bursts").value(c.perturbed_bursts);
+  w.key("straggled_bursts").value(c.straggled_bursts);
+  w.key("injected_delay_s").value(c.injected_delay_s);
+  w.key("injected_compute_s").value(c.injected_compute_s);
+  w.end_object();
 }
 
 }  // namespace
@@ -161,6 +179,13 @@ std::string replay_report_json(const dimemas::SimResult& result,
     w.end_object();
   }
 
+  // Emitted only for fault-injected runs: fault-free reports stay
+  // byte-identical to pre-fault builds.
+  if (result.fault_counts.enabled) {
+    w.key("faults");
+    write_fault_counts(w, result.fault_counts);
+  }
+
   w.end_object();
   return w.str();
 }
@@ -184,6 +209,11 @@ std::string study_report_json(const Study& study) {
     w.key("makespan_s").value(record.makespan);
     w.key("wall_s").value(record.wall_s);
     w.key("cache_hit").value(record.cache_hit);
+    if (record.fault_counts.enabled) {
+      w.key("faults");
+      write_fault_counts(w, record.fault_counts);
+      w.key("fault_wait_s").value(record.fault_wait_s);
+    }
     w.end_object();
   }
   w.end_array();

@@ -39,4 +39,14 @@ dimemas::SimResult run_scenario(const ReplayContext& context) {
                          context.options());
 }
 
+std::vector<ReplayContext> cross_faults(
+    const ReplayContext& base, const std::vector<FaultScenario>& scenarios) {
+  std::vector<ReplayContext> contexts;
+  contexts.reserve(scenarios.size());
+  for (const FaultScenario& scenario : scenarios) {
+    contexts.push_back(base.with_faults(scenario.model));
+  }
+  return contexts;
+}
+
 }  // namespace osim::pipeline

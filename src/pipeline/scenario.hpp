@@ -8,6 +8,10 @@
 // and src/analysis/).
 #pragma once
 
+#include <string>
+#include <vector>
+
+#include "faults/model.hpp"
 #include "overlap/options.hpp"
 #include "pipeline/context.hpp"
 #include "trace/annotated.hpp"
@@ -35,5 +39,20 @@ ReplayContext make_context(const trace::AnnotatedTrace& annotated,
 /// Replays the context's trace on its platform: the one place a simulation
 /// result comes from above the dimemas layer.
 dimemas::SimResult run_scenario(const ReplayContext& context);
+
+/// One point on a fault-injection sweep axis: a labelled fault model. An
+/// inert model (enabled() == false) represents the fault-free baseline and
+/// leaves the derived context's fingerprint untouched.
+struct FaultScenario {
+  std::string label;
+  faults::FaultModel model;
+};
+
+/// The fault axis of a sweep: `base` crossed with each scenario, in
+/// scenario order. Derived contexts share the base's validated trace, so
+/// the cross costs one options rehash per scenario; each result caches and
+/// parallelizes in a Study like any other context.
+std::vector<ReplayContext> cross_faults(
+    const ReplayContext& base, const std::vector<FaultScenario>& scenarios);
 
 }  // namespace osim::pipeline

@@ -67,9 +67,11 @@ double Study::makespan(const ReplayContext& context, std::string_view label) {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     if (const auto it = cache_.find(key); it != cache_.end()) {
       ++hits_;
-      record_scenario(
-          ScenarioRecord{key, it->second, 0.0, true, std::string(label)});
-      return it->second;
+      record_scenario(ScenarioRecord{key, it->second.makespan, 0.0, true,
+                                     std::string(label),
+                                     it->second.fault_counts,
+                                     it->second.fault_wait_s});
+      return it->second.makespan;
     }
     ++misses_;
   }
@@ -77,18 +79,28 @@ double Study::makespan(const ReplayContext& context, std::string_view label) {
   // the identical value (replay is pure), so the duplicate insert is
   // harmless.
   const auto wall_begin = std::chrono::steady_clock::now();
-  const double value = run(context).makespan;
+  const dimemas::SimResult result = run(context);
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_begin)
           .count();
+  CachedRun cached;
+  cached.makespan = result.makespan;
+  cached.fault_counts = result.fault_counts;
+  if (result.metrics != nullptr) {
+    for (const metrics::RankWaitAttribution& waits :
+         result.metrics->rank_waits) {
+      cached.fault_wait_s += waits.total().fault_s;
+    }
+  }
   if (options_.cache_replays) {
     std::lock_guard<std::mutex> lock(cache_mutex_);
-    cache_.emplace(key, value);
+    cache_.emplace(key, cached);
   }
-  record_scenario(ScenarioRecord{key, value, wall_s, false,
-                                 std::string(label)});
-  return value;
+  record_scenario(ScenarioRecord{key, cached.makespan, wall_s, false,
+                                 std::string(label), cached.fault_counts,
+                                 cached.fault_wait_s});
+  return cached.makespan;
 }
 
 void Study::record_scenario(ScenarioRecord record) {

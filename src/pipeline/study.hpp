@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "dimemas/result.hpp"
+#include "faults/model.hpp"
 #include "pipeline/context.hpp"
 
 namespace osim::pipeline {
@@ -57,6 +58,12 @@ struct ScenarioRecord {
   double wall_s = 0.0;  // replay wall time; 0 for cache hits
   bool cache_hit = false;
   std::string label;
+  /// Fault-injection activity (enabled == false for fault-free scenarios).
+  /// Cached alongside the makespan, so cache hits keep their counters.
+  faults::Counts fault_counts;
+  /// Total fault-attributed wait time across ranks; populated only when the
+  /// context collects metrics (0 otherwise).
+  double fault_wait_s = 0.0;
 };
 
 class Study {
@@ -102,8 +109,16 @@ class Study {
   int jobs_ = 1;
   StudyOptions options_;
 
+  /// What a makespan() evaluation caches: enough to replay a ScenarioRecord
+  /// (including fault counters) without rerunning the simulation.
+  struct CachedRun {
+    double makespan = 0.0;
+    faults::Counts fault_counts;
+    double fault_wait_s = 0.0;
+  };
+
   mutable std::mutex cache_mutex_;
-  std::unordered_map<Fingerprint, double, FingerprintHash> cache_;
+  std::unordered_map<Fingerprint, CachedRun, FingerprintHash> cache_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
 

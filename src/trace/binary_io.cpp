@@ -1,11 +1,14 @@
 #include "trace/binary_io.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "common/crc32.hpp"
 #include "common/expect.hpp"
+#include "common/log.hpp"
 #include "common/strings.hpp"
 #include "trace/io.hpp"
 
@@ -17,6 +20,7 @@ namespace osim::trace {
 namespace {
 
 constexpr char kMagic[8] = {'O', 'S', 'I', 'M', 'B', 'T', '0', '1'};
+constexpr char kCrcMagic[8] = {'O', 'S', 'I', 'M', 'C', 'R', 'C', '1'};
 
 constexpr std::uint8_t kKindCpu = 0;
 constexpr std::uint8_t kKindSend = 1;
@@ -26,6 +30,11 @@ constexpr std::uint8_t kKindGlobal = 4;
 
 constexpr std::uint8_t kFlagImmediate = 1;
 constexpr std::uint8_t kFlagSynchronous = 2;
+
+// Cap for pre-allocation from untrusted counts: a fuzzed or corrupt count
+// must not translate into an unbounded reserve() before the records behind
+// it have actually been read.
+constexpr std::uint64_t kMaxReserve = 65536;
 
 class Writer {
  public:
@@ -47,18 +56,31 @@ class Writer {
   }
 
   void put_byte(std::uint8_t byte) {
+    if (crc_ != nullptr) crc_->update(byte);
     out_.put(static_cast<char>(byte));
   }
 
   void put_double(double value) {
+    if (crc_ != nullptr) crc_->update(&value, sizeof(value));
     out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
   }
 
   void put_bytes(const char* data, std::size_t n) {
+    if (crc_ != nullptr) crc_->update(data, n);
     out_.write(data, static_cast<std::streamsize>(n));
   }
 
+  void put_u32(std::uint32_t value) {
+    for (int i = 0; i < 4; ++i) {
+      put_byte(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+  }
+
+  /// Routes subsequent writes through `crc` (nullptr detaches).
+  void set_crc(Crc32* crc) { crc_ = crc; }
+
   std::ostream& out_;
+  Crc32* crc_ = nullptr;
 };
 
 class Reader {
@@ -85,13 +107,18 @@ class Reader {
   std::uint8_t get_byte() {
     const int c = in_.get();
     if (c == EOF) throw Error("binary trace: unexpected end of file");
-    return static_cast<std::uint8_t>(c);
+    ++consumed_;
+    const auto byte = static_cast<std::uint8_t>(c);
+    if (crc_ != nullptr) crc_->update(byte);
+    return byte;
   }
 
   double get_double() {
     double value = 0.0;
     in_.read(reinterpret_cast<char*>(&value), sizeof(value));
     if (!in_) throw Error("binary trace: unexpected end of file");
+    consumed_ += sizeof(value);
+    if (crc_ != nullptr) crc_->update(&value, sizeof(value));
     return value;
   }
 
@@ -99,11 +126,218 @@ class Reader {
     std::string s(n, '\0');
     in_.read(s.data(), static_cast<std::streamsize>(n));
     if (!in_) throw Error("binary trace: unexpected end of file");
+    consumed_ += n;
+    if (crc_ != nullptr) crc_->update(s.data(), n);
     return s;
   }
 
+  std::uint32_t get_u32() {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(get_byte()) << (8 * i);
+    }
+    return value;
+  }
+
+  bool at_eof() {
+    const int c = in_.peek();
+    if (c == EOF) {
+      in_.clear();
+      return true;
+    }
+    return false;
+  }
+
+  /// Bytes consumed from the start of the stream (damage-report offsets).
+  std::uint64_t consumed() const { return consumed_; }
+
+  /// Routes subsequent reads through `crc` (nullptr detaches).
+  void set_crc(Crc32* crc) { crc_ = crc; }
+
   std::istream& in_;
+  Crc32* crc_ = nullptr;
+  std::uint64_t consumed_ = 0;
 };
+
+/// Parses one record into `stream`. Throws osim::Error on any corruption.
+void read_one_record(Reader& r, std::vector<Record>& stream) {
+  const std::uint8_t kind = r.get_byte();
+  switch (kind) {
+    case kKindCpu:
+      stream.push_back(CpuBurst{r.get_varint()});
+      break;
+    case kKindSend: {
+      Send send;
+      send.dest = static_cast<Rank>(r.get_svarint());
+      send.tag = r.get_svarint();
+      send.bytes = r.get_varint();
+      const std::uint8_t flags = r.get_byte();
+      send.immediate = (flags & kFlagImmediate) != 0;
+      send.synchronous = (flags & kFlagSynchronous) != 0;
+      send.request = r.get_svarint();
+      stream.push_back(send);
+      break;
+    }
+    case kKindRecv: {
+      Recv recv;
+      recv.src = static_cast<Rank>(r.get_svarint());
+      recv.tag = r.get_svarint();
+      recv.bytes = r.get_varint();
+      recv.immediate = (r.get_byte() & kFlagImmediate) != 0;
+      recv.request = r.get_svarint();
+      stream.push_back(recv);
+      break;
+    }
+    case kKindWait: {
+      const std::uint64_t n = r.get_varint();
+      if (n == 0 || n > 1'000'000) {
+        throw Error("binary trace: implausible wait size");
+      }
+      Wait wait;
+      wait.requests.reserve(std::min(n, kMaxReserve));
+      for (std::uint64_t k = 0; k < n; ++k) {
+        wait.requests.push_back(r.get_svarint());
+      }
+      stream.push_back(std::move(wait));
+      break;
+    }
+    case kKindGlobal: {
+      GlobalOp op;
+      const std::uint8_t coll = r.get_byte();
+      if (coll > static_cast<std::uint8_t>(CollectiveKind::kScan)) {
+        throw Error("binary trace: unknown collective kind");
+      }
+      op.kind = static_cast<CollectiveKind>(coll);
+      op.root = static_cast<Rank>(r.get_svarint());
+      op.bytes = r.get_varint();
+      op.sequence = r.get_svarint();
+      stream.push_back(op);
+      break;
+    }
+    default:
+      throw Error(strprintf("binary trace: unknown record kind %u",
+                            static_cast<unsigned>(kind)));
+  }
+}
+
+/// Shared strict/salvaging reader. `damage == nullptr` is strict mode:
+/// every problem throws. With a Damage sink nothing throws; problems are
+/// recorded and the longest valid prefix is returned.
+Trace read_binary_impl(std::istream& in, Damage* damage) {
+  Reader r(in);
+  const bool recover = damage != nullptr;
+
+  auto report = [&](std::uint64_t offset, std::int32_t rank,
+                    std::uint64_t record, const std::string& message) {
+    if (!recover) throw Error(message);
+    damage->issues.push_back(DamageIssue{offset, rank, record, message});
+  };
+
+  // --- header ------------------------------------------------------------
+  Trace trace;
+  std::uint64_t num_ranks = 0;
+  try {
+    const std::string magic = r.get_string(sizeof(kMagic));
+    if (std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) {
+      throw Error("binary trace: bad magic (not an OSIMBT01 file)");
+    }
+    const double mips = r.get_double();
+    num_ranks = r.get_varint();
+    if (num_ranks == 0 || num_ranks > 1'000'000) {
+      throw Error("binary trace: implausible rank count");
+    }
+    if (mips <= 0.0) throw Error("binary trace: invalid MIPS rate");
+    const std::uint64_t app_len = r.get_varint();
+    if (app_len > 4096) throw Error("binary trace: implausible app name");
+    trace = Trace::make(static_cast<std::int32_t>(num_ranks), mips,
+                        r.get_string(app_len));
+  } catch (const Error& e) {
+    if (!recover) throw;
+    damage->unusable = true;
+    damage->issues.push_back(DamageIssue{r.consumed(), -1, 0, e.what()});
+    return Trace{};
+  }
+
+  // --- per-rank record streams -------------------------------------------
+  std::vector<std::uint32_t> rank_crcs;
+  rank_crcs.reserve(std::min(num_ranks, kMaxReserve));
+  bool desynchronized = false;
+  for (std::uint64_t rank = 0; rank < num_ranks && !desynchronized; ++rank) {
+    auto& stream = trace.ranks[rank];
+    Crc32 crc;
+    r.set_crc(&crc);
+    std::uint64_t count = 0;
+    std::uint64_t i = 0;
+    try {
+      count = r.get_varint();
+      if (count > (std::uint64_t{1} << 40)) {
+        throw Error("binary trace: implausible record count");
+      }
+      stream.reserve(std::min(count, kMaxReserve));
+      for (; i < count; ++i) {
+        read_one_record(r, stream);
+      }
+    } catch (const Error& e) {
+      r.set_crc(nullptr);
+      report(r.consumed(), static_cast<std::int32_t>(rank), i, e.what());
+      // Recover mode from here on (report() threw in strict mode). The
+      // framing has no resync point: the first corrupt byte ends the
+      // salvage. Keep everything already parsed, drop the rest.
+      if (in.eof()) damage->truncated = true;
+      damage->records_dropped += count > i ? count - i : 0;
+      if (rank + 1 < num_ranks) {
+        damage->issues.push_back(DamageIssue{
+            r.consumed(), static_cast<std::int32_t>(rank), i,
+            strprintf("stream desynchronized: %llu later rank stream(s) "
+                      "not recovered",
+                      static_cast<unsigned long long>(num_ranks - rank - 1))});
+      }
+      desynchronized = true;
+    }
+    r.set_crc(nullptr);
+    rank_crcs.push_back(crc.value());
+    if (recover) damage->records_salvaged += stream.size();
+  }
+
+  // --- integrity footer ---------------------------------------------------
+  if (!desynchronized) {
+    if (r.at_eof()) {
+      // Legacy trace written before the CRC footer existed: accept, warn.
+      if (recover) damage->missing_footer = true;
+      log::warn(
+          "binary trace: no integrity footer (written by an older "
+          "version); CRC verification skipped");
+    } else {
+      const std::uint64_t footer_offset = r.consumed();
+      try {
+        const std::string magic = r.get_string(sizeof(kCrcMagic));
+        if (std::memcmp(magic.data(), kCrcMagic, sizeof(kCrcMagic)) != 0) {
+          throw Error(
+              "binary trace: trailing bytes are not an OSIMCRC1 integrity "
+              "footer");
+        }
+        for (std::uint64_t rank = 0; rank < num_ranks; ++rank) {
+          const std::uint32_t stored = r.get_u32();
+          if (stored != rank_crcs[rank]) {
+            if (recover) ++damage->crc_mismatches;
+            report(r.consumed(), static_cast<std::int32_t>(rank), 0,
+                   strprintf("binary trace: rank %llu stream CRC mismatch "
+                             "(stored %08x, computed %08x)",
+                             static_cast<unsigned long long>(rank), stored,
+                             rank_crcs[rank]));
+          }
+        }
+      } catch (const Error& e) {
+        if (!recover) throw;
+        if (in.eof()) damage->truncated = true;
+        damage->issues.push_back(
+            DamageIssue{footer_offset, -1, 0,
+                        std::string("bad integrity footer: ") + e.what()});
+      }
+    }
+  }
+  return trace;
+}
 
 }  // namespace
 
@@ -114,7 +348,11 @@ void write_binary(const Trace& trace, std::ostream& out) {
   w.put_varint(static_cast<std::uint64_t>(trace.num_ranks));
   w.put_varint(trace.app.size());
   w.put_bytes(trace.app.data(), trace.app.size());
+  std::vector<std::uint32_t> rank_crcs;
+  rank_crcs.reserve(trace.ranks.size());
   for (const auto& stream : trace.ranks) {
+    Crc32 crc;
+    w.set_crc(&crc);
     w.put_varint(stream.size());
     for (const Record& rec : stream) {
       std::visit(
@@ -156,7 +394,11 @@ void write_binary(const Trace& trace, std::ostream& out) {
           },
           rec);
     }
+    w.set_crc(nullptr);
+    rank_crcs.push_back(crc.value());
   }
+  w.put_bytes(kCrcMagic, sizeof(kCrcMagic));
+  for (const std::uint32_t crc : rank_crcs) w.put_u32(crc);
   if (!out) throw Error("binary trace: write error");
 }
 
@@ -167,90 +409,7 @@ void write_binary_file(const Trace& trace, const std::string& path) {
 }
 
 Trace read_binary(std::istream& in) {
-  Reader r(in);
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw Error("binary trace: bad magic (not an OSIMBT01 file)");
-  }
-  const double mips = r.get_double();
-  const std::uint64_t num_ranks = r.get_varint();
-  if (num_ranks == 0 || num_ranks > 1'000'000) {
-    throw Error("binary trace: implausible rank count");
-  }
-  if (mips <= 0.0) throw Error("binary trace: invalid MIPS rate");
-  const std::uint64_t app_len = r.get_varint();
-  if (app_len > 4096) throw Error("binary trace: implausible app name");
-  Trace trace = Trace::make(static_cast<std::int32_t>(num_ranks), mips,
-                            r.get_string(app_len));
-
-  for (auto& stream : trace.ranks) {
-    const std::uint64_t count = r.get_varint();
-    if (count > (std::uint64_t{1} << 40)) {
-      throw Error("binary trace: implausible record count");
-    }
-    stream.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-      const std::uint8_t kind = r.get_byte();
-      switch (kind) {
-        case kKindCpu:
-          stream.push_back(CpuBurst{r.get_varint()});
-          break;
-        case kKindSend: {
-          Send send;
-          send.dest = static_cast<Rank>(r.get_svarint());
-          send.tag = r.get_svarint();
-          send.bytes = r.get_varint();
-          const std::uint8_t flags = r.get_byte();
-          send.immediate = (flags & kFlagImmediate) != 0;
-          send.synchronous = (flags & kFlagSynchronous) != 0;
-          send.request = r.get_svarint();
-          stream.push_back(send);
-          break;
-        }
-        case kKindRecv: {
-          Recv recv;
-          recv.src = static_cast<Rank>(r.get_svarint());
-          recv.tag = r.get_svarint();
-          recv.bytes = r.get_varint();
-          recv.immediate = (r.get_byte() & kFlagImmediate) != 0;
-          recv.request = r.get_svarint();
-          stream.push_back(recv);
-          break;
-        }
-        case kKindWait: {
-          const std::uint64_t n = r.get_varint();
-          if (n == 0 || n > 1'000'000) {
-            throw Error("binary trace: implausible wait size");
-          }
-          Wait wait;
-          wait.requests.reserve(n);
-          for (std::uint64_t k = 0; k < n; ++k) {
-            wait.requests.push_back(r.get_svarint());
-          }
-          stream.push_back(std::move(wait));
-          break;
-        }
-        case kKindGlobal: {
-          GlobalOp op;
-          const std::uint8_t coll = r.get_byte();
-          if (coll > static_cast<std::uint8_t>(CollectiveKind::kScan)) {
-            throw Error("binary trace: unknown collective kind");
-          }
-          op.kind = static_cast<CollectiveKind>(coll);
-          op.root = static_cast<Rank>(r.get_svarint());
-          op.bytes = r.get_varint();
-          op.sequence = r.get_svarint();
-          stream.push_back(op);
-          break;
-        }
-        default:
-          throw Error(strprintf("binary trace: unknown record kind %u",
-                                static_cast<unsigned>(kind)));
-      }
-    }
-  }
-  return trace;
+  return read_binary_impl(in, nullptr);
 }
 
 Trace read_binary_file(const std::string& path) {
@@ -271,6 +430,56 @@ Trace read_any_file(const std::string& path) {
     return read_binary(in);
   }
   return read_text(in);
+}
+
+RecoveredTrace read_binary_recover(std::istream& in) {
+  RecoveredTrace result;
+  result.trace = read_binary_impl(in, &result.damage);
+  return result;
+}
+
+RecoveredTrace read_any_file_recover(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open trace file: " + path);
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  in.clear();
+  in.seekg(0);
+  if (in.gcount() == sizeof(magic) &&
+      std::memcmp(magic, kMagic, sizeof(kMagic)) == 0) {
+    return read_binary_recover(in);
+  }
+  RecoveredTrace result;
+  try {
+    result.trace = read_text(in);
+  } catch (const Error& e) {
+    // The text parser has no partial-salvage mode: report and bail.
+    result.damage.unusable = true;
+    result.damage.issues.push_back(DamageIssue{0, -1, 0, e.what()});
+  }
+  return result;
+}
+
+std::string Damage::render_text() const {
+  if (clean()) return "";
+  std::string out = "trace damage report:\n";
+  for (const DamageIssue& issue : issues) {
+    out += strprintf("  offset %llu",
+                     static_cast<unsigned long long>(issue.offset));
+    if (issue.rank >= 0) {
+      out += strprintf(" rank %d record %llu", issue.rank,
+                       static_cast<unsigned long long>(issue.record));
+    }
+    out += ": " + issue.message + "\n";
+  }
+  out += strprintf(
+      "  records salvaged: %llu, dropped: %llu, crc mismatches: %llu%s%s\n",
+      static_cast<unsigned long long>(records_salvaged),
+      static_cast<unsigned long long>(records_dropped),
+      static_cast<unsigned long long>(crc_mismatches),
+      truncated ? ", input truncated" : "",
+      unusable ? ", nothing salvaged" : "");
+  return out;
 }
 
 }  // namespace osim::trace

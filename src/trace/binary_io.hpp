@@ -16,13 +16,30 @@
 //              3 = Wait      varint count, count x svarint requests
 //              4 = GlobalOp  u8 collective, svarint root, varint bytes,
 //                            svarint sequence
+//   integrity footer: magic "OSIMCRC1" (8 bytes), then per rank one
+//     little-endian u32 CRC-32 (IEEE) over that rank's stream bytes
+//     (record-count varint through last record byte)
+//
+// The footer is new: traces written before it still load — the strict
+// reader accepts a clean EOF where the footer would start (with a logged
+// warning), and old readers stopped after the last record and never saw the
+// trailing bytes.
+//
+// Salvage mode: read_binary_recover() never throws on damaged input.
+// It validates per record, reports every problem with its byte offset in a
+// Damage report, and salvages the longest valid prefix. The record framing
+// carries no resync points, so the first corrupt byte ends the salvage:
+// everything before it (including earlier, fully-parsed ranks) is kept,
+// everything after is counted as dropped.
 //
 // read_any_file() sniffs the magic and dispatches to the right reader, so
 // the tools accept either format transparently.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "trace/trace.hpp"
 
@@ -31,11 +48,54 @@ namespace osim::trace {
 void write_binary(const Trace& trace, std::ostream& out);
 void write_binary_file(const Trace& trace, const std::string& path);
 
-/// Throws osim::Error on truncated or corrupt input.
+/// Throws osim::Error on truncated or corrupt input (including CRC
+/// mismatches and trailing garbage when the integrity footer is present).
 Trace read_binary(std::istream& in);
 Trace read_binary_file(const std::string& path);
 
 /// Reads a trace file in either format, dispatching on the leading magic.
 Trace read_any_file(const std::string& path);
+
+/// One problem found while reading a damaged trace.
+struct DamageIssue {
+  std::uint64_t offset = 0;  // byte offset from the start of the stream
+  std::int32_t rank = -1;    // rank whose stream was affected; -1 = header/footer
+  std::uint64_t record = 0;  // record index within the rank (when rank >= 0)
+  std::string message;
+};
+
+/// Salvage report of a recovering read. clean() means the input parsed
+/// exactly as the strict reader would accept it (a legacy trace without an
+/// integrity footer is clean; the missing footer is only a warning).
+struct Damage {
+  std::vector<DamageIssue> issues;
+  /// Nothing was salvageable (bad magic / unreadable header).
+  bool unusable = false;
+  /// Input ended before the declared record streams (or footer) did.
+  bool truncated = false;
+  /// Legacy trace without an integrity footer (warning, not damage).
+  bool missing_footer = false;
+  std::uint64_t records_salvaged = 0;
+  std::uint64_t records_dropped = 0;  // declared but corrupt or missing
+  std::uint64_t crc_mismatches = 0;
+
+  bool clean() const { return issues.empty() && !unusable; }
+  /// Human-readable multi-line report (empty string when clean).
+  std::string render_text() const;
+};
+
+struct RecoveredTrace {
+  Trace trace;
+  Damage damage;
+};
+
+/// Salvaging reader: never throws on damaged bytes (I/O setup errors, e.g.
+/// an unopenable file, still throw). See the file comment for semantics.
+RecoveredTrace read_binary_recover(std::istream& in);
+
+/// Either-format salvaging reader. Text traces have no partial-salvage
+/// mode: a malformed text trace comes back unusable with the parse error as
+/// the single issue.
+RecoveredTrace read_any_file_recover(const std::string& path);
 
 }  // namespace osim::trace

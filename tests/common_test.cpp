@@ -296,6 +296,91 @@ TEST(Flags, UnknownFlagThrows) {
   EXPECT_THROW(flags.parse(2, argv), Error);
 }
 
+TEST(Flags, UnknownFlagIsUsageErrorNamingTheFlag) {
+  Flags flags("test");
+  const char* argv[] = {"prog", "--bogus=1"};
+  try {
+    flags.parse(2, argv);
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("--bogus"), std::string::npos);
+  }
+}
+
+TEST(Flags, UnknownFlagSuggestsNearestRegistered) {
+  std::string trace;
+  std::int64_t jobs = 1;
+  Flags flags("test");
+  flags.add("trace", &trace, "trace file");
+  flags.add("jobs", &jobs, "jobs");
+  // One edit away ("trce") and two edits away ("tarce" via transpose =
+  // two single-char edits) both get a suggestion.
+  for (const char* wrong : {"--trce=x", "--tarce=x", "--job=2"}) {
+    const char* argv[] = {"prog", wrong};
+    try {
+      flags.parse(2, argv);
+      FAIL() << wrong << ": expected UsageError";
+    } catch (const UsageError& e) {
+      EXPECT_NE(std::string(e.what()).find("did you mean"),
+                std::string::npos)
+          << wrong << " -> " << e.what();
+    }
+  }
+  // Nothing within distance 2: no suggestion, but still a usage error.
+  const char* argv[] = {"prog", "--frobnicate=1"};
+  try {
+    flags.parse(2, argv);
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_EQ(std::string(e.what()).find("did you mean"), std::string::npos);
+  }
+}
+
+TEST(Flags, SuggestionApi) {
+  std::string trace;
+  Flags flags("test");
+  flags.add("trace", &trace, "trace file");
+  EXPECT_EQ(flags.suggestion("trace"), "trace");   // distance 0
+  EXPECT_EQ(flags.suggestion("trqce"), "trace");   // substitution
+  EXPECT_EQ(flags.suggestion("trac"), "trace");    // deletion
+  EXPECT_EQ(flags.suggestion("xtrace"), "trace");  // insertion
+  EXPECT_EQ(flags.suggestion("completely-different"), "");
+}
+
+TEST(Flags, BadValueIsUsageErrorNamingTheFlag) {
+  std::int64_t count = 0;
+  double rate = 0.0;
+  bool flag = false;
+  Flags flags("test");
+  flags.add("count", &count, "int");
+  flags.add("rate", &rate, "double");
+  flags.add("flag", &flag, "bool");
+  const struct {
+    const char* arg;
+    const char* named;
+  } cases[] = {{"--count=abc", "--count"},
+               {"--rate=xyz", "--rate"},
+               {"--flag=maybe", "--flag"}};
+  for (const auto& c : cases) {
+    const char* argv[] = {"prog", c.arg};
+    try {
+      flags.parse(2, argv);
+      FAIL() << c.arg << ": expected UsageError";
+    } catch (const UsageError& e) {
+      EXPECT_NE(std::string(e.what()).find(c.named), std::string::npos)
+          << c.arg << " -> " << e.what();
+    }
+  }
+}
+
+TEST(Flags, MissingValueIsUsageError) {
+  std::int64_t count = 0;
+  Flags flags("test");
+  flags.add("count", &count, "int");
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_THROW(flags.parse(2, argv), UsageError);
+}
+
 TEST(Flags, BadValueThrows) {
   std::int64_t count = 0;
   Flags flags("test");

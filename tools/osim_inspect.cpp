@@ -7,27 +7,82 @@
 // into garbage — unmatched traffic, leaked requests, deadlock, mismatched
 // collectives — is rejected here with per-record diagnostics.
 //
+// --validate additionally reads the file through the salvaging reader
+// first and prints a damage summary (corrupt records, CRC mismatches,
+// truncation, with byte offsets), then validates whatever was salvaged.
+// Exit codes follow common/exit_codes.hpp: 0 clean, 1 semantically
+// invalid, 3 unreadable, 4 damaged but salvageable.
+//
 //   osim_inspect --trace /tmp/cg.original.trace
 //   osim_inspect --trace t.trace --validate-only
+//   osim_inspect --trace t.trace --validate       # + damage triage
 #include <cstdio>
+#include <utility>
 
+#include "common/exit_codes.hpp"
 #include "common/expect.hpp"
 #include "common/flags.hpp"
 #include "lint/lint.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/summary.hpp"
 
+namespace {
+
+/// Structural + semantic validation of an in-memory trace; returns the
+/// process exit code.
+int validate_trace(const osim::trace::Trace& t, const std::string& path) {
+  using namespace osim;
+  trace::validate(t);
+  const lint::Report report = lint::lint_trace(t);
+  if (!report.clean()) {
+    std::printf("%s", report.render_text().c_str());
+    return report.num_errors() > 0 ? kExitError : kExitOk;
+  }
+  std::printf("%s: valid\n", path.c_str());
+  return kExitOk;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) try {
   using namespace osim;
   std::string trace_path;
   bool validate_only = false;
+  bool validate = false;
 
   Flags flags("osim_inspect: summarize and validate a trace file");
   flags.add("trace", &trace_path, "trace file to inspect (required)");
   flags.add("validate-only", &validate_only,
             "exit after structural validation and semantic lint");
+  flags.add("validate", &validate,
+            "like --validate-only, but salvage damaged input first and "
+            "print a damage summary (exit 3 = unreadable, 4 = damaged "
+            "but salvageable)");
   if (!flags.parse(argc, argv)) return 0;
-  if (trace_path.empty()) throw Error("--trace is required");
+  if (trace_path.empty()) throw UsageError("--trace is required");
+
+  if (validate) {
+    trace::RecoveredTrace recovered =
+        trace::read_any_file_recover(trace_path);
+    if (!recovered.damage.clean()) {
+      std::printf("%s", recovered.damage.render_text().c_str());
+      if (recovered.damage.unusable) {
+        std::printf("%s: unreadable\n", trace_path.c_str());
+        return kExitUnreadable;
+      }
+      // Validate the salvage so the damage triage is complete, but the
+      // exit code reports the damage even when the salvage lints clean.
+      try {
+        validate_trace(recovered.trace, trace_path);
+      } catch (const Error& e) {
+        std::printf("structural validation of the salvage failed: %s\n",
+                    e.what());
+      }
+      std::printf("%s: damaged but salvageable\n", trace_path.c_str());
+      return kExitSalvaged;
+    }
+    return validate_trace(recovered.trace, trace_path);
+  }
 
   const trace::Trace t = trace::read_any_file(trace_path);
   trace::validate(t);
@@ -35,14 +90,17 @@ int main(int argc, char** argv) try {
     const lint::Report report = lint::lint_trace(t);
     if (!report.clean()) {
       std::printf("%s", report.render_text().c_str());
-      return report.num_errors() > 0 ? 1 : 0;
+      return report.num_errors() > 0 ? kExitError : kExitOk;
     }
     std::printf("%s: valid\n", trace_path.c_str());
-    return 0;
+    return kExitOk;
   }
   std::printf("%s", trace::render(trace::summarize(t)).c_str());
-  return 0;
+  return kExitOk;
+} catch (const osim::UsageError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return osim::kExitUsage;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
-  return 1;
+  return osim::kExitError;
 }

@@ -12,6 +12,7 @@
 //   osim_lint --trace t.trace --format csv --fail-on warning
 #include <cstdio>
 
+#include "common/exit_codes.hpp"
 #include "common/expect.hpp"
 #include "common/flags.hpp"
 #include "lint/lint.hpp"
@@ -44,7 +45,7 @@ int main(int argc, char** argv) try {
   if (!flags.parse(argc, argv)) return 0;
 
   if (format != "text" && format != "csv") {
-    throw Error("--format must be 'text' or 'csv'");
+    throw UsageError("--format must be 'text' or 'csv'");
   }
   lint::Severity fail_severity;
   if (fail_on == "warning") {
@@ -52,20 +53,20 @@ int main(int argc, char** argv) try {
   } else if (fail_on == "error") {
     fail_severity = lint::Severity::kError;
   } else {
-    throw Error("--fail-on must be 'warning' or 'error'");
+    throw UsageError("--fail-on must be 'warning' or 'error'");
   }
   const bool pair_mode = !original_path.empty() || !transformed_path.empty();
   if (pair_mode && (original_path.empty() || transformed_path.empty())) {
-    throw Error("--original and --transformed must be given together");
+    throw UsageError("--original and --transformed must be given together");
   }
   if (!pair_mode && trace_path.empty()) {
-    throw Error("--trace (or --original/--transformed) is required");
+    throw UsageError("--trace (or --original/--transformed) is required");
   }
   if (pair_mode && !trace_path.empty()) {
-    throw Error("--trace and --original/--transformed are exclusive");
+    throw UsageError("--trace and --original/--transformed are exclusive");
   }
   if (eager_threshold < 0) {
-    throw Error("--eager-threshold must be non-negative");
+    throw UsageError("--eager-threshold must be non-negative");
   }
 
   lint::LintOptions options;
@@ -103,7 +104,10 @@ int main(int argc, char** argv) try {
     std::printf("%s: clean\n", subject.c_str());
   }
   return report.has_at_least(fail_severity) ? 1 : 0;
+} catch (const osim::UsageError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return osim::kExitUsage;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
-  return 2;
+  return osim::kExitError;
 }

@@ -11,6 +11,7 @@
 //       --pattern ideal --out ideal8.trace
 #include <cstdio>
 
+#include "common/exit_codes.hpp"
 #include "common/expect.hpp"
 #include "common/flags.hpp"
 #include "overlap/transform.hpp"
@@ -48,8 +49,8 @@ int main(int argc, char** argv) try {
   flags.add("binary", &binary, "write the compact binary format");
   if (!flags.parse(argc, argv)) return 0;
 
-  if (annotated_path.empty()) throw Error("--annotated is required");
-  if (out_path.empty()) throw Error("--out is required");
+  if (annotated_path.empty()) throw UsageError("--annotated is required");
+  if (out_path.empty()) throw UsageError("--out is required");
 
   const trace::AnnotatedTrace annotated =
       trace::read_annotated_file(annotated_path);
@@ -65,7 +66,7 @@ int main(int argc, char** argv) try {
     } else if (pattern == "ideal") {
       options.pattern = overlap::PatternMode::kIdeal;
     } else {
-      throw Error("unknown pattern: " + pattern);
+      throw UsageError("unknown pattern: " + pattern);
     }
     options.advance_sends = !no_advance;
     options.postpone_receptions = !no_postpone;
@@ -73,7 +74,7 @@ int main(int argc, char** argv) try {
     options.double_buffering = !no_double_buffering;
     out = overlap::transform(annotated, options);
   } else {
-    throw Error("unknown mode: " + mode);
+    throw UsageError("unknown mode: " + mode);
   }
 
   if (binary) {
@@ -84,7 +85,10 @@ int main(int argc, char** argv) try {
   std::printf("wrote %s (%zu records, %d ranks)\n", out_path.c_str(),
               out.total_records(), out.num_ranks);
   return 0;
+} catch (const osim::UsageError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return osim::kExitUsage;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
-  return 1;
+  return osim::kExitError;
 }

@@ -9,14 +9,22 @@
 //   osim_replay --trace t.trace --platform marenostrum.cfg --timeline
 //   osim_replay --trace t.trace --prv /tmp/run     # + .prv/.pcf/.row
 //   osim_replay --trace t.trace --report run.json  # structured run report
+//   osim_replay --trace t.trace --faults 'seed=7;loss=0.02'  # injection
+//
+// Exit codes follow common/exit_codes.hpp: 2 = bad command line, 3 = the
+// trace could not be read (use --recover to salvage what loads), 4 = the
+// trace was damaged but replayed from the salvaged prefix.
 #include <cstdio>
+#include <utility>
 
 #include "analysis/critical_path.hpp"
+#include "common/exit_codes.hpp"
 #include "common/expect.hpp"
 #include "common/flags.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "dimemas/platform_io.hpp"
+#include "faults/spec.hpp"
 #include "paraver/paraver.hpp"
 #include "pipeline/context.hpp"
 #include "pipeline/report.hpp"
@@ -39,6 +47,8 @@ int main(int argc, char** argv) try {
   bool profile = false;
   bool critpath = false;
   std::string collectives = "binomial-tree";
+  std::string fault_spec;
+  bool recover = false;
   std::int64_t timeline_width = 100;
   std::int64_t jobs = 1;
 
@@ -64,12 +74,44 @@ int main(int argc, char** argv) try {
   flags.add("report", &report_path,
             "write a JSON run report (wait-time attribution, occupancy, "
             "protocol counters) to this path");
+  flags.add("faults", &fault_spec,
+            "fault-injection spec, e.g. 'seed=7;loss=0.02;degrade=0-1,"
+            "bw=0.5' (see faults/spec.hpp for the grammar)");
+  flags.add("recover", &recover,
+            "salvage a damaged trace instead of rejecting it (exit code 4 "
+            "when records were lost)");
   flags.add("jobs", &jobs,
             "replay jobs for batch studies (0 = one per hardware thread)");
   if (!flags.parse(argc, argv)) return 0;
 
-  if (trace_path.empty()) throw Error("--trace is required");
-  const trace::Trace t = trace::read_any_file(trace_path);
+  if (trace_path.empty()) throw UsageError("--trace is required");
+  trace::Trace t;
+  bool salvaged_with_losses = false;
+  if (recover) {
+    trace::RecoveredTrace recovered =
+        trace::read_any_file_recover(trace_path);
+    if (!recovered.damage.clean()) {
+      std::fprintf(stderr, "%s",
+                   recovered.damage.render_text().c_str());
+      if (recovered.damage.unusable) {
+        std::fprintf(stderr, "error: %s: nothing salvageable\n",
+                     trace_path.c_str());
+        return kExitUnreadable;
+      }
+      salvaged_with_losses = true;
+    }
+    t = std::move(recovered.trace);
+  } else {
+    try {
+      t = trace::read_any_file(trace_path);
+    } catch (const Error& e) {
+      std::fprintf(stderr,
+                   "error: %s\n(re-run with --recover to salvage what "
+                   "still loads)\n",
+                   e.what());
+      return kExitUnreadable;
+    }
+  }
 
   dimemas::Platform platform;
   if (!platform_path.empty()) {
@@ -100,8 +142,9 @@ int main(int argc, char** argv) try {
   } else if (collectives == "recursive-doubling") {
     options.collective_algo = dimemas::CollectiveAlgo::kRecursiveDoubling;
   } else {
-    throw Error("unknown collective algorithm: " + collectives);
+    throw UsageError("unknown collective algorithm: " + collectives);
   }
+  if (!fault_spec.empty()) options.faults = faults::parse_spec(fault_spec);
   // The context validates the trace once (failing with lint diagnostics);
   // the study carries the --jobs thread pool and replay cache.
   const pipeline::ReplayContext context(t, platform, options);
@@ -111,6 +154,20 @@ int main(int argc, char** argv) try {
   const dimemas::SimResult result = study.run(context);
 
   std::printf("platform: %s\n", platform.describe().c_str());
+  if (result.fault_counts.enabled) {
+    std::printf("faults: seed=%llu retransmits=%llu hard_stalls=%llu "
+                "degraded=%llu perturbed=%llu injected_delay=%s\n",
+                static_cast<unsigned long long>(result.fault_counts.seed),
+                static_cast<unsigned long long>(
+                    result.fault_counts.retransmits),
+                static_cast<unsigned long long>(
+                    result.fault_counts.hard_stalls),
+                static_cast<unsigned long long>(
+                    result.fault_counts.degraded_transfers),
+                static_cast<unsigned long long>(
+                    result.fault_counts.perturbed_bursts),
+                format_seconds(result.fault_counts.injected_delay_s).c_str());
+  }
   std::printf("makespan: %s\n", format_seconds(result.makespan).c_str());
   std::printf("parallel efficiency: %.1f%%\n", result.efficiency() * 100.0);
   std::printf("DES events processed: %llu\n",
@@ -158,8 +215,17 @@ int main(int argc, char** argv) try {
                          result, platform, t.app.empty() ? "app" : t.app));
     std::printf("run report written to %s\n", report_path.c_str());
   }
-  return 0;
+  if (salvaged_with_losses) {
+    std::fprintf(stderr,
+                 "warning: results reflect a salvaged trace (exit %d)\n",
+                 osim::kExitSalvaged);
+    return osim::kExitSalvaged;
+  }
+  return osim::kExitOk;
+} catch (const osim::UsageError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return osim::kExitUsage;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
-  return 1;
+  return osim::kExitError;
 }

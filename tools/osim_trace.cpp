@@ -12,6 +12,8 @@
 #include <cstdio>
 
 #include "apps/app.hpp"
+#include "common/exit_codes.hpp"
+#include "common/expect.hpp"
 #include "common/flags.hpp"
 #include "common/strings.hpp"
 #include "lint/lint.hpp"
@@ -55,7 +57,7 @@ int main(int argc, char** argv) try {
 
   const apps::MiniApp* app = apps::find_app(app_name);
   if (app == nullptr) {
-    throw Error("unknown app '" + app_name +
+    throw UsageError("unknown app '" + app_name +
                 "' (try: sweep3d, pop, alya, specfem3d, nas_bt, nas_cg)");
   }
   apps::AppConfig config;
@@ -131,7 +133,10 @@ int main(int argc, char** argv) try {
     std::fprintf(stderr, "[osim_trace] lint: all traces clean\n");
   }
   return 0;
+} catch (const osim::UsageError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return osim::kExitUsage;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
-  return 1;
+  return osim::kExitError;
 }
