@@ -23,6 +23,9 @@ bool BenchSetup::parse(const std::string& description, int argc,
   flags.add("study-report", &study_report,
             "write a JSON study report (per-scenario makespans, wall "
             "times, cache behaviour) to this path");
+  flags.add("cache-dir", &cache_dir,
+            "persistent scenario store directory (default: $OSIM_CACHE_DIR; "
+            "warm reruns serve replays from disk — see osim_cache)");
   return flags.parse(argc, argv);
 }
 
@@ -62,6 +65,7 @@ pipeline::StudyOptions BenchSetup::study_options() const {
   pipeline::StudyOptions options;
   options.jobs = static_cast<int>(jobs);
   options.record_scenarios = !study_report.empty();
+  options.cache_dir = cache_dir;
   return options;
 }
 

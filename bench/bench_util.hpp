@@ -37,6 +37,11 @@ struct BenchSetup {
   /// Write a JSON study report (cache behaviour, per-scenario makespans
   /// and wall times) to this path when non-empty (--study-report).
   std::string study_report;
+  /// Persistent scenario store directory (--cache-dir, or $OSIM_CACHE_DIR
+  /// when empty): replay results are served from and written to the disk
+  /// tier, so a warm rerun of the bench is mostly cache hits. See
+  /// store::ScenarioStore and tools/osim_cache.
+  std::string cache_dir;
 
   /// Registers the shared flags and parses argv. Returns false on --help.
   bool parse(const std::string& description, int argc, const char* const* argv,

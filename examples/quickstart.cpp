@@ -70,7 +70,9 @@ int main(int argc, char** argv) try {
                                                run_overlapped, "overlapped",
                                                ascii)
                   .c_str());
-  osim::pipeline::Study study({.jobs = static_cast<int>(jobs)});
+  osim::pipeline::StudyOptions study_options;
+  study_options.jobs = static_cast<int>(jobs);
+  osim::pipeline::Study study(study_options);
   const auto outcome = osim::analysis::evaluate_overlap(
       study, traced.annotated, platform, options);
   std::printf("speedup (measured patterns): %.3f\n", outcome.speedup_real());

@@ -155,6 +155,60 @@ if grep -q '"faults"' "$OUT/report.json"; then
   exit 1
 fi
 
+# --- persistent scenario store (osim_cache, --cache-dir) --------------------
+
+# Cold replay populates the store; a warm rerun of the identical scenario
+# is served from the disk tier with bit-identical stdout.
+CACHE="$OUT/cache"
+"$BUILD/tools/osim_replay" --trace "$OUT/cg.original.trace" \
+    --platform "$OUT/platform.cfg" --cache-dir "$CACHE" \
+    > "$OUT/cache_cold.txt" 2> "$OUT/cache_cold.err"
+"$BUILD/tools/osim_replay" --trace "$OUT/cg.original.trace" \
+    --platform "$OUT/platform.cfg" --cache-dir "$CACHE" \
+    > "$OUT/cache_warm.txt" 2> "$OUT/cache_warm.err"
+cmp "$OUT/cache_cold.txt" "$OUT/cache_warm.txt"
+grep -q "served from" "$OUT/cache_warm.err"
+if grep -q "served from" "$OUT/cache_cold.err"; then
+  echo "cold replay claimed a cache hit" >&2
+  exit 1
+fi
+
+# osim_inspect --fingerprint prints the scenario's content address and
+# finds the object the warm replay was served from.
+"$BUILD/tools/osim_inspect" --trace "$OUT/cg.original.trace" --fingerprint \
+    --platform "$OUT/platform.cfg" --cache-dir "$CACHE" > "$OUT/fp.txt"
+grep -q "(present)" "$OUT/fp.txt"
+
+# Warm/cold bench round trip: the second run reports every scenario from
+# the disk tier, with makespans bit-identical to the cold run.
+"$BUILD/bench/fig6a_speedup" --ranks 4 --iterations 2 --apps nas_cg \
+    --out-dir "$OUT/bench" --cache-dir "$CACHE" \
+    --study-report "$OUT/study_cold.json" > /dev/null 2>&1
+"$BUILD/bench/fig6a_speedup" --ranks 4 --iterations 2 --apps nas_cg \
+    --out-dir "$OUT/bench" --cache-dir "$CACHE" \
+    --study-report "$OUT/study_warm.json" > /dev/null 2>&1
+grep -q '"misses":0' "$OUT/study_warm.json"
+grep -q '"tier":"disk"' "$OUT/study_warm.json"
+python3 - "$OUT/study_cold.json" "$OUT/study_warm.json" <<'PY'
+import json, sys
+cold, warm = (json.load(open(p)) for p in sys.argv[1:3])
+key = lambda s: (s['label'], s['fingerprint'])
+cm = {key(s): s['makespan_s'] for s in cold['scenarios']}
+wm = {key(s): s['makespan_s'] for s in warm['scenarios']}
+assert cm == wm, 'warm makespans differ from cold'
+assert all(s['tier'] == 'disk' for s in warm['scenarios'])
+labels = [s['label'] for s in warm['scenarios']]
+assert labels == sorted(labels), 'scenarios not sorted by label'
+PY
+
+# The populated store verifies clean, survives a gc to a tight budget, and
+# still verifies clean afterwards.
+"$BUILD/tools/osim_cache" verify --cache-dir "$CACHE" > /dev/null
+"$BUILD/tools/osim_cache" stats --cache-dir "$CACHE" | grep -q "objects:"
+"$BUILD/tools/osim_cache" gc --cache-dir "$CACHE" --max-bytes 1024 \
+    > /dev/null
+"$BUILD/tools/osim_cache" verify --cache-dir "$CACHE" > /dev/null
+
 # Offline transformation from the annotated trace reproduces the
 # tracer-emitted original trace byte for byte.
 "$BUILD/tools/osim_overlap" --annotated "$OUT/cg.ann" --mode original \

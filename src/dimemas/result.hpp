@@ -67,6 +67,8 @@ struct RankStats {
   double blocked_s() const {
     return send_blocked_s + recv_blocked_s + wait_blocked_s;
   }
+
+  friend bool operator==(const RankStats&, const RankStats&) = default;
 };
 
 struct SimResult {

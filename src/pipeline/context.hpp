@@ -18,24 +18,10 @@
 
 #include "dimemas/platform.hpp"
 #include "dimemas/replay.hpp"
+#include "pipeline/fingerprint.hpp"
 #include "trace/trace.hpp"
 
 namespace osim::pipeline {
-
-/// 128-bit content fingerprint of a (trace, platform, options) triple.
-/// Two independent 64-bit lanes make an accidental collision between the
-/// handful of scenarios a study touches astronomically unlikely.
-struct Fingerprint {
-  std::uint64_t lo = 0;
-  std::uint64_t hi = 0;
-  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
-};
-
-struct FingerprintHash {
-  std::size_t operator()(const Fingerprint& f) const {
-    return static_cast<std::size_t>(f.lo ^ (f.hi * 0x9e3779b97f4a7c15ULL));
-  }
-};
 
 class ReplayContext {
  public:

@@ -1,6 +1,9 @@
 #include "pipeline/report.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <utility>
+#include <vector>
 
 #include "common/expect.hpp"
 #include "common/strings.hpp"
@@ -66,11 +69,6 @@ void write_platform(JsonWriter& w, const dimemas::Platform& p) {
   w.end_object();
 }
 
-std::string fingerprint_hex(const Fingerprint& f) {
-  return strprintf("%016llx%016llx",
-                   static_cast<unsigned long long>(f.hi),
-                   static_cast<unsigned long long>(f.lo));
-}
 
 void write_fault_counts(JsonWriter& w, const faults::Counts& c) {
   w.begin_object();
@@ -198,17 +196,29 @@ std::string study_report_json(const Study& study) {
   w.key("jobs").value(static_cast<std::int64_t>(study.jobs()));
   w.key("cache").begin_object();
   w.key("hits").value(static_cast<std::uint64_t>(study.cache_hits()));
+  w.key("disk_hits").value(static_cast<std::uint64_t>(study.disk_hits()));
   w.key("misses").value(static_cast<std::uint64_t>(study.cache_misses()));
   w.key("size").value(static_cast<std::uint64_t>(study.cache_size()));
   w.end_object();
+  // Records accumulate in completion order, which depends on thread
+  // scheduling; sorting by (label, fingerprint) makes the report
+  // deterministic across --jobs values.
+  std::vector<ScenarioRecord> records = study.scenarios();
+  std::sort(records.begin(), records.end(),
+            [](const ScenarioRecord& a, const ScenarioRecord& b) {
+              if (a.label != b.label) return a.label < b.label;
+              return std::make_pair(a.fingerprint.hi, a.fingerprint.lo) <
+                     std::make_pair(b.fingerprint.hi, b.fingerprint.lo);
+            });
   w.key("scenarios").begin_array();
-  for (const ScenarioRecord& record : study.scenarios()) {
+  for (const ScenarioRecord& record : records) {
     w.begin_object();
     w.key("label").value(record.label);
-    w.key("fingerprint").value(fingerprint_hex(record.fingerprint));
+    w.key("fingerprint").value(to_hex(record.fingerprint));
     w.key("makespan_s").value(record.makespan);
     w.key("wall_s").value(record.wall_s);
     w.key("cache_hit").value(record.cache_hit);
+    w.key("tier").value(cache_tier_name(record.cache_tier));
     if (record.fault_counts.enabled) {
       w.key("faults");
       write_fault_counts(w, record.fault_counts);

@@ -1,9 +1,11 @@
 #include "pipeline/study.hpp"
 
 #include <chrono>
+#include <cstdio>
 
 #include "common/expect.hpp"
 #include "dimemas/replay.hpp"
+#include "store/format.hpp"
 
 namespace osim::pipeline {
 
@@ -17,8 +19,24 @@ int resolve_jobs(int jobs) {
 
 }  // namespace
 
+const char* cache_tier_name(CacheTier tier) {
+  switch (tier) {
+    case CacheTier::kMiss:
+      return "miss";
+    case CacheTier::kMemory:
+      return "memory";
+    case CacheTier::kDisk:
+      return "disk";
+  }
+  OSIM_UNREACHABLE("bad CacheTier");
+}
+
 Study::Study(StudyOptions options)
     : jobs_(resolve_jobs(options.jobs)), options_(options) {
+  const std::string cache_dir = store::resolve_cache_dir(options_.cache_dir);
+  if (!cache_dir.empty()) {
+    store_ = std::make_unique<store::ScenarioStore>(cache_dir);
+  }
   // jobs_ - 1 workers: in map(), the calling thread is the remaining lane.
   workers_.reserve(static_cast<std::size_t>(jobs_ > 1 ? jobs_ - 1 : 0));
   for (int i = 1; i < jobs_; ++i) {
@@ -67,12 +85,40 @@ double Study::makespan(const ReplayContext& context, std::string_view label) {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     if (const auto it = cache_.find(key); it != cache_.end()) {
       ++hits_;
-      record_scenario(ScenarioRecord{key, it->second.makespan, 0.0, true,
-                                     std::string(label),
-                                     it->second.fault_counts,
-                                     it->second.fault_wait_s});
+      ScenarioRecord record{key,   it->second.makespan,
+                            0.0,   true,
+                            std::string(label), it->second.fault_counts,
+                            it->second.fault_wait_s, CacheTier::kMemory};
+      record_scenario(std::move(record));
       return it->second.makespan;
     }
+  }
+  // Disk tier: read through the persistent store before paying for a
+  // replay. Because the fingerprint covers the full (trace, platform,
+  // options) content and replay is pure, a stored artifact is bit-identical
+  // to what a cold evaluation would produce.
+  if (store_ != nullptr && options_.cache_replays) {
+    if (const std::optional<store::ScenarioArtifact> artifact =
+            store_->load(key)) {
+      CachedRun cached;
+      cached.makespan = artifact->makespan;
+      cached.fault_counts = artifact->fault_counts;
+      cached.fault_wait_s = artifact->fault_wait_s;
+      {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        ++disk_hits_;
+        cache_.emplace(key, cached);  // promote into the memory tier
+      }
+      ScenarioRecord record{key,   cached.makespan,
+                            0.0,   true,
+                            std::string(label), cached.fault_counts,
+                            cached.fault_wait_s, CacheTier::kDisk};
+      record_scenario(std::move(record));
+      return cached.makespan;
+    }
+  }
+  if (options_.cache_replays) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
     ++misses_;
   }
   // Computed outside the lock; a concurrent miss on the same key computes
@@ -84,22 +130,32 @@ double Study::makespan(const ReplayContext& context, std::string_view label) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_begin)
           .count();
+  const store::ScenarioArtifact artifact = store::make_artifact(result);
   CachedRun cached;
-  cached.makespan = result.makespan;
-  cached.fault_counts = result.fault_counts;
-  if (result.metrics != nullptr) {
-    for (const metrics::RankWaitAttribution& waits :
-         result.metrics->rank_waits) {
-      cached.fault_wait_s += waits.total().fault_s;
-    }
-  }
+  cached.makespan = artifact.makespan;
+  cached.fault_counts = artifact.fault_counts;
+  cached.fault_wait_s = artifact.fault_wait_s;
   if (options_.cache_replays) {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     cache_.emplace(key, cached);
   }
-  record_scenario(ScenarioRecord{key, cached.makespan, wall_s, false,
-                                 std::string(label), cached.fault_counts,
-                                 cached.fault_wait_s});
+  if (store_ != nullptr && options_.cache_replays) {
+    try {
+      store_->save(key, artifact);  // write-behind
+    } catch (const Error& e) {
+      if (!warned_store_write_.exchange(true)) {
+        std::fprintf(stderr,
+                     "warning: scenario store write failed (%s); "
+                     "continuing without persistence\n",
+                     e.what());
+      }
+    }
+  }
+  ScenarioRecord record{key,   cached.makespan,
+                        wall_s, false,
+                        std::string(label), cached.fault_counts,
+                        cached.fault_wait_s, CacheTier::kMiss};
+  record_scenario(std::move(record));
   return cached.makespan;
 }
 
@@ -127,6 +183,11 @@ std::size_t Study::cache_misses() const {
 std::size_t Study::cache_size() const {
   std::lock_guard<std::mutex> lock(cache_mutex_);
   return cache_.size();
+}
+
+std::size_t Study::disk_hits() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return disk_hits_;
 }
 
 std::vector<ScenarioRecord> Study::scenarios() const {

@@ -35,6 +35,7 @@
 #include "dimemas/result.hpp"
 #include "faults/model.hpp"
 #include "pipeline/context.hpp"
+#include "store/store.hpp"
 
 namespace osim::pipeline {
 
@@ -47,11 +48,26 @@ struct StudyOptions {
   /// Keep one ScenarioRecord per makespan() evaluation (see scenarios()),
   /// for structured study reports.
   bool record_scenarios = false;
+  /// Root of the persistent scenario store (store::ScenarioStore), the
+  /// disk tier behind the in-memory cache: makespan() reads through it and
+  /// writes computed results behind, so identical scenarios are served
+  /// across processes and sessions. Empty = $OSIM_CACHE_DIR, or no disk
+  /// tier when that is unset too — in which case behavior and results are
+  /// bit-identical to a store-less build.
+  std::string cache_dir;
 };
+
+/// Which tier answered a makespan() evaluation. kMiss means the scenario
+/// was actually replayed (and written behind to the store when one is
+/// configured).
+enum class CacheTier { kMiss, kMemory, kDisk };
+
+const char* cache_tier_name(CacheTier tier);
 
 /// One evaluated sweep scenario: what was replayed, the result, and what it
 /// cost. Records accumulate in completion order, which depends on thread
-/// scheduling — sort by label or fingerprint for stable output.
+/// scheduling — study_report_json() sorts by (label, fingerprint); sort the
+/// same way for any other stable output.
 struct ScenarioRecord {
   Fingerprint fingerprint;
   double makespan = 0.0;
@@ -64,6 +80,8 @@ struct ScenarioRecord {
   /// Total fault-attributed wait time across ranks; populated only when the
   /// context collects metrics (0 otherwise).
   double fault_wait_s = 0.0;
+  /// Tier that served this evaluation; cache_hit == (tier != kMiss).
+  CacheTier cache_tier = CacheTier::kMiss;
 };
 
 class Study {
@@ -93,9 +111,16 @@ class Study {
       -> std::vector<std::invoke_result_t<F&, const T&>>;
 
   int jobs() const { return jobs_; }
+  /// In-memory tier hits (disk hits are counted separately).
   std::size_t cache_hits() const;
   std::size_t cache_misses() const;
   std::size_t cache_size() const;
+  /// Scenarios served from the persistent store (0 without a cache_dir).
+  std::size_t disk_hits() const;
+
+  /// The persistent store backing the disk tier, or nullptr when no
+  /// cache_dir was configured. Useful for maintenance surfaces and tests.
+  store::ScenarioStore* store() const { return store_.get(); }
 
   /// Copy of the scenario records accumulated so far. Empty unless
   /// StudyOptions::record_scenarios is set. Thread-safe.
@@ -121,6 +146,13 @@ class Study {
   std::unordered_map<Fingerprint, CachedRun, FingerprintHash> cache_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t disk_hits_ = 0;
+
+  /// Disk tier; nullptr when no cache_dir is configured.
+  std::unique_ptr<store::ScenarioStore> store_;
+  /// Warn at most once when write-behind fails (full disk, bad mount...):
+  /// persisting is an optimization, never a reason to fail the study.
+  std::atomic<bool> warned_store_write_ = false;
 
   mutable std::mutex scenario_mutex_;
   std::vector<ScenarioRecord> scenarios_;

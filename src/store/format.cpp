@@ -1,0 +1,241 @@
+#include "store/format.hpp"
+
+#include <cstring>
+
+#include "common/crc32.hpp"
+#include "metrics/replay_metrics.hpp"
+
+namespace osim::store {
+
+namespace {
+
+// Little-endian fixed-width primitives. The store is an on-disk cache that
+// may be shared between machines via network filesystems, so the byte
+// order is pinned rather than host-native.
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+// Readers advance `pos` and return false on a short buffer; decode keeps
+// threading the failure up instead of throwing.
+
+bool get_u32(std::string_view in, std::size_t& pos, std::uint32_t& v) {
+  if (in.size() - pos < 4) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in[pos + i]))
+         << (8 * i);
+  }
+  pos += 4;
+  return true;
+}
+
+bool get_u64(std::string_view in, std::size_t& pos, std::uint64_t& v) {
+  if (in.size() - pos < 8) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[pos + i]))
+         << (8 * i);
+  }
+  pos += 8;
+  return true;
+}
+
+bool get_f64(std::string_view in, std::size_t& pos, double& v) {
+  std::uint64_t bits = 0;
+  if (!get_u64(in, pos, bits)) return false;
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+
+bool get_u8(std::string_view in, std::size_t& pos, std::uint8_t& v) {
+  if (in.size() - pos < 1) return false;
+  v = static_cast<std::uint8_t>(in[pos]);
+  pos += 1;
+  return true;
+}
+
+void put_counts(std::string& out, const faults::Counts& c) {
+  put_u8(out, c.enabled ? 1 : 0);
+  put_u64(out, c.seed);
+  put_u64(out, c.messages_dropped);
+  put_u64(out, c.retransmits);
+  put_u64(out, c.handshake_reissues);
+  put_u64(out, c.hard_stalls);
+  put_u64(out, c.degraded_transfers);
+  put_u64(out, c.perturbed_bursts);
+  put_u64(out, c.straggled_bursts);
+  put_f64(out, c.injected_delay_s);
+  put_f64(out, c.injected_compute_s);
+}
+
+bool get_counts(std::string_view in, std::size_t& pos, faults::Counts& c) {
+  std::uint8_t enabled = 0;
+  if (!get_u8(in, pos, enabled)) return false;
+  if (enabled > 1) return false;  // a flipped bool byte is damage, not data
+  c.enabled = enabled == 1;
+  return get_u64(in, pos, c.seed) && get_u64(in, pos, c.messages_dropped) &&
+         get_u64(in, pos, c.retransmits) &&
+         get_u64(in, pos, c.handshake_reissues) &&
+         get_u64(in, pos, c.hard_stalls) &&
+         get_u64(in, pos, c.degraded_transfers) &&
+         get_u64(in, pos, c.perturbed_bursts) &&
+         get_u64(in, pos, c.straggled_bursts) &&
+         get_f64(in, pos, c.injected_delay_s) &&
+         get_f64(in, pos, c.injected_compute_s);
+}
+
+void put_rank_stats(std::string& out, const dimemas::RankStats& s) {
+  put_f64(out, s.compute_s);
+  put_f64(out, s.send_blocked_s);
+  put_f64(out, s.recv_blocked_s);
+  put_f64(out, s.wait_blocked_s);
+  put_f64(out, s.finish_time);
+  put_u64(out, s.messages_sent);
+  put_u64(out, s.messages_received);
+  put_u64(out, s.bytes_sent);
+  put_u64(out, s.bytes_received);
+}
+
+bool get_rank_stats(std::string_view in, std::size_t& pos,
+                    dimemas::RankStats& s) {
+  return get_f64(in, pos, s.compute_s) && get_f64(in, pos, s.send_blocked_s) &&
+         get_f64(in, pos, s.recv_blocked_s) &&
+         get_f64(in, pos, s.wait_blocked_s) && get_f64(in, pos, s.finish_time) &&
+         get_u64(in, pos, s.messages_sent) &&
+         get_u64(in, pos, s.messages_received) &&
+         get_u64(in, pos, s.bytes_sent) && get_u64(in, pos, s.bytes_received);
+}
+
+/// Upper bound on stored rank counts: a flipped length byte must fail the
+/// decode instead of provoking a multi-gigabyte allocation before the CRC
+/// verdict is even consulted. (The CRC is checked first regardless; this
+/// guards the decoder against future reorderings.)
+constexpr std::uint64_t kMaxRanks = 1u << 20;
+
+std::uint32_t object_crc(std::string_view bytes_after_magic) {
+  Crc32 crc;
+  crc.update(bytes_after_magic.data(), bytes_after_magic.size());
+  return crc.value();
+}
+
+}  // namespace
+
+std::string encode_object(const pipeline::Fingerprint& fp,
+                          const ScenarioArtifact& artifact) {
+  std::string payload;
+  put_f64(payload, artifact.makespan);
+  put_u64(payload, artifact.des_events);
+  put_f64(payload, artifact.fault_wait_s);
+  put_counts(payload, artifact.fault_counts);
+  put_u64(payload, artifact.rank_stats.size());
+  for (const dimemas::RankStats& s : artifact.rank_stats) {
+    put_rank_stats(payload, s);
+  }
+
+  std::string out;
+  out.reserve(kObjectMagic.size() + 28 + payload.size() + 4);
+  out.append(kObjectMagic);
+  put_u32(out, kObjectVersion);
+  put_u64(out, fp.hi);
+  put_u64(out, fp.lo);
+  put_u64(out, payload.size());
+  out += payload;
+  put_u32(out, object_crc(
+                   std::string_view(out).substr(kObjectMagic.size())));
+  return out;
+}
+
+std::optional<DecodedObject> decode_object(std::string_view bytes) {
+  constexpr std::size_t kHeader = 8 + 4 + 8 + 8 + 8;  // magic..payload_bytes
+  if (bytes.size() < kHeader + 4) return std::nullopt;
+  if (bytes.substr(0, kObjectMagic.size()) != kObjectMagic) {
+    return std::nullopt;
+  }
+  // Integrity before interpretation: the CRC covers everything after the
+  // magic (version, address, sizes, payload), so a single flipped bit
+  // anywhere the footer can see is rejected here.
+  std::size_t tail = bytes.size() - 4;
+  std::uint32_t stored_crc = 0;
+  if (!get_u32(bytes, tail, stored_crc)) return std::nullopt;
+  if (object_crc(bytes.substr(kObjectMagic.size(),
+                              bytes.size() - kObjectMagic.size() - 4)) !=
+      stored_crc) {
+    return std::nullopt;
+  }
+
+  std::size_t pos = kObjectMagic.size();
+  std::uint32_t version = 0;
+  if (!get_u32(bytes, pos, version)) return std::nullopt;
+  if (version != kObjectVersion) return std::nullopt;  // skew = miss
+
+  DecodedObject decoded;
+  std::uint64_t payload_bytes = 0;
+  if (!get_u64(bytes, pos, decoded.fingerprint.hi) ||
+      !get_u64(bytes, pos, decoded.fingerprint.lo) ||
+      !get_u64(bytes, pos, payload_bytes)) {
+    return std::nullopt;
+  }
+  if (payload_bytes != bytes.size() - kHeader - 4) return std::nullopt;
+
+  ScenarioArtifact& a = decoded.artifact;
+  std::uint64_t rank_count = 0;
+  if (!get_f64(bytes, pos, a.makespan) || !get_u64(bytes, pos, a.des_events) ||
+      !get_f64(bytes, pos, a.fault_wait_s) ||
+      !get_counts(bytes, pos, a.fault_counts) ||
+      !get_u64(bytes, pos, rank_count)) {
+    return std::nullopt;
+  }
+  if (rank_count > kMaxRanks) return std::nullopt;
+  a.rank_stats.resize(rank_count);
+  for (dimemas::RankStats& s : a.rank_stats) {
+    if (!get_rank_stats(bytes, pos, s)) return std::nullopt;
+  }
+  if (pos != bytes.size() - 4) return std::nullopt;  // trailing payload bytes
+  return decoded;
+}
+
+ScenarioArtifact make_artifact(const dimemas::SimResult& result) {
+  ScenarioArtifact artifact;
+  artifact.makespan = result.makespan;
+  artifact.des_events = result.des_events;
+  artifact.rank_stats = result.rank_stats;
+  artifact.fault_counts = result.fault_counts;
+  if (result.metrics != nullptr) {
+    for (const metrics::RankWaitAttribution& waits :
+         result.metrics->rank_waits) {
+      artifact.fault_wait_s += waits.total().fault_s;
+    }
+  }
+  return artifact;
+}
+
+dimemas::SimResult to_sim_result(const ScenarioArtifact& artifact) {
+  dimemas::SimResult result;
+  result.makespan = artifact.makespan;
+  result.des_events = artifact.des_events;
+  result.rank_stats = artifact.rank_stats;
+  result.fault_counts = artifact.fault_counts;
+  return result;
+}
+
+}  // namespace osim::store

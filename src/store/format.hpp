@@ -1,0 +1,79 @@
+// Binary format of one scenario-store object.
+//
+// An object is the durable residue of one replay: everything a warm sweep
+// needs to answer Study::makespan() — and osim_replay's default output —
+// without re-simulating. Fixed-width little-endian layout:
+//
+//   magic "OSIMSTO1" (8 bytes)
+//   u32 format version (kObjectVersion; any other value is a miss)
+//   u64 fingerprint.hi, u64 fingerprint.lo   (the content address)
+//   u64 payload_bytes (P)
+//   payload (P bytes):
+//     f64 makespan, u64 des_events, f64 fault_wait_s
+//     u8 fault_enabled, then the faults::Counts fields
+//     u64 rank_count, per rank the dimemas::RankStats fields
+//   u32 CRC-32 (IEEE, common/crc32.hpp) over every byte after the magic
+//
+// Decoding is strict and total: decode_object() never throws on content —
+// a bad magic, version skew, size mismatch, CRC mismatch, truncated or
+// overlong payload all come back as nullopt, which the store treats as a
+// cache miss (salvage-style; see DESIGN.md §3.5). The embedded fingerprint
+// lets readers detect objects that were renamed or cross-copied between
+// keys, which a file-content CRC alone cannot see.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dimemas/result.hpp"
+#include "faults/model.hpp"
+#include "pipeline/fingerprint.hpp"
+
+namespace osim::store {
+
+inline constexpr std::string_view kObjectMagic = "OSIMSTO1";
+inline constexpr std::uint32_t kObjectVersion = 1;
+
+/// The cached result of one replay. Rich enough to reconstruct the
+/// summary-level SimResult (makespan, per-rank statistics, fault counters)
+/// that the benches and osim_replay's default output consume; timelines,
+/// comm events and full metrics are intentionally not stored — contexts
+/// that record those carry different fingerprints anyway.
+struct ScenarioArtifact {
+  double makespan = 0.0;
+  std::uint64_t des_events = 0;
+  std::vector<dimemas::RankStats> rank_stats;
+  faults::Counts fault_counts;
+  /// Total fault-attributed wait time across ranks; non-zero only for
+  /// fault-injected contexts that collect metrics (mirrors
+  /// pipeline::ScenarioRecord::fault_wait_s).
+  double fault_wait_s = 0.0;
+
+  friend bool operator==(const ScenarioArtifact&,
+                         const ScenarioArtifact&) = default;
+};
+
+/// Serializes `artifact` under content address `fp`.
+std::string encode_object(const pipeline::Fingerprint& fp,
+                          const ScenarioArtifact& artifact);
+
+struct DecodedObject {
+  pipeline::Fingerprint fingerprint;
+  ScenarioArtifact artifact;
+};
+
+/// Strict decode; nullopt on any damage or version skew (never throws).
+std::optional<DecodedObject> decode_object(std::string_view bytes);
+
+/// Projects a SimResult down to its storable artifact (fault_wait_s is
+/// summed from the metrics when the replay collected them).
+ScenarioArtifact make_artifact(const dimemas::SimResult& result);
+
+/// Inflates an artifact back into a summary-level SimResult (no timelines,
+/// comms or metrics — see ScenarioArtifact).
+dimemas::SimResult to_sim_result(const ScenarioArtifact& artifact);
+
+}  // namespace osim::store

@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 
 #include "common/expect.hpp"
@@ -15,6 +18,8 @@
 #include "dimemas/replay.hpp"
 #include "lint/lint.hpp"
 #include "overlap/transform.hpp"
+#include "store/format.hpp"
+#include "store/store.hpp"
 #include "trace/annotated.hpp"
 #include "trace/io.hpp"
 #include "trace/trace.hpp"
@@ -393,6 +398,152 @@ TEST_P(RandomAnnotated, TransformedTraceReplays) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomAnnotated,
                          ::testing::Range<std::uint64_t>(1, 25));
+
+// --- scenario-store corruption ----------------------------------------------
+
+/// Random but structurally plausible store artifact. Field values are
+/// arbitrary — the format must round-trip whatever the simulator produces.
+store::ScenarioArtifact random_artifact(Rng& rng) {
+  store::ScenarioArtifact a;
+  a.makespan = rng.uniform() * 1e4;
+  a.des_events = rng();
+  a.fault_wait_s = rng.uniform();
+  a.fault_counts.enabled = rng.below(2) != 0;
+  a.fault_counts.seed = rng();
+  a.fault_counts.retransmits = rng.below(1000);
+  a.fault_counts.hard_stalls = rng.below(1000);
+  a.fault_counts.degraded_transfers = rng.below(1000);
+  a.fault_counts.perturbed_bursts = rng.below(1000);
+  a.fault_counts.injected_delay_s = rng.uniform();
+  const std::size_t ranks = rng.below(9);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    dimemas::RankStats rs;
+    rs.compute_s = rng.uniform() * 100.0;
+    rs.send_blocked_s = rng.uniform() * 10.0;
+    rs.recv_blocked_s = rng.uniform() * 10.0;
+    rs.wait_blocked_s = rng.uniform() * 10.0;
+    rs.finish_time = rng.uniform() * 200.0;
+    rs.messages_sent = rng.below(1u << 20);
+    rs.bytes_sent = rng();
+    rs.bytes_received = rng();
+    a.rank_stats.push_back(rs);
+  }
+  return a;
+}
+
+pipeline::Fingerprint random_fingerprint(Rng& rng) {
+  return pipeline::Fingerprint{rng(), rng()};
+}
+
+// Flips 1..3 random bits. Store objects are far below CRC-32's
+// Hamming-distance-4 length bound (~11 KB), so any <=3-bit damage is
+// guaranteed detectable — the decode must come back nullopt, never crash.
+std::string flip_bits(std::string bytes, Rng& rng) {
+  const int flips = static_cast<int>(1 + rng.below(3));
+  for (int f = 0; f < flips; ++f) {
+    const std::size_t pos = rng.below(bytes.size());
+    bytes[pos] = static_cast<char>(
+        bytes[pos] ^ static_cast<char>(1u << rng.below(8)));
+  }
+  return bytes;
+}
+
+class RandomStoreObjects : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomStoreObjects, EncodeDecodeRoundTrips) {
+  Rng rng(GetParam() * 17 + 3);
+  const store::ScenarioArtifact artifact = random_artifact(rng);
+  const pipeline::Fingerprint fp = random_fingerprint(rng);
+  const auto decoded = store::decode_object(store::encode_object(fp, artifact));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->fingerprint, fp);
+  EXPECT_EQ(decoded->artifact, artifact);
+}
+
+TEST_P(RandomStoreObjects, BitFlipsAlwaysRejectedNeverCrash) {
+  Rng rng(GetParam() * 29 + 7);
+  const store::ScenarioArtifact artifact = random_artifact(rng);
+  const std::string original =
+      store::encode_object(random_fingerprint(rng), artifact);
+  for (int round = 0; round < 64; ++round) {
+    const std::string bytes = flip_bits(original, rng);
+    std::optional<store::DecodedObject> decoded;
+    ASSERT_NO_THROW(decoded = store::decode_object(bytes)) << "round " << round;
+    if (bytes != original) {
+      EXPECT_FALSE(decoded.has_value()) << "round " << round;
+    }
+  }
+}
+
+TEST_P(RandomStoreObjects, PublishedObjectCorruptionDegradesToMiss) {
+  namespace fs = std::filesystem;
+  Rng rng(GetParam() * 41 + 11);
+  const std::string dir = ::testing::TempDir() + "/osim_store_fuzz_" +
+                          std::to_string(GetParam());
+  fs::remove_all(dir);
+  store::ScenarioStore store(dir);
+  const pipeline::Fingerprint fp = random_fingerprint(rng);
+  store.save(fp, random_artifact(rng));
+
+  const std::string path = store.object_path(fp);
+  std::string original;
+  {
+    std::ifstream in(path, std::ios::binary);
+    original.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  for (int round = 0; round < 16; ++round) {
+    const std::string bytes = flip_bits(original, rng);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    std::optional<store::ScenarioArtifact> loaded;
+    ASSERT_NO_THROW(loaded = store.load(fp)) << "round " << round;
+    if (bytes != original) {
+      EXPECT_FALSE(loaded.has_value()) << "round " << round;
+    }
+    // Maintenance over the damaged store must not crash either.
+    ASSERT_NO_THROW(store.verify()) << "round " << round;
+  }
+}
+
+TEST_P(RandomStoreObjects, IndexCorruptionNeverCrashesOrLosesObjects) {
+  namespace fs = std::filesystem;
+  Rng rng(GetParam() * 53 + 19);
+  const std::string dir = ::testing::TempDir() + "/osim_index_fuzz_" +
+                          std::to_string(GetParam());
+  fs::remove_all(dir);
+  const pipeline::Fingerprint fp = random_fingerprint(rng);
+  {
+    store::ScenarioStore store(dir);
+    store.save(fp, random_artifact(rng));
+    store.stats();  // persist an index to corrupt
+  }
+  const std::string index_path = dir + "/index.osim";
+  std::string original;
+  {
+    std::ifstream in(index_path, std::ios::binary);
+    original.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  for (int round = 0; round < 8; ++round) {
+    {
+      const std::string bytes = flip_bits(original, rng);
+      std::ofstream out(index_path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    store::ScenarioStore store(dir);
+    store::StoreStats stats;
+    ASSERT_NO_THROW(stats = store.stats()) << "round " << round;
+    EXPECT_EQ(stats.objects, 1u) << "round " << round;
+    EXPECT_TRUE(store.load(fp).has_value()) << "round " << round;
+    ASSERT_NO_THROW(store.gc(1u << 30)) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStoreObjects,
+                         ::testing::Range<std::uint64_t>(1, 13));
 
 }  // namespace
 }  // namespace osim

@@ -13,16 +13,30 @@
 // Exit codes follow common/exit_codes.hpp: 0 clean, 1 semantically
 // invalid, 3 unreadable, 4 damaged but salvageable.
 //
+// --fingerprint prints the pipeline::ReplayContext content fingerprint of
+// the trace on the given platform (same flags as osim_replay's network
+// setup), which is the content address of the scenario's object in a
+// persistent store (see osim_cache): use it to correlate store objects
+// with their inputs. With --cache-dir, the object path and its presence
+// are printed too.
+//
 //   osim_inspect --trace /tmp/cg.original.trace
 //   osim_inspect --trace t.trace --validate-only
 //   osim_inspect --trace t.trace --validate       # + damage triage
+//   osim_inspect --trace t.trace --fingerprint --bandwidth 250 --buses 6
 #include <cstdio>
+#include <filesystem>
 #include <utility>
 
 #include "common/exit_codes.hpp"
 #include "common/expect.hpp"
 #include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "dimemas/platform_io.hpp"
+#include "faults/spec.hpp"
 #include "lint/lint.hpp"
+#include "pipeline/context.hpp"
+#include "store/store.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/summary.hpp"
 
@@ -49,6 +63,15 @@ int main(int argc, char** argv) try {
   std::string trace_path;
   bool validate_only = false;
   bool validate = false;
+  bool fingerprint = false;
+  std::string platform_path;
+  double bandwidth = 250.0;
+  double latency = 4.0;
+  std::int64_t buses = 0;
+  std::int64_t ports = 1;
+  std::int64_t eager = 16 * 1024;
+  std::string fault_spec;
+  std::string cache_dir;
 
   Flags flags("osim_inspect: summarize and validate a trace file");
   flags.add("trace", &trace_path, "trace file to inspect (required)");
@@ -58,8 +81,57 @@ int main(int argc, char** argv) try {
             "like --validate-only, but salvage damaged input first and "
             "print a damage summary (exit 3 = unreadable, 4 = damaged "
             "but salvageable)");
+  flags.add("fingerprint", &fingerprint,
+            "print the ReplayContext content fingerprint of this trace on "
+            "the platform given by the network flags (the scenario store's "
+            "content address — see osim_cache)");
+  flags.add("platform", &platform_path,
+            "fingerprint: platform file; overrides the network flags");
+  flags.add("bandwidth", &bandwidth, "fingerprint: link bandwidth in MB/s");
+  flags.add("latency", &latency, "fingerprint: per-message latency in us");
+  flags.add("buses", &buses, "fingerprint: global buses (0 = unlimited)");
+  flags.add("ports", &ports, "fingerprint: input/output ports per node");
+  flags.add("eager", &eager, "fingerprint: eager threshold in bytes");
+  flags.add("faults", &fault_spec,
+            "fingerprint: fault-injection spec hashed into the context");
+  flags.add("cache-dir", &cache_dir,
+            "fingerprint: also print the object path in this scenario "
+            "store and whether it is present");
   if (!flags.parse(argc, argv)) return 0;
   if (trace_path.empty()) throw UsageError("--trace is required");
+
+  if (fingerprint) {
+    const trace::Trace t = trace::read_any_file(trace_path);
+    dimemas::Platform platform;
+    if (!platform_path.empty()) {
+      platform = dimemas::read_platform_file(platform_path);
+      if (platform.num_nodes < t.num_ranks) {
+        throw Error(strprintf("platform has %d nodes but the trace needs %d",
+                              platform.num_nodes, t.num_ranks));
+      }
+    } else {
+      platform.num_nodes = t.num_ranks;
+      platform.bandwidth_MBps = bandwidth;
+      platform.latency_us = latency;
+      platform.num_buses = static_cast<std::int32_t>(buses);
+      platform.input_ports = static_cast<std::int32_t>(ports);
+      platform.output_ports = static_cast<std::int32_t>(ports);
+      platform.eager_threshold_bytes = static_cast<std::uint64_t>(eager);
+    }
+    dimemas::ReplayOptions options;
+    if (!fault_spec.empty()) options.faults = faults::parse_spec(fault_spec);
+    const pipeline::ReplayContext context(t, platform, options);
+    std::printf("%s\n", pipeline::to_hex(context.fingerprint()).c_str());
+    const std::string dir = store::resolve_cache_dir(cache_dir);
+    if (!dir.empty()) {
+      store::ScenarioStore cache(dir);
+      const std::string path = cache.object_path(context.fingerprint());
+      const bool present = std::filesystem::exists(path);
+      std::printf("object: %s (%s)\n", path.c_str(),
+                  present ? "present" : "absent");
+    }
+    return kExitOk;
+  }
 
   if (validate) {
     trace::RecoveredTrace recovered =

@@ -10,11 +10,15 @@
 //   osim_replay --trace t.trace --prv /tmp/run     # + .prv/.pcf/.row
 //   osim_replay --trace t.trace --report run.json  # structured run report
 //   osim_replay --trace t.trace --faults 'seed=7;loss=0.02'  # injection
+//   osim_replay --trace t.trace --cache-dir ~/.cache/osim   # warm reruns
+//                                          # served from the scenario store
 //
 // Exit codes follow common/exit_codes.hpp: 2 = bad command line, 3 = the
 // trace could not be read (use --recover to salvage what loads), 4 = the
 // trace was damaged but replayed from the salvaged prefix.
 #include <cstdio>
+#include <memory>
+#include <optional>
 #include <utility>
 
 #include "analysis/critical_path.hpp"
@@ -29,6 +33,8 @@
 #include "pipeline/context.hpp"
 #include "pipeline/report.hpp"
 #include "pipeline/study.hpp"
+#include "store/format.hpp"
+#include "store/store.hpp"
 #include "trace/binary_io.hpp"
 
 int main(int argc, char** argv) try {
@@ -51,6 +57,7 @@ int main(int argc, char** argv) try {
   bool recover = false;
   std::int64_t timeline_width = 100;
   std::int64_t jobs = 1;
+  std::string cache_dir;
 
   Flags flags("osim_replay: replay a trace file on a configurable platform");
   flags.add("trace", &trace_path, "trace file to replay (required)");
@@ -82,6 +89,10 @@ int main(int argc, char** argv) try {
             "when records were lost)");
   flags.add("jobs", &jobs,
             "replay jobs for batch studies (0 = one per hardware thread)");
+  flags.add("cache-dir", &cache_dir,
+            "persistent scenario store directory (default: $OSIM_CACHE_DIR); "
+            "summary-level replays are served from and written to the "
+            "store — see osim_cache");
   if (!flags.parse(argc, argv)) return 0;
 
   if (trace_path.empty()) throw UsageError("--trace is required");
@@ -151,7 +162,35 @@ int main(int argc, char** argv) try {
   pipeline::StudyOptions study_options;
   study_options.jobs = static_cast<int>(jobs);
   pipeline::Study study(study_options);
-  const dimemas::SimResult result = study.run(context);
+
+  // Persistent store: a summary-level replay (no timeline, comms or
+  // metrics recording — those results are not stored) is served from the
+  // cache when this exact (trace, platform, options) fingerprint has been
+  // replayed before, by any process.
+  std::unique_ptr<store::ScenarioStore> cache;
+  const std::string resolved_cache_dir = store::resolve_cache_dir(cache_dir);
+  if (!resolved_cache_dir.empty()) {
+    cache = std::make_unique<store::ScenarioStore>(resolved_cache_dir);
+  }
+  const bool cacheable = !options.record_timeline && !options.record_comms &&
+                         !options.collect_metrics;
+  dimemas::SimResult result;
+  bool served_from_store = false;
+  if (cache != nullptr && cacheable) {
+    if (const std::optional<store::ScenarioArtifact> artifact =
+            cache->load(context.fingerprint())) {
+      result = store::to_sim_result(*artifact);
+      served_from_store = true;
+      std::fprintf(stderr, "[cache] served from %s\n",
+                   cache->object_path(context.fingerprint()).c_str());
+    }
+  }
+  if (!served_from_store) {
+    result = study.run(context);
+    if (cache != nullptr && cacheable) {
+      cache->save(context.fingerprint(), store::make_artifact(result));
+    }
+  }
 
   std::printf("platform: %s\n", platform.describe().c_str());
   if (result.fault_counts.enabled) {
