@@ -24,6 +24,29 @@ done
 "$BUILD/tools/osim_lint" --original "$OUT/pop.original.btrace" \
     --transformed "$OUT/pop.overlap_ideal.btrace" --fail-on warning
 
+# Machine-readable lint: the JSON document carries the pinned schema and
+# zero errors on app traces, any --jobs value is byte-identical to
+# serial, and a warm --cache-dir rerun is served from the store with
+# byte-identical output.
+"$BUILD/tools/osim_lint" --trace "$OUT/cg.original.trace" --format json \
+    > "$OUT/lint1.json"
+grep -q '"schema":"osim.lint_report"' "$OUT/lint1.json"
+grep -q '"errors":0' "$OUT/lint1.json"
+"$BUILD/tools/osim_lint" --trace "$OUT/cg.original.trace" --format json \
+    --jobs 4 > "$OUT/lint4.json"
+cmp "$OUT/lint1.json" "$OUT/lint4.json"
+LINTCACHE="$OUT/lintcache"
+"$BUILD/tools/osim_lint" --trace "$OUT/cg.original.trace" --format json \
+    --cache-dir "$LINTCACHE" > "$OUT/lint_cold.json" 2> "$OUT/lint_cold.err"
+"$BUILD/tools/osim_lint" --trace "$OUT/cg.original.trace" --format json \
+    --cache-dir "$LINTCACHE" > "$OUT/lint_warm.json" 2> "$OUT/lint_warm.err"
+cmp "$OUT/lint_cold.json" "$OUT/lint_warm.json"
+grep -q "served from" "$OUT/lint_warm.err"
+if grep -q "served from" "$OUT/lint_cold.err"; then
+  echo "cold lint claimed a cache hit" >&2
+  exit 1
+fi
+
 # A semantically broken trace must be rejected with a matching diagnostic.
 cat > "$OUT/broken.trace" <<TRC
 #OSIM-TRACE v1
@@ -70,6 +93,8 @@ test -s "$OUT/report.json"
 grep -q '"schema":"osim.replay_report"' "$OUT/report.json"
 grep -q '"wait_attribution"' "$OUT/report.json"
 grep -q '"occupancy"' "$OUT/report.json"
+# The run report embeds the trace's lint block next to the replay.
+grep -q '"lint":{"schema":"osim.lint_report"' "$OUT/report.json"
 
 # Binary traces replay too.
 "$BUILD/tools/osim_replay" --trace "$OUT/pop.overlap_ideal.btrace" \

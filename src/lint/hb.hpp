@@ -1,0 +1,100 @@
+// Happens-before engine: per-rank vector clocks over every trace record.
+//
+// Runs the same untimed abstract interpretation as the deadlock pass
+// (round-robin execution to a fixed point, the replayer's matching
+// discipline from dimemas/matching.hpp, the eager/rendezvous protocol
+// split from deadlock.hpp) but additionally timestamps every record with a
+// vector clock:
+//
+//   program order   executing record i of rank r ticks component r, so the
+//                   clock of record i strictly dominates that of record i-1;
+//   message edges   a receive's *completion* joins the matching send's post
+//                   clock (data cannot arrive before it was sent), and a
+//                   rendezvous send's completion joins the matching
+//                   receive's post clock (the transfer cannot start before
+//                   the receive is posted). Eager sends complete locally
+//                   and contribute no synchronization;
+//   waits           join the message edges of every request they complete;
+//   collectives     the k-th collective completes at the join of all ranks'
+//                   arrival clocks at their k-th collective — a barrier
+//                   approximation that is deliberately conservative (it
+//                   orders more than a real non-synchronizing collective
+//                   would, so HB-based race checks under-report rather than
+//                   invent ordering violations... conservatively assuming
+//                   MORE order suppresses races; see races.hpp for how the
+//                   race pass compensates).
+//
+// Two records are ordered (a happens-before b) iff clock(a) <= clock(b)
+// componentwise and the clocks differ; otherwise they are concurrent. The
+// race and overlap-hazard passes are pure functions of the resulting
+// HbAnalysis.
+//
+// The engine is total on damaged traces: it never executes past a blocked
+// rank, so a deadlocked or salvage-truncated trace simply leaves some
+// records without clocks (empty vectors) and `converged` false. Passes on
+// top must treat a missing clock as "unknown order" and stay silent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lint/deadlock.hpp"
+#include "trace/trace.hpp"
+
+namespace osim::lint {
+
+/// One component per rank; component r counts records executed by rank r.
+using VectorClock = std::vector<std::uint64_t>;
+
+/// True when `a` happens-before `b` (componentwise <=, and a != b). Empty
+/// clocks (records the abstract machine never executed) are unordered.
+bool hb_before(const VectorClock& a, const VectorClock& b);
+
+/// True when neither clock orders the other (and both are known).
+bool hb_concurrent(const VectorClock& a, const VectorClock& b);
+
+/// Render as "[1,0,2]" for diagnostics evidence.
+std::string clock_to_string(const VectorClock& clock);
+
+/// A matched point-to-point pair, as paired by the abstract machine.
+struct HbMatch {
+  trace::Rank src = -1;
+  std::size_t send_record = 0;  // index in the sender's stream
+  trace::Rank dst = -1;
+  std::size_t recv_record = 0;  // index in the receiver's stream
+};
+
+struct HbAnalysis {
+  std::int32_t num_ranks = 0;
+  /// All ranks ran their streams to completion. False on deadlock or
+  /// starvation (the deadlock pass reports those); clocks of unexecuted
+  /// records stay empty.
+  bool converged = false;
+
+  /// post_clocks[r][i]: rank r's clock immediately after *posting* record i
+  /// (program-order tick applied, no completion joins). Empty when the
+  /// record was never executed.
+  std::vector<std::vector<VectorClock>> post_clocks;
+  /// completion_clocks[r][i]: the clock once record i's blocking condition
+  /// resolved (equal to the post clock for records that never block).
+  std::vector<std::vector<VectorClock>> completion_clocks;
+
+  std::vector<HbMatch> matches;
+
+  const VectorClock& post(trace::Rank r, std::size_t i) const {
+    return post_clocks[static_cast<std::size_t>(r)][i];
+  }
+  const VectorClock& completion(trace::Rank r, std::size_t i) const {
+    return completion_clocks[static_cast<std::size_t>(r)][i];
+  }
+};
+
+/// Runs the clocked abstract interpretation. Never throws on trace content;
+/// the trace must be structurally sound (ranks.size() == num_ranks — see
+/// lint_trace()'s structure pre-pass).
+HbAnalysis analyze_happens_before(const trace::Trace& trace,
+                                  std::uint64_t eager_threshold_bytes =
+                                      kDefaultEagerThresholdBytes);
+
+}  // namespace osim::lint

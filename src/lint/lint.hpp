@@ -5,16 +5,23 @@
 // point-to-point traffic, well-formed immediate-request lifecycles, no
 // cross-rank deadlock, consistent collectives — and, given an original /
 // transformed pair, that the overlap transformation preserved the message
-// structure it claims to. All findings are structured diagnostics
-// (severity, pass, rank, record index, message); nothing throws on a bad
-// trace.
+// structure it claims to. On top of the classic passes sits a
+// happens-before engine (lint/hb.hpp) powering a race detector and a
+// static overlap-hazard classifier. All findings are structured
+// diagnostics (severity, pass, stable code, rank, record index, message,
+// clock evidence); nothing throws on a bad trace.
 //
 // Passes (each also callable individually — see the per-pass headers):
+//   0. structure    — rank-stream shape sanity (inline below); when this
+//                     fails the trace cannot be indexed per rank, so all
+//                     other passes are skipped
 //   1. match        — point-to-point matching (lint/match.hpp)
 //   2. requests     — request lifecycle (lint/requests.hpp)
-//   3. deadlock     — cross-rank wait-for cycles (lint/deadlock.hpp)
-//   4. transform    — overlap-transform safety (lint/transform_check.hpp)
-//   5. collectives  — collective consistency (lint/collectives.hpp)
+//   3. collectives  — collective consistency (lint/collectives.hpp)
+//   4. deadlock     — cross-rank wait-for cycles (lint/deadlock.hpp)
+//   5. races        — HB-based race detection (lint/races.hpp)
+//   6. overlap      — overlap-window advisories (lint/overlap_hazards.hpp)
+//   7. transform    — overlap-transform safety (lint/transform_check.hpp)
 #pragma once
 
 #include <cstdint>
@@ -26,12 +33,19 @@
 namespace osim::lint {
 
 struct LintOptions {
-  /// Rendezvous cutoff for the deadlock pass; mirrors the default
-  /// dimemas::Platform eager threshold.
+  /// Rendezvous cutoff for the deadlock and happens-before passes; mirrors
+  /// the default dimemas::Platform eager threshold. Plumb the platform's
+  /// real value through here (osim_lint --platform).
   std::uint64_t eager_threshold_bytes = kDefaultEagerThresholdBytes;
+  /// Worker threads for the pass schedule. Passes (and the rank-local
+  /// requests pass per rank) are independent tasks written to fixed result
+  /// slots and merged in canonical order, so any jobs value produces a
+  /// byte-identical report; <= 1 runs everything inline.
+  int jobs = 1;
 };
 
-/// Runs the single-trace passes (match, requests, collectives, deadlock).
+/// Runs the single-trace passes (structure, match, requests, collectives,
+/// deadlock, races, overlap).
 Report lint_trace(const trace::Trace& trace, const LintOptions& options = {});
 
 /// Runs the transform-safety pass on an original / transformed pair. The

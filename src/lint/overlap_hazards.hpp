@@ -1,0 +1,37 @@
+// Overlap-hazard pass: static prediction of communication-computation
+// overlap potential, before any replay.
+//
+// Every immediate operation's *overlap window* is the compute time (CpuBurst
+// instructions, converted to seconds at the trace MIPS rate) strictly
+// between posting the operation and the wait that retires its request — an
+// upper bound on how much transfer the replayer could hide behind
+// computation. The pass reports, all at info severity (advisories, never
+// failures):
+//
+//   zero-window     an immediate op whose wait follows with no intervening
+//                   compute: the nonblocking call buys nothing and the
+//                   paper's overlap mechanisms cannot engage. Anchored at
+//                   the *posting* record.
+//   postponed-wait  a wait retiring two or more requests that all carry a
+//                   nonzero window — the postponed-wait chain the paper's
+//                   transformation produces; listed so replay metrics can
+//                   be compared against the static prediction.
+//   summary         one whole-trace line (rank -1) with the immediate-op
+//                   census: zero-window / overlapped / never-waited counts
+//                   and the total predicted window. Emitted only when the
+//                   trace contains at least one immediate operation.
+//
+// Request bookkeeping mirrors the requests pass (reuse overwrites, unknown
+// requests are skipped) so misuse is reported exactly once, there.
+#pragma once
+
+#include "lint/diagnostics.hpp"
+#include "lint/hb.hpp"
+#include "trace/trace.hpp"
+
+namespace osim::lint {
+
+void check_overlap_hazards(const trace::Trace& trace, const HbAnalysis& hb,
+                           Report& report);
+
+}  // namespace osim::lint

@@ -26,18 +26,25 @@ struct ReqState {
   std::size_t wait_record = 0;  // valid when completed
 };
 
+void add_error(Report& report, std::string code, Rank rank,
+               std::ptrdiff_t record, std::string message) {
+  report.add(Diagnostic{Severity::kError, kPass, std::move(code), rank,
+                        record, std::move(message), {}});
+}
+
 void note_issue(std::map<ReqId, ReqState>& requests, Rank rank,
                 std::size_t record, ReqId request, const char* what,
                 Report& report) {
   if (request == trace::kNoRequest) {
-    report.error(kPass, rank, static_cast<std::ptrdiff_t>(record),
-                 strprintf("immediate %s without a request id", what));
+    add_error(report, "no-request-id", rank,
+              static_cast<std::ptrdiff_t>(record),
+              strprintf("immediate %s without a request id", what));
     return;
   }
   const auto it = requests.find(request);
   if (it != requests.end()) {
-    report.error(
-        kPass, rank, static_cast<std::ptrdiff_t>(record),
+    add_error(
+        report, "request-reuse", rank, static_cast<std::ptrdiff_t>(record),
         strprintf("request id %lld reused (previously issued at record %zu%s)",
                   static_cast<long long>(request), it->second.issue_record,
                   it->second.completed ? ", already completed" : ""));
@@ -48,62 +55,94 @@ void note_issue(std::map<ReqId, ReqState>& requests, Rank rank,
   requests.emplace(request, ReqState{record, false, 0});
 }
 
+/// First record at which `request` is issued strictly after `after`, or
+/// npos. Distinguishes "waited before posted" from "never posted at all".
+std::size_t next_issue_after(const std::vector<Record>& stream,
+                             std::size_t after, ReqId request) {
+  for (std::size_t i = after + 1; i < stream.size(); ++i) {
+    if (const auto* send = std::get_if<Send>(&stream[i])) {
+      if (send->immediate && send->request == request) return i;
+    } else if (const auto* recv = std::get_if<Recv>(&stream[i])) {
+      if (recv->immediate && recv->request == request) return i;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
 }  // namespace
 
 void check_requests(const trace::Trace& trace, Report& report) {
   for (Rank rank = 0; rank < trace.num_ranks; ++rank) {
-    const auto& stream = trace.ranks[static_cast<std::size_t>(rank)];
-    std::map<ReqId, ReqState> requests;
-    for (std::size_t i = 0; i < stream.size(); ++i) {
-      const Record& rec = stream[i];
-      if (const auto* send = std::get_if<Send>(&rec)) {
-        if (send->immediate) {
-          note_issue(requests, rank, i, send->request, "send", report);
-        }
-      } else if (const auto* recv = std::get_if<Recv>(&rec)) {
-        if (recv->immediate) {
-          note_issue(requests, rank, i, recv->request, "recv", report);
-        }
-      } else if (const auto* wait = std::get_if<Wait>(&rec)) {
-        if (wait->requests.empty()) {
-          report.error(kPass, rank, static_cast<std::ptrdiff_t>(i),
-                       "wait with an empty request list");
+    check_requests_rank(trace, rank, report);
+  }
+}
+
+void check_requests_rank(const trace::Trace& trace, Rank rank,
+                         Report& report) {
+  const auto& stream = trace.ranks[static_cast<std::size_t>(rank)];
+  std::map<ReqId, ReqState> requests;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const Record& rec = stream[i];
+    if (const auto* send = std::get_if<Send>(&rec)) {
+      if (send->immediate) {
+        note_issue(requests, rank, i, send->request, "send", report);
+      }
+    } else if (const auto* recv = std::get_if<Recv>(&rec)) {
+      if (recv->immediate) {
+        note_issue(requests, rank, i, recv->request, "recv", report);
+      }
+    } else if (const auto* wait = std::get_if<Wait>(&rec)) {
+      if (wait->requests.empty()) {
+        add_error(report, "empty-wait", rank, static_cast<std::ptrdiff_t>(i),
+                  "wait with an empty request list");
+        continue;
+      }
+      std::set<ReqId> seen_here;
+      for (const ReqId req : wait->requests) {
+        if (!seen_here.insert(req).second) {
+          add_error(report, "duplicate-in-wait", rank,
+                    static_cast<std::ptrdiff_t>(i),
+                    strprintf("request %lld listed twice in one wait",
+                              static_cast<long long>(req)));
           continue;
         }
-        std::set<ReqId> seen_here;
-        for (const ReqId req : wait->requests) {
-          if (!seen_here.insert(req).second) {
-            report.error(kPass, rank, static_cast<std::ptrdiff_t>(i),
-                         strprintf("request %lld listed twice in one wait",
-                                   static_cast<long long>(req)));
-            continue;
-          }
-          const auto it = requests.find(req);
-          if (it == requests.end()) {
-            report.error(kPass, rank, static_cast<std::ptrdiff_t>(i),
-                         strprintf("wait on unknown request %lld",
-                                   static_cast<long long>(req)));
-          } else if (it->second.completed) {
-            report.error(
-                kPass, rank, static_cast<std::ptrdiff_t>(i),
-                strprintf("wait on request %lld already completed by the "
-                          "wait at record %zu",
-                          static_cast<long long>(req),
-                          it->second.wait_record));
+        const auto it = requests.find(req);
+        if (it == requests.end()) {
+          const std::size_t later = next_issue_after(stream, i, req);
+          if (later != static_cast<std::size_t>(-1)) {
+            add_error(
+                report, "wait-before-post", rank,
+                static_cast<std::ptrdiff_t>(i),
+                strprintf("wait on request %lld before it is posted "
+                          "(posted later at record %zu)",
+                          static_cast<long long>(req), later));
           } else {
-            it->second.completed = true;
-            it->second.wait_record = i;
+            add_error(report, "wait-unknown", rank,
+                      static_cast<std::ptrdiff_t>(i),
+                      strprintf("wait on unknown request %lld",
+                                static_cast<long long>(req)));
           }
+        } else if (it->second.completed) {
+          add_error(
+              report, "double-wait", rank, static_cast<std::ptrdiff_t>(i),
+              strprintf("wait on request %lld already completed by the "
+                        "wait at record %zu",
+                        static_cast<long long>(req),
+                        it->second.wait_record));
+        } else {
+          it->second.completed = true;
+          it->second.wait_record = i;
         }
       }
     }
-    for (const auto& [req, state] : requests) {
-      if (state.completed) continue;
-      report.error(
-          kPass, rank, static_cast<std::ptrdiff_t>(state.issue_record),
-          strprintf("request %lld is never waited: leaked at end of trace",
-                    static_cast<long long>(req)));
-    }
+  }
+  for (const auto& [req, state] : requests) {
+    if (state.completed) continue;
+    add_error(
+        report, "leaked-request", rank,
+        static_cast<std::ptrdiff_t>(state.issue_record),
+        strprintf("request %lld is never waited: leaked at end of trace",
+                  static_cast<long long>(req)));
   }
 }
 

@@ -5,7 +5,9 @@
 // flight, and no request may be open when the rank's stream ends. These
 // are the invariants the replayer aborts on (OSIM_CHECK in do_wait /
 // complete_request); the pass reports all violations instead of dying on
-// the first.
+// the first. A wait naming a request that is only issued *later* in the
+// stream is distinguished from one naming a request that never exists:
+// the former is almost always a reordering bug (code "wait-before-post").
 #pragma once
 
 #include "lint/diagnostics.hpp"
@@ -14,5 +16,11 @@
 namespace osim::lint {
 
 void check_requests(const trace::Trace& trace, Report& report);
+
+/// Single-rank slice of check_requests; the pass is rank-local, so running
+/// this per rank and concatenating reports in rank order is byte-identical
+/// to check_requests. Used by the --jobs parallel driver.
+void check_requests_rank(const trace::Trace& trace, trace::Rank rank,
+                         Report& report);
 
 }  // namespace osim::lint

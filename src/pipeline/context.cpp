@@ -141,6 +141,10 @@ std::shared_ptr<const trace::Trace> validated(
 
 }  // namespace
 
+Fingerprint fingerprint_of(const trace::Trace& trace) {
+  return trace_fingerprint(trace);
+}
+
 ReplayContext::ReplayContext(trace::Trace trace, dimemas::Platform platform,
                              dimemas::ReplayOptions options)
     : ReplayContext(std::make_shared<const trace::Trace>(std::move(trace)),

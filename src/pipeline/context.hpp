@@ -23,6 +23,11 @@
 
 namespace osim::pipeline {
 
+/// Content fingerprint over a trace alone (the trace lane of a context's
+/// combined fingerprint). Used as the cache key for per-trace artifacts
+/// that do not depend on a platform — e.g. cached lint reports.
+Fingerprint fingerprint_of(const trace::Trace& trace);
+
 class ReplayContext {
  public:
   /// Validates `trace` up front; throws osim::Error on a corrupt trace,

@@ -85,11 +85,47 @@ void write_fault_counts(JsonWriter& w, const faults::Counts& c) {
   w.end_object();
 }
 
+/// The "lint" block: counts plus the full diagnostic list, mirroring
+/// lint::Report::render_json() field for field (minus the outer schema
+/// header, which the surrounding report document already carries).
+void write_lint(JsonWriter& w, const lint::Report& report) {
+  w.begin_object();
+  w.key("schema").value("osim.lint_report");
+  w.key("version").value(static_cast<std::int64_t>(lint::kLintReportVersion));
+  w.key("clean").value(report.clean());
+  w.key("errors").value(static_cast<std::uint64_t>(report.num_errors()));
+  w.key("warnings").value(static_cast<std::uint64_t>(report.num_warnings()));
+  w.key("infos").value(static_cast<std::uint64_t>(report.num_infos()));
+  w.key("diagnostics").begin_array();
+  for (const lint::Diagnostic& d : report.diagnostics()) {
+    w.begin_object();
+    w.key("severity").value(lint::severity_name(d.severity));
+    w.key("pass").value(d.pass);
+    if (!d.code.empty()) w.key("code").value(d.code);
+    if (d.rank >= 0) w.key("rank").value(d.rank);
+    if (d.record != lint::kNoRecord) {
+      w.key("record").value(static_cast<std::int64_t>(d.record));
+    }
+    w.key("message").value(d.message);
+    if (!d.evidence.empty()) w.key("evidence").value(d.evidence);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 }  // namespace
 
 std::string replay_report_json(const dimemas::SimResult& result,
                                const dimemas::Platform& platform,
                                const std::string& app) {
+  return replay_report_json(result, platform, app, nullptr);
+}
+
+std::string replay_report_json(const dimemas::SimResult& result,
+                               const dimemas::Platform& platform,
+                               const std::string& app,
+                               const lint::Report* lint_report) {
   const metrics::ReplayMetrics* m = result.metrics.get();
   JsonWriter w;
   w.begin_object();
@@ -184,11 +220,21 @@ std::string replay_report_json(const dimemas::SimResult& result,
     write_fault_counts(w, result.fault_counts);
   }
 
+  if (lint_report != nullptr) {
+    w.key("lint");
+    write_lint(w, *lint_report);
+  }
+
   w.end_object();
   return w.str();
 }
 
 std::string study_report_json(const Study& study) {
+  return study_report_json(study, nullptr);
+}
+
+std::string study_report_json(const Study& study,
+                              const lint::Report* lint_report) {
   JsonWriter w;
   w.begin_object();
   w.key("schema").value("osim.study_report");
@@ -227,6 +273,10 @@ std::string study_report_json(const Study& study) {
     w.end_object();
   }
   w.end_array();
+  if (lint_report != nullptr) {
+    w.key("lint");
+    write_lint(w, *lint_report);
+  }
   w.end_object();
   return w.str();
 }

@@ -11,6 +11,7 @@
 
 #include "dimemas/platform.hpp"
 #include "dimemas/result.hpp"
+#include "lint/diagnostics.hpp"
 #include "pipeline/study.hpp"
 
 namespace osim::pipeline {
@@ -24,9 +25,22 @@ std::string replay_report_json(const dimemas::SimResult& result,
                                const dimemas::Platform& platform,
                                const std::string& app);
 
+/// Same, with the trace's lint report embedded as a "lint" block (schema
+/// "osim.lint_report" nested under the run). Passing nullptr emits a
+/// document byte-identical to the three-argument overload.
+std::string replay_report_json(const dimemas::SimResult& result,
+                               const dimemas::Platform& platform,
+                               const std::string& app,
+                               const lint::Report* lint_report);
+
 /// JSON report for a sweep: cache statistics plus one record per evaluated
 /// scenario (requires StudyOptions::record_scenarios for the latter).
 std::string study_report_json(const Study& study);
+
+/// Same, with a "lint" block covering the study's input trace; nullptr is
+/// byte-identical to the one-argument overload.
+std::string study_report_json(const Study& study,
+                              const lint::Report* lint_report);
 
 /// Writes `json` to `path`; throws osim::Error on I/O failure.
 void write_report(const std::string& path, const std::string& json);

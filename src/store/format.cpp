@@ -1,6 +1,7 @@
 #include "store/format.hpp"
 
 #include <cstring>
+#include <utility>
 
 #include "common/crc32.hpp"
 #include "metrics/replay_metrics.hpp"
@@ -126,11 +127,29 @@ bool get_rank_stats(std::string_view in, std::size_t& pos,
          get_u64(in, pos, s.bytes_sent) && get_u64(in, pos, s.bytes_received);
 }
 
+void put_str(std::string& out, const std::string& s) {
+  put_u64(out, s.size());
+  out += s;
+}
+
 /// Upper bound on stored rank counts: a flipped length byte must fail the
 /// decode instead of provoking a multi-gigabyte allocation before the CRC
 /// verdict is even consulted. (The CRC is checked first regardless; this
 /// guards the decoder against future reorderings.)
 constexpr std::uint64_t kMaxRanks = 1u << 20;
+
+/// Same role for stored string lengths and diagnostic counts.
+constexpr std::uint64_t kMaxStringBytes = 1u << 24;
+constexpr std::uint64_t kMaxDiagnostics = 1u << 22;
+
+bool get_str(std::string_view in, std::size_t& pos, std::string& s) {
+  std::uint64_t size = 0;
+  if (!get_u64(in, pos, size)) return false;
+  if (size > kMaxStringBytes || size > in.size() - pos) return false;
+  s.assign(in.substr(pos, size));
+  pos += size;
+  return true;
+}
 
 std::uint32_t object_crc(std::string_view bytes_after_magic) {
   Crc32 crc;
@@ -236,6 +255,101 @@ dimemas::SimResult to_sim_result(const ScenarioArtifact& artifact) {
   result.rank_stats = artifact.rank_stats;
   result.fault_counts = artifact.fault_counts;
   return result;
+}
+
+std::string encode_lint_object(const pipeline::Fingerprint& fp,
+                               const lint::Report& report) {
+  std::string payload;
+  put_u64(payload, report.diagnostics().size());
+  for (const lint::Diagnostic& d : report.diagnostics()) {
+    put_u8(payload, static_cast<std::uint8_t>(d.severity));
+    put_str(payload, d.pass);
+    put_str(payload, d.code);
+    put_u64(payload, static_cast<std::uint64_t>(
+                         static_cast<std::int64_t>(d.rank)));
+    put_u64(payload, static_cast<std::uint64_t>(
+                         static_cast<std::int64_t>(d.record)));
+    put_str(payload, d.message);
+    put_str(payload, d.evidence);
+  }
+
+  std::string out;
+  out.reserve(kLintObjectMagic.size() + 28 + payload.size() + 4);
+  out.append(kLintObjectMagic);
+  put_u32(out, kLintObjectVersion);
+  put_u64(out, fp.hi);
+  put_u64(out, fp.lo);
+  put_u64(out, payload.size());
+  out += payload;
+  put_u32(out, object_crc(
+                   std::string_view(out).substr(kLintObjectMagic.size())));
+  return out;
+}
+
+std::optional<DecodedLintObject> decode_lint_object(std::string_view bytes) {
+  constexpr std::size_t kHeader = 8 + 4 + 8 + 8 + 8;  // magic..payload_bytes
+  if (bytes.size() < kHeader + 4) return std::nullopt;
+  if (bytes.substr(0, kLintObjectMagic.size()) != kLintObjectMagic) {
+    return std::nullopt;
+  }
+  std::size_t tail = bytes.size() - 4;
+  std::uint32_t stored_crc = 0;
+  if (!get_u32(bytes, tail, stored_crc)) return std::nullopt;
+  if (object_crc(bytes.substr(kLintObjectMagic.size(),
+                              bytes.size() - kLintObjectMagic.size() - 4)) !=
+      stored_crc) {
+    return std::nullopt;
+  }
+
+  std::size_t pos = kLintObjectMagic.size();
+  std::uint32_t version = 0;
+  if (!get_u32(bytes, pos, version)) return std::nullopt;
+  if (version != kLintObjectVersion) return std::nullopt;  // skew = miss
+
+  DecodedLintObject decoded;
+  std::uint64_t payload_bytes = 0;
+  if (!get_u64(bytes, pos, decoded.fingerprint.hi) ||
+      !get_u64(bytes, pos, decoded.fingerprint.lo) ||
+      !get_u64(bytes, pos, payload_bytes)) {
+    return std::nullopt;
+  }
+  if (payload_bytes != bytes.size() - kHeader - 4) return std::nullopt;
+
+  std::uint64_t count = 0;
+  if (!get_u64(bytes, pos, count)) return std::nullopt;
+  if (count > kMaxDiagnostics) return std::nullopt;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    lint::Diagnostic d;
+    std::uint8_t severity = 0;
+    std::uint64_t rank = 0;
+    std::uint64_t record = 0;
+    if (!get_u8(bytes, pos, severity) || severity > 2 ||
+        !get_str(bytes, pos, d.pass) || !get_str(bytes, pos, d.code) ||
+        !get_u64(bytes, pos, rank) || !get_u64(bytes, pos, record) ||
+        !get_str(bytes, pos, d.message) || !get_str(bytes, pos, d.evidence)) {
+      return std::nullopt;
+    }
+    d.severity = static_cast<lint::Severity>(severity);
+    d.rank = static_cast<trace::Rank>(static_cast<std::int64_t>(rank));
+    d.record =
+        static_cast<std::ptrdiff_t>(static_cast<std::int64_t>(record));
+    decoded.report.add(std::move(d));
+  }
+  if (pos != bytes.size() - 4) return std::nullopt;  // trailing payload bytes
+  return decoded;
+}
+
+std::optional<pipeline::Fingerprint> probe_object(std::string_view bytes) {
+  if (bytes.size() >= kLintObjectMagic.size() &&
+      bytes.substr(0, kLintObjectMagic.size()) == kLintObjectMagic) {
+    const std::optional<DecodedLintObject> lint_obj =
+        decode_lint_object(bytes);
+    if (lint_obj.has_value()) return lint_obj->fingerprint;
+    return std::nullopt;
+  }
+  const std::optional<DecodedObject> obj = decode_object(bytes);
+  if (obj.has_value()) return obj->fingerprint;
+  return std::nullopt;
 }
 
 }  // namespace osim::store

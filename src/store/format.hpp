@@ -30,12 +30,21 @@
 
 #include "dimemas/result.hpp"
 #include "faults/model.hpp"
+#include "lint/diagnostics.hpp"
 #include "pipeline/fingerprint.hpp"
 
 namespace osim::store {
 
 inline constexpr std::string_view kObjectMagic = "OSIMSTO1";
 inline constexpr std::uint32_t kObjectVersion = 1;
+
+/// Second object kind sharing the store: a cached lint report, keyed by a
+/// trace-derived fingerprint (pipeline/lint_cache.hpp). Same envelope as
+/// replay objects — magic, u32 version, fingerprint, u64 payload size,
+/// payload, trailing CRC-32 — with its own magic so the two kinds can
+/// never be confused for one another.
+inline constexpr std::string_view kLintObjectMagic = "OSIMLNT1";
+inline constexpr std::uint32_t kLintObjectVersion = 1;
 
 /// The cached result of one replay. Rich enough to reconstruct the
 /// summary-level SimResult (makespan, per-rank statistics, fault counters)
@@ -75,5 +84,24 @@ ScenarioArtifact make_artifact(const dimemas::SimResult& result);
 /// Inflates an artifact back into a summary-level SimResult (no timelines,
 /// comms or metrics — see ScenarioArtifact).
 dimemas::SimResult to_sim_result(const ScenarioArtifact& artifact);
+
+/// Serializes a full lint report (every diagnostic, all fields) under
+/// content address `fp`. Storing the diagnostics themselves — not just the
+/// counts — is what makes a warm lint run render byte-identically to cold.
+std::string encode_lint_object(const pipeline::Fingerprint& fp,
+                               const lint::Report& report);
+
+struct DecodedLintObject {
+  pipeline::Fingerprint fingerprint;
+  lint::Report report;
+};
+
+/// Strict decode; nullopt on any damage, version skew or a non-lint magic.
+std::optional<DecodedLintObject> decode_lint_object(std::string_view bytes);
+
+/// Kind-dispatching integrity probe used by verify()/gc(): decodes `bytes`
+/// as whichever object kind its magic announces and returns the embedded
+/// fingerprint, or nullopt when the object is corrupt under every kind.
+std::optional<pipeline::Fingerprint> probe_object(std::string_view bytes);
 
 }  // namespace osim::store

@@ -280,6 +280,72 @@ void ScenarioStore::save(const pipeline::Fingerprint& fp,
   write_index(index);
 }
 
+std::optional<lint::Report> ScenarioStore::load_lint(
+    const pipeline::Fingerprint& fp) {
+  const std::optional<std::string> bytes = read_file(object_path(fp));
+  if (!bytes.has_value()) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++misses_;
+    return std::nullopt;
+  }
+  std::optional<DecodedLintObject> decoded = decode_lint_object(*bytes);
+  if (!decoded.has_value() || !(decoded->fingerprint == fp)) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++misses_;
+    ++rejects_;
+    return std::nullopt;
+  }
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++hits_;
+  }
+  {
+    FileLock lock(fs::path(root_) / kLockName);
+    Index index = reconciled_index();
+    ++index.clock;
+    for (IndexEntry& entry : index.entries) {
+      if (entry.fp == fp) {
+        entry.last_access = index.clock;
+        ++entry.hits;
+        entry.bytes = bytes->size();
+        break;
+      }
+    }
+    write_index(index);
+  }
+  return std::move(decoded->report);
+}
+
+void ScenarioStore::save_lint(const pipeline::Fingerprint& fp,
+                              const lint::Report& report) {
+  const std::string bytes = encode_lint_object(fp, report);
+  const fs::path path(object_path(fp));
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  if (ec) {
+    throw Error("store: cannot create " + path.parent_path().string() + ": " +
+                ec.message());
+  }
+  write_file_atomic(path, bytes, fs::path(root_) / "tmp");
+
+  FileLock lock(fs::path(root_) / kLockName);
+  Index index = reconciled_index();
+  ++index.clock;
+  bool found = false;
+  for (IndexEntry& entry : index.entries) {
+    if (entry.fp == fp) {
+      entry.bytes = bytes.size();
+      entry.last_access = index.clock;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    index.entries.push_back(IndexEntry{fp, bytes.size(), index.clock, 0});
+  }
+  write_index(index);
+}
+
 std::vector<pipeline::Fingerprint> ScenarioStore::scan_objects() const {
   std::vector<pipeline::Fingerprint> found;
   std::error_code ec;
@@ -378,16 +444,18 @@ VerifyReport ScenarioStore::verify() {
       report.issues.push_back({relative, "unreadable"});
       continue;
     }
-    const std::optional<DecodedObject> decoded = decode_object(*bytes);
-    if (!decoded.has_value()) {
+    // probe_object dispatches on the magic, so replay artifacts and lint
+    // reports are both recognized (and neither flags the other as damage).
+    const std::optional<pipeline::Fingerprint> probed = probe_object(*bytes);
+    if (!probed.has_value()) {
       report.issues.push_back(
           {relative, "corrupt object (bad magic, version or CRC)"});
       continue;
     }
-    if (!(decoded->fingerprint == fp)) {
+    if (!(*probed == fp)) {
       report.issues.push_back(
           {relative, "address mismatch: object records fingerprint " +
-                         pipeline::to_hex(decoded->fingerprint)});
+                         pipeline::to_hex(*probed)});
       continue;
     }
     ++report.objects_ok;
@@ -422,9 +490,9 @@ GcReport ScenarioStore::gc(std::uint64_t max_bytes,
   intact.reserve(index.entries.size());
   for (const IndexEntry& entry : index.entries) {
     const std::optional<std::string> bytes = read_file(object_path(entry.fp));
-    const std::optional<DecodedObject> decoded =
-        bytes.has_value() ? decode_object(*bytes) : std::nullopt;
-    if (decoded.has_value() && decoded->fingerprint == entry.fp) {
+    const std::optional<pipeline::Fingerprint> probed =
+        bytes.has_value() ? probe_object(*bytes) : std::nullopt;
+    if (probed.has_value() && *probed == entry.fp) {
       intact.push_back(entry);
       continue;
     }

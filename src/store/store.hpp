@@ -92,6 +92,14 @@ class ScenarioStore {
   /// warning, not an error (the result is already computed).
   void save(const pipeline::Fingerprint& fp, const ScenarioArtifact& artifact);
 
+  /// Lint-report twin of load(): strict read-through lookup of a cached
+  /// lint report (object kind "OSIMLNT1"). Shares the object tree, index
+  /// and LRU policy with replay artifacts.
+  std::optional<lint::Report> load_lint(const pipeline::Fingerprint& fp);
+
+  /// Lint-report twin of save().
+  void save_lint(const pipeline::Fingerprint& fp, const lint::Report& report);
+
   /// Absolute object path for `fp` (the file may or may not exist).
   std::string object_path(const pipeline::Fingerprint& fp) const;
 

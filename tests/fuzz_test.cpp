@@ -241,6 +241,43 @@ TEST_P(RandomTraces, BinaryPayloadCorruptionIsDetectedByStrictReader) {
   }
 }
 
+TEST_P(RandomTraces, LintNeverCrashesOnCorruptedRecoveredTraces) {
+  // The lint passes — including the happens-before engine and the race /
+  // overlap analyses on top of it — must be total on whatever the
+  // salvaging reader produces: bit-flipped and truncated traces may yield
+  // any diagnostics, but never a crash, hang or throw.
+  const Trace t = random_trace(GetParam());
+  std::ostringstream os;
+  trace::write_binary(t, os);
+  const std::string original = os.str();
+  Rng rng(GetParam() * 401 + 23);
+  for (int round = 0; round < 12; ++round) {
+    std::string bytes = original;
+    const int flips = static_cast<int>(1 + rng.below(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.below(bytes.size());
+      bytes[pos] = static_cast<char>(
+          bytes[pos] ^ static_cast<char>(1u << rng.below(8)));
+    }
+    std::istringstream is(bytes);
+    trace::RecoveredTrace recovered;
+    ASSERT_NO_THROW(recovered = trace::read_binary_recover(is))
+        << "round " << round;
+    ASSERT_NO_THROW(lint::lint_trace(recovered.trace)) << "round " << round;
+  }
+  for (int round = 0; round < 12; ++round) {
+    const std::size_t cut = rng.below(original.size());
+    std::istringstream is(original.substr(0, cut));
+    trace::RecoveredTrace recovered;
+    ASSERT_NO_THROW(recovered = trace::read_binary_recover(is))
+        << "cut at " << cut;
+    lint::LintOptions options;
+    options.jobs = 1 + static_cast<int>(round % 3);  // parallel paths too
+    ASSERT_NO_THROW(lint::lint_trace(recovered.trace, options))
+        << "cut at " << cut;
+  }
+}
+
 TEST_P(RandomTraces, FasterNetworkBoundedRegression) {
   // Strict monotonicity in bandwidth/latency does NOT hold for contention
   // networks with FIFO/first-fit resource allocation: changing arrival
@@ -539,6 +576,56 @@ TEST_P(RandomStoreObjects, IndexCorruptionNeverCrashesOrLosesObjects) {
     EXPECT_EQ(stats.objects, 1u) << "round " << round;
     EXPECT_TRUE(store.load(fp).has_value()) << "round " << round;
     ASSERT_NO_THROW(store.gc(1u << 30)) << "round " << round;
+  }
+}
+
+// Lint-report store objects ("OSIMLNT1") share the envelope and the
+// damage-degrades-to-miss contract with scenario artifacts.
+
+lint::Report random_lint_report(Rng& rng) {
+  lint::Report report;
+  const std::size_t n = rng.below(16);
+  static constexpr const char* kPasses[] = {"match", "requests", "races",
+                                            "overlap"};
+  static constexpr const char* kCodes[] = {"", "wildcard-race",
+                                           "buffer-reuse", "zero-window"};
+  for (std::size_t i = 0; i < n; ++i) {
+    lint::Diagnostic d;
+    d.severity = static_cast<lint::Severity>(rng.below(3));
+    d.pass = kPasses[rng.below(std::size(kPasses))];
+    d.code = kCodes[rng.below(std::size(kCodes))];
+    d.rank = static_cast<Rank>(rng.below(5)) - 1;
+    d.record = static_cast<std::ptrdiff_t>(rng.below(100)) - 1;
+    d.message = "m" + std::to_string(rng.below(1000));
+    if (rng.below(2) == 0) d.evidence = "post [1,0," + std::to_string(i) + "]";
+    report.add(std::move(d));
+  }
+  return report;
+}
+
+TEST_P(RandomStoreObjects, LintObjectsRoundTripAndRejectDamage) {
+  Rng rng(GetParam() * 61 + 31);
+  const lint::Report report = random_lint_report(rng);
+  const pipeline::Fingerprint fp = random_fingerprint(rng);
+  const std::string original = store::encode_lint_object(fp, report);
+
+  const auto decoded = store::decode_lint_object(original);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->fingerprint == fp);
+  EXPECT_EQ(decoded->report.render_json(), report.render_json());
+  // probe_object dispatches on the kind magic for both object families.
+  EXPECT_TRUE(store::probe_object(original).has_value());
+
+  for (int round = 0; round < 48; ++round) {
+    const std::string bytes = flip_bits(original, rng);
+    std::optional<store::DecodedLintObject> damaged;
+    ASSERT_NO_THROW(damaged = store::decode_lint_object(bytes))
+        << "round " << round;
+    if (bytes != original) {
+      EXPECT_FALSE(damaged.has_value()) << "round " << round;
+      EXPECT_FALSE(store::probe_object(bytes).has_value())
+          << "round " << round;
+    }
   }
 }
 

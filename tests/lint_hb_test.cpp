@@ -1,0 +1,434 @@
+// Tests for the happens-before engine (lint/hb.hpp) and the passes built
+// on it: the communication-race detector, the overlap-hazard advisories,
+// the request-lifecycle extensions, the JSON report schema, --jobs
+// determinism, and the store-backed lint cache.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "apps/app.hpp"
+#include "lint/diagnostics.hpp"
+#include "lint/hb.hpp"
+#include "lint/lint.hpp"
+#include "overlap/options.hpp"
+#include "overlap/transform.hpp"
+#include "pipeline/lint_cache.hpp"
+#include "store/store.hpp"
+#include "trace/trace.hpp"
+
+namespace osim {
+namespace {
+
+using lint::Severity;
+using trace::CollectiveKind;
+using trace::kAnyRank;
+using trace::Trace;
+using trace::TraceBuilder;
+
+std::size_t count_code(const lint::Report& report, std::string_view code) {
+  std::size_t n = 0;
+  for (const lint::Diagnostic& d : report.diagnostics()) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+const lint::Diagnostic* find_code(const lint::Report& report,
+                                  std::string_view code) {
+  for (const lint::Diagnostic& d : report.diagnostics()) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+// --- vector-clock primitives -----------------------------------------------
+
+TEST(HbClocks, BeforeAndConcurrent) {
+  const lint::VectorClock a{1, 0, 2};
+  const lint::VectorClock b{2, 0, 2};
+  const lint::VectorClock c{0, 1, 0};
+  EXPECT_TRUE(lint::hb_before(a, b));
+  EXPECT_FALSE(lint::hb_before(b, a));
+  EXPECT_FALSE(lint::hb_before(a, a));  // equal clocks are not "before"
+  EXPECT_TRUE(lint::hb_concurrent(a, c));
+  EXPECT_FALSE(lint::hb_concurrent(a, b));
+  // Empty clocks (records the machine never executed) are unordered.
+  const lint::VectorClock unknown;
+  EXPECT_FALSE(lint::hb_before(unknown, a));
+  EXPECT_FALSE(lint::hb_before(a, unknown));
+  EXPECT_FALSE(lint::hb_concurrent(unknown, a));
+  EXPECT_EQ(lint::clock_to_string(a), "[1,0,2]");
+}
+
+TEST(HbClocks, MessageEdgeOrdersRecvCompletionAfterSendPost) {
+  TraceBuilder b(2, 1000.0);
+  b.compute(0, 100).send(0, 1, 7, 64 * 1024);  // rendezvous-sized
+  b.compute(1, 50).recv(1, 0, 7, 64 * 1024);
+  const Trace t = std::move(b).build();
+  const lint::HbAnalysis hb = lint::analyze_happens_before(t);
+  ASSERT_TRUE(hb.converged);
+  ASSERT_EQ(hb.matches.size(), 1u);
+  EXPECT_EQ(hb.matches[0].src, 0);
+  EXPECT_EQ(hb.matches[0].send_record, 1u);
+  EXPECT_EQ(hb.matches[0].dst, 1);
+  EXPECT_EQ(hb.matches[0].recv_record, 1u);
+  // Data cannot arrive before it was sent.
+  EXPECT_TRUE(lint::hb_before(hb.post(0, 1), hb.completion(1, 1)));
+  // A rendezvous transfer cannot start before the receive is posted.
+  EXPECT_TRUE(lint::hb_before(hb.post(1, 1), hb.completion(0, 1)));
+  // The two leading compute bursts have no ordering edge at all.
+  EXPECT_TRUE(lint::hb_concurrent(hb.post(0, 0), hb.post(1, 0)));
+}
+
+TEST(HbClocks, EagerSendCompletesWithoutSynchronizing) {
+  TraceBuilder b(2, 1000.0);
+  b.compute(0, 100).send(0, 1, 7, 64);  // well under the eager cutoff
+  b.compute(1, 50).recv(1, 0, 7, 64);
+  const lint::HbAnalysis hb =
+      lint::analyze_happens_before(std::move(b).build());
+  ASSERT_TRUE(hb.converged);
+  EXPECT_TRUE(lint::hb_before(hb.post(0, 1), hb.completion(1, 1)));
+  // Eager sends complete locally: no edge back from the receive post.
+  EXPECT_FALSE(lint::hb_before(hb.post(1, 1), hb.completion(0, 1)));
+}
+
+TEST(HbClocks, CollectivesOrderAcrossRanks) {
+  TraceBuilder b(2, 1000.0);
+  b.compute(0, 10).global(0, CollectiveKind::kBarrier, 0, 0, 0);
+  b.global(1, CollectiveKind::kBarrier, 0, 0, 0).compute(1, 10);
+  const lint::HbAnalysis hb =
+      lint::analyze_happens_before(std::move(b).build());
+  ASSERT_TRUE(hb.converged);
+  // Work before the barrier on rank 0 orders work after it on rank 1.
+  EXPECT_TRUE(lint::hb_before(hb.post(0, 0), hb.completion(1, 1)));
+}
+
+TEST(HbClocks, DeadlockLeavesUnexecutedRecordsUnclocked) {
+  // Both ranks post a blocking rendezvous receive first: neither send is
+  // ever reached, so the machine must stop without inventing clocks.
+  TraceBuilder b(2, 1000.0);
+  b.recv(0, 1, 0, 64 * 1024).send(0, 1, 0, 64 * 1024);
+  b.recv(1, 0, 0, 64 * 1024).send(1, 0, 0, 64 * 1024);
+  const lint::HbAnalysis hb =
+      lint::analyze_happens_before(std::move(b).build());
+  EXPECT_FALSE(hb.converged);
+  EXPECT_FALSE(hb.post(0, 0).empty());  // the recv was posted
+  EXPECT_TRUE(hb.post(0, 1).empty());   // the send never executed
+  EXPECT_TRUE(hb.post(1, 1).empty());
+  EXPECT_FALSE(lint::hb_before(hb.post(0, 1), hb.post(1, 1)));
+  EXPECT_FALSE(lint::hb_concurrent(hb.post(0, 1), hb.post(1, 1)));
+}
+
+// --- race detector ----------------------------------------------------------
+
+Trace wildcard_race_trace() {
+  TraceBuilder b(3, 1000.0);
+  b.send(0, 2, 7, 64);
+  b.send(1, 2, 7, 64);
+  b.recv(2, kAnyRank, 7, 64).recv(2, kAnyRank, 7, 64);
+  return std::move(b).build();
+}
+
+TEST(LintRaces, ConcurrentWildcardReceivesAreFlagged) {
+  const lint::Report report = lint::lint_trace(wildcard_race_trace());
+  EXPECT_EQ(report.num_errors(), 0u);
+  EXPECT_EQ(report.num_warnings(), 2u);
+  EXPECT_EQ(count_code(report, "wildcard-race"), 2u);
+  const lint::Diagnostic* d = find_code(report, "wildcard-race");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->pass, "races");
+  EXPECT_EQ(d->rank, 2);
+  EXPECT_EQ(d->record, 0);
+  EXPECT_NE(d->message.find("nondeterministic"), std::string::npos);
+  EXPECT_NE(d->evidence.find("rival send post"), std::string::npos);
+}
+
+TEST(LintRaces, BarrierOrderedWildcardReceivesAreSilent) {
+  // The second sender only fires after a barrier the receiver has already
+  // passed, so the candidates are ordered, not racing.
+  TraceBuilder b(3, 1000.0);
+  b.send(0, 2, 7, 64).global(0, CollectiveKind::kBarrier, 0, 0, 0);
+  b.global(1, CollectiveKind::kBarrier, 0, 0, 0).send(1, 2, 7, 64);
+  b.recv(2, kAnyRank, 7, 64)
+      .global(2, CollectiveKind::kBarrier, 0, 0, 0)
+      .recv(2, kAnyRank, 7, 64);
+  const lint::Report report = lint::lint_trace(std::move(b).build());
+  EXPECT_TRUE(report.clean()) << report.render_text();
+  EXPECT_EQ(count_code(report, "wildcard-race"), 0u);
+}
+
+TEST(LintRaces, SameSourceWildcardReceivesAreSilent) {
+  // MPI's non-overtaking rule fixes the order of same-source messages.
+  TraceBuilder b(2, 1000.0);
+  b.send(0, 1, 3, 64).send(0, 1, 3, 64);
+  b.recv(1, kAnyRank, 3, 64).recv(1, kAnyRank, 3, 64);
+  const lint::Report report = lint::lint_trace(std::move(b).build());
+  EXPECT_TRUE(report.clean()) << report.render_text();
+  EXPECT_EQ(count_code(report, "wildcard-race"), 0u);
+}
+
+TEST(LintRaces, BlockingSendReusingInFlightEnvelopeIsFlagged) {
+  TraceBuilder b(2, 1000.0);
+  b.isend(0, 1, 3, 64, 1).send(0, 1, 3, 64).wait(0, {1});
+  b.recv(1, 0, 3, 64).recv(1, 0, 3, 64);
+  const lint::Report report = lint::lint_trace(std::move(b).build());
+  EXPECT_EQ(report.num_errors(), 0u);
+  EXPECT_EQ(count_code(report, "buffer-reuse"), 1u);
+  const lint::Diagnostic* d = find_code(report, "buffer-reuse");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->rank, 0);
+  EXPECT_EQ(d->record, 1);
+  EXPECT_NE(d->message.find("record 0 (request 1)"), std::string::npos);
+}
+
+TEST(LintRaces, BlockingRecvReusingInFlightEnvelopeIsFlagged) {
+  TraceBuilder b(2, 1000.0);
+  b.irecv(0, 1, 9, 64, 1).recv(0, 1, 9, 64).wait(0, {1});
+  b.send(1, 0, 9, 64).send(1, 0, 9, 64);
+  const lint::Report report = lint::lint_trace(std::move(b).build());
+  const lint::Diagnostic* d = find_code(report, "buffer-reuse");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->rank, 0);
+  EXPECT_EQ(d->record, 1);
+  EXPECT_NE(d->message.find("blocking receive"), std::string::npos);
+}
+
+TEST(LintRaces, WaitBeforeReuseIsSilent) {
+  TraceBuilder b(2, 1000.0);
+  b.isend(0, 1, 3, 64, 1).wait(0, {1}).send(0, 1, 3, 64);
+  b.recv(1, 0, 3, 64).recv(1, 0, 3, 64);
+  const lint::Report report = lint::lint_trace(std::move(b).build());
+  EXPECT_TRUE(report.clean()) << report.render_text();
+  EXPECT_EQ(count_code(report, "buffer-reuse"), 0u);
+}
+
+// --- request lifecycle: wait-before-post ------------------------------------
+
+TEST(LintRequests, WaitBeforePostIsAnError) {
+  TraceBuilder b(2, 1000.0);
+  b.wait(0, {5}).irecv(0, 1, 0, 64, 5).wait(0, {5});
+  b.send(1, 0, 0, 64);
+  const lint::Report report = lint::lint_trace(std::move(b).build());
+  const lint::Diagnostic* d = find_code(report, "wait-before-post");
+  ASSERT_NE(d, nullptr) << report.render_text();
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->rank, 0);
+  EXPECT_EQ(d->record, 0);
+  EXPECT_NE(d->message.find("posted later at record 1"), std::string::npos);
+}
+
+// --- overlap-hazard advisories ----------------------------------------------
+
+TEST(LintOverlap, ZeroWindowIsReportedAtThePostRecord) {
+  TraceBuilder b(2, 1000.0);
+  b.irecv(0, 1, 0, 64, 1).wait(0, {1}).compute(0, 500);
+  b.compute(1, 200).send(1, 0, 0, 64);
+  const lint::Report report = lint::lint_trace(std::move(b).build());
+  EXPECT_TRUE(report.clean()) << report.render_text();
+  EXPECT_EQ(count_code(report, "zero-window"), 1u);
+  const lint::Diagnostic* d = find_code(report, "zero-window");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kInfo);
+  EXPECT_EQ(d->pass, "overlap");
+  EXPECT_EQ(d->rank, 0);
+  EXPECT_EQ(d->record, 0);  // anchored at the post, where the fix goes
+  const lint::Diagnostic* summary = find_code(report, "overlap-summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->rank, -1);  // whole-trace advisory
+  EXPECT_NE(summary->message.find("1 zero-window"), std::string::npos);
+}
+
+TEST(LintOverlap, ComputeBetweenPostAndWaitIsNotZeroWindow) {
+  TraceBuilder b(2, 1000.0);
+  b.irecv(0, 1, 0, 64, 1).compute(0, 500).wait(0, {1});
+  b.compute(1, 200).send(1, 0, 0, 64);
+  const lint::Report report = lint::lint_trace(std::move(b).build());
+  EXPECT_EQ(count_code(report, "zero-window"), 0u);
+  EXPECT_EQ(count_code(report, "postponed-wait"), 0u);
+  const lint::Diagnostic* summary = find_code(report, "overlap-summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_NE(summary->message.find("1 with overlap window"),
+            std::string::npos);
+}
+
+TEST(LintOverlap, WaitRetiringSeveralOverlappedRequestsIsAPostponedChain) {
+  TraceBuilder b(2, 1000.0);
+  b.irecv(0, 1, 0, 64, 1).irecv(0, 1, 1, 64, 2).compute(0, 400).wait(0,
+                                                                     {1, 2});
+  b.send(1, 0, 0, 64).send(1, 0, 1, 64);
+  const lint::Report report = lint::lint_trace(std::move(b).build());
+  EXPECT_TRUE(report.clean()) << report.render_text();
+  const lint::Diagnostic* d = find_code(report, "postponed-wait");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kInfo);
+  EXPECT_EQ(d->rank, 0);
+  EXPECT_EQ(d->record, 3);  // the wait that retires the chain
+  EXPECT_NE(d->message.find("2 requests"), std::string::npos);
+}
+
+// --- JSON schema ------------------------------------------------------------
+
+TEST(LintJson, GoldenReportDocument) {
+  lint::Report report;
+  report.error("match", 1, 4, "unmatched send");
+  lint::Diagnostic race;
+  race.severity = Severity::kWarning;
+  race.pass = "races";
+  race.code = "wildcard-race";
+  race.rank = 2;
+  race.record = 0;
+  race.message = "nondeterministic match";
+  race.evidence = "recv post [0,0,1]";
+  report.add(race);
+  lint::Diagnostic summary;
+  summary.severity = Severity::kInfo;
+  summary.pass = "overlap";
+  summary.code = "overlap-summary";
+  summary.rank = -1;
+  summary.record = lint::kNoRecord;
+  summary.message = "2 immediate operation(s)";
+  report.add(summary);
+
+  EXPECT_EQ(
+      report.render_json(),
+      "{\"schema\":\"osim.lint_report\",\"version\":1,\"clean\":false,"
+      "\"errors\":1,\"warnings\":1,\"infos\":1,\"diagnostics\":["
+      "{\"severity\":\"error\",\"pass\":\"match\",\"rank\":1,\"record\":4,"
+      "\"message\":\"unmatched send\"},"
+      "{\"severity\":\"warning\",\"pass\":\"races\","
+      "\"code\":\"wildcard-race\",\"rank\":2,\"record\":0,"
+      "\"message\":\"nondeterministic match\","
+      "\"evidence\":\"recv post [0,0,1]\"},"
+      "{\"severity\":\"info\",\"pass\":\"overlap\","
+      "\"code\":\"overlap-summary\","
+      "\"message\":\"2 immediate operation(s)\"}]}");
+}
+
+TEST(LintJson, EmptyReportDocument) {
+  const lint::Report report = lint::lint_trace(Trace::make(2, 1000.0));
+  EXPECT_EQ(report.render_json(),
+            "{\"schema\":\"osim.lint_report\",\"version\":1,\"clean\":true,"
+            "\"errors\":0,\"warnings\":0,\"infos\":0,\"diagnostics\":[]}");
+}
+
+TEST(LintJson, LiveRunCarriesCodesAndEvidence) {
+  const std::string json =
+      lint::lint_trace(wildcard_race_trace()).render_json();
+  EXPECT_NE(json.find("\"schema\":\"osim.lint_report\""), std::string::npos);
+  EXPECT_NE(json.find("\"code\":\"wildcard-race\""), std::string::npos);
+  EXPECT_NE(json.find("\"evidence\":\"recv post ["), std::string::npos);
+}
+
+// --- --jobs determinism -----------------------------------------------------
+
+Trace defect_rich_trace() {
+  TraceBuilder b(3, 1000.0);
+  b.send(0, 2, 7, 64);
+  b.send(1, 2, 7, 64);
+  b.recv(2, kAnyRank, 7, 64).recv(2, kAnyRank, 7, 64);
+  b.isend(0, 1, 3, 64, 9).wait(0, {9});  // zero-window advisory
+  b.recv(1, 0, 3, 64);
+  b.send(0, 1, 5, 64);
+  b.irecv(1, 0, 5, 64, 4);  // leaked request: an error
+  return std::move(b).build();
+}
+
+TEST(LintJobs, ParallelReportIsBitIdenticalToSerial) {
+  const Trace t = defect_rich_trace();
+  lint::LintOptions serial;
+  serial.jobs = 1;
+  const std::string reference = lint::lint_trace(t, serial).render_json();
+  const lint::Report check = lint::lint_trace(t, serial);
+  EXPECT_GT(check.num_errors(), 0u);
+  EXPECT_GT(check.num_warnings(), 0u);
+  EXPECT_GT(check.num_infos(), 0u);
+  for (const int jobs : {2, 4, 13}) {
+    lint::LintOptions parallel = serial;
+    parallel.jobs = jobs;
+    EXPECT_EQ(lint::lint_trace(t, parallel).render_json(), reference)
+        << "jobs=" << jobs;
+  }
+}
+
+// --- store-backed lint cache ------------------------------------------------
+
+TEST(LintCache, WarmRunIsBitIdenticalToCold) {
+  const std::string dir = ::testing::TempDir() + "/osim_lint_cache";
+  std::filesystem::remove_all(dir);
+  store::ScenarioStore store(dir);
+  const Trace t = wildcard_race_trace();
+  const lint::LintOptions options;
+
+  bool hit = true;
+  const lint::Report cold =
+      pipeline::lint_with_cache(t, options, &store, &hit);
+  EXPECT_FALSE(hit);
+  const lint::Report warm =
+      pipeline::lint_with_cache(t, options, &store, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(warm.render_json(), cold.render_json());
+  EXPECT_EQ(store.hits(), 1u);
+
+  // The lint object is a first-class store citizen: verify() decodes it
+  // and gc() keeps it.
+  EXPECT_TRUE(store.verify().clean());
+  const store::GcReport gc = store.gc(1u << 30);
+  EXPECT_EQ(gc.objects_removed, 0u);
+  EXPECT_EQ(gc.objects_kept, 1u);
+}
+
+TEST(LintCache, KeyCoversAnalysisInputsButNotJobs) {
+  const Trace t = wildcard_race_trace();
+  const lint::LintOptions base;
+  lint::LintOptions other_threshold = base;
+  other_threshold.eager_threshold_bytes = base.eager_threshold_bytes + 1;
+  EXPECT_FALSE(pipeline::lint_fingerprint(t, base) ==
+               pipeline::lint_fingerprint(t, other_threshold));
+  lint::LintOptions more_jobs = base;
+  more_jobs.jobs = 8;  // execution detail, not an analysis input
+  EXPECT_TRUE(pipeline::lint_fingerprint(t, base) ==
+              pipeline::lint_fingerprint(t, more_jobs));
+}
+
+// --- golden zero-window counts on the bundled application -------------------
+
+TEST(LintGolden, NasCgZeroWindowCountsArePinned) {
+  const apps::MiniApp* app = apps::find_app("nas_cg");
+  ASSERT_NE(app, nullptr);
+  apps::AppConfig config;
+  config.ranks = 4;
+  config.iterations = 2;
+  const tracer::TracedRun traced = apps::trace_app(*app, config);
+  overlap::OverlapOptions real_options;
+  real_options.chunks = 4;
+  overlap::OverlapOptions ideal_options = real_options;
+  ideal_options.pattern = overlap::PatternMode::kIdeal;
+
+  // The original trace waits every pre-posted receive with no compute in
+  // between: the anti-pattern the overlap transformation removes.
+  const lint::Report original =
+      lint::lint_trace(overlap::lower_original(traced.annotated));
+  EXPECT_TRUE(original.clean()) << original.render_text();
+  EXPECT_EQ(count_code(original, "zero-window"), 12u);
+  EXPECT_EQ(count_code(original, "postponed-wait"), 0u);
+  EXPECT_EQ(count_code(original, "overlap-summary"), 1u);
+
+  const lint::Report ideal =
+      lint::lint_trace(overlap::transform(traced.annotated, ideal_options));
+  EXPECT_TRUE(ideal.clean()) << ideal.render_text();
+  EXPECT_EQ(count_code(ideal, "zero-window"), 28u);
+  EXPECT_EQ(count_code(ideal, "postponed-wait"), 12u);
+
+  const lint::Report real =
+      lint::lint_trace(overlap::transform(traced.annotated, real_options));
+  EXPECT_TRUE(real.clean()) << real.render_text();
+  EXPECT_EQ(count_code(real, "zero-window"), 16u);
+  EXPECT_EQ(count_code(real, "postponed-wait"), 12u);
+}
+
+}  // namespace
+}  // namespace osim

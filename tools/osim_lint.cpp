@@ -2,20 +2,31 @@
 //
 // Statically checks that a trace is a semantically valid MPI program
 // (matched point-to-point traffic, well-formed request lifecycles, no
-// deadlock, consistent collectives) and, given an original / transformed
-// pair, that the overlap transformation preserved the message structure.
-// Exits 0 when the trace is clean under --fail-on, 1 with diagnostics on
-// stdout otherwise.
+// deadlock, consistent collectives), runs the happens-before analyses
+// (communication races, overlap-hazard advisories), and, given an
+// original / transformed pair, checks that the overlap transformation
+// preserved the message structure.
+//
+// Exit codes follow common/exit_codes.hpp: 0 = clean under --fail-on,
+// 1 = findings at or above --fail-on (diagnostics on stdout), 2 = bad
+// command line, 3 = the trace could not be read.
 //
 //   osim_lint --trace /tmp/cg.original.trace
 //   osim_lint --original /tmp/cg.original.trace --transformed /tmp/cg.overlap_real.trace
-//   osim_lint --trace t.trace --format csv --fail-on warning
+//   osim_lint --trace t.trace --format json --platform marenostrum.cfg
+//   osim_lint --trace t.trace --jobs 4 --cache-dir ~/.cache/osim
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
 
 #include "common/exit_codes.hpp"
 #include "common/expect.hpp"
 #include "common/flags.hpp"
+#include "dimemas/platform_io.hpp"
 #include "lint/lint.hpp"
+#include "pipeline/lint_cache.hpp"
+#include "store/store.hpp"
 #include "trace/binary_io.hpp"
 
 int main(int argc, char** argv) try {
@@ -23,29 +34,43 @@ int main(int argc, char** argv) try {
   std::string trace_path;
   std::string original_path;
   std::string transformed_path;
+  std::string platform_path;
   std::string format = "text";
   std::string fail_on = "error";
-  std::int64_t eager_threshold =
-      static_cast<std::int64_t>(lint::kDefaultEagerThresholdBytes);
+  std::int64_t eager_threshold = -1;  // sentinel: not set on the command line
+  std::int64_t jobs = 1;
+  std::string cache_dir;
 
   Flags flags(
       "osim_lint: verify that a trace is a semantically valid MPI program "
-      "(matching, request lifecycles, deadlock, collectives, and — with "
-      "--original/--transformed — overlap-transform safety)");
+      "(matching, request lifecycles, deadlock, collectives, races, overlap "
+      "hazards, and — with --original/--transformed — overlap-transform "
+      "safety)");
   flags.add("trace", &trace_path, "trace file to lint");
   flags.add("original", &original_path,
             "original trace of an original/transformed pair");
   flags.add("transformed", &transformed_path,
             "transformed trace to lint and check against --original");
-  flags.add("format", &format, "diagnostic output format (text, csv)");
+  flags.add("platform", &platform_path,
+            "platform file; its eager threshold configures the deadlock and "
+            "happens-before passes");
+  flags.add("format", &format, "diagnostic output format (text, csv, json)");
   flags.add("fail-on", &fail_on,
             "lowest severity that fails the run (warning, error)");
   flags.add("eager-threshold", &eager_threshold,
-            "rendezvous cutoff in bytes for the deadlock pass");
+            "rendezvous cutoff in bytes; overrides --platform (default: the "
+            "platform's threshold, else 16 KiB)");
+  flags.add("jobs", &jobs,
+            "worker threads for the lint passes (0 = one per hardware "
+            "thread); any value produces a byte-identical report");
+  flags.add("cache-dir", &cache_dir,
+            "persistent scenario store directory (default: $OSIM_CACHE_DIR); "
+            "single-trace lint reports are served from and written to the "
+            "store, keyed by trace content");
   if (!flags.parse(argc, argv)) return 0;
 
-  if (format != "text" && format != "csv") {
-    throw UsageError("--format must be 'text' or 'csv'");
+  if (format != "text" && format != "csv" && format != "json") {
+    throw UsageError("--format must be 'text', 'csv' or 'json'");
   }
   lint::Severity fail_severity;
   if (fail_on == "warning") {
@@ -65,45 +90,70 @@ int main(int argc, char** argv) try {
   if (pair_mode && !trace_path.empty()) {
     throw UsageError("--trace and --original/--transformed are exclusive");
   }
-  if (eager_threshold < 0) {
-    throw UsageError("--eager-threshold must be non-negative");
-  }
+  if (jobs < 0) throw UsageError("--jobs must be non-negative");
 
   lint::LintOptions options;
-  options.eager_threshold_bytes =
-      static_cast<std::uint64_t>(eager_threshold);
+  if (!platform_path.empty()) {
+    options.eager_threshold_bytes =
+        dimemas::read_platform_file(platform_path).eager_threshold_bytes;
+  }
+  if (eager_threshold >= 0) {
+    // An explicit threshold wins over the platform file.
+    options.eager_threshold_bytes =
+        static_cast<std::uint64_t>(eager_threshold);
+  }
+  options.jobs = jobs == 0
+                     ? static_cast<int>(std::thread::hardware_concurrency())
+                     : static_cast<int>(jobs);
+
+  const auto read_trace = [](const std::string& path) {
+    try {
+      return trace::read_any_file(path);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::exit(kExitUnreadable);
+    }
+  };
+
+  std::unique_ptr<store::ScenarioStore> cache;
+  const std::string resolved_cache_dir = store::resolve_cache_dir(cache_dir);
+  if (!resolved_cache_dir.empty()) {
+    cache = std::make_unique<store::ScenarioStore>(resolved_cache_dir);
+  }
 
   lint::Report report;
   std::string subject;
   if (pair_mode) {
-    const trace::Trace original = trace::read_any_file(original_path);
-    const trace::Trace transformed = trace::read_any_file(transformed_path);
+    const trace::Trace original = read_trace(original_path);
+    const trace::Trace transformed = read_trace(transformed_path);
     // The transformed trace must stand on its own *and* faithfully encode
-    // the original's message structure.
+    // the original's message structure. Pair results are not cached: the
+    // transform check keys on two traces, not one.
     report = lint::lint_trace(transformed, options);
-    const lint::Report pair = lint::lint_transform(original, transformed,
-                                                   options);
-    for (const lint::Diagnostic& d : pair.diagnostics()) {
-      if (d.severity == lint::Severity::kError) {
-        report.error(d.pass, d.rank, d.record, d.message);
-      } else {
-        report.warning(d.pass, d.rank, d.record, d.message);
-      }
-    }
+    report.merge(lint::lint_transform(original, transformed, options));
     subject = transformed_path;
   } else {
-    report = lint::lint_trace(trace::read_any_file(trace_path), options);
+    const trace::Trace t = read_trace(trace_path);
+    bool cache_hit = false;
+    report = pipeline::lint_with_cache(t, options, cache.get(), &cache_hit);
+    if (cache_hit) {
+      std::fprintf(
+          stderr, "[cache] served from %s\n",
+          cache->object_path(pipeline::lint_fingerprint(t, options)).c_str());
+    }
     subject = trace_path;
   }
 
-  if (format == "csv") {
+  if (format == "json") {
+    std::printf("%s\n", report.render_json().c_str());
+  } else if (format == "csv") {
     std::printf("%s", report.render_csv().c_str());
   } else if (!report.clean()) {
     std::printf("%s", report.render_text().c_str());
   } else {
     std::printf("%s: clean\n", subject.c_str());
   }
-  return report.has_at_least(fail_severity) ? 1 : 0;
+  return report.has_at_least(fail_severity) ? kExitError : kExitOk;
 } catch (const osim::UsageError& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return osim::kExitUsage;

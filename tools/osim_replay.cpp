@@ -31,6 +31,7 @@
 #include "faults/spec.hpp"
 #include "paraver/paraver.hpp"
 #include "pipeline/context.hpp"
+#include "pipeline/lint_cache.hpp"
 #include "pipeline/report.hpp"
 #include "pipeline/study.hpp"
 #include "store/format.hpp"
@@ -249,9 +250,17 @@ int main(int argc, char** argv) try {
                 prv_base.c_str());
   }
   if (!report_path.empty()) {
+    // The report embeds the trace's lint block (static analysis next to
+    // the replay it predicts), served from the store when warm.
+    lint::LintOptions lint_options;
+    lint_options.eager_threshold_bytes = platform.eager_threshold_bytes;
+    const lint::Report lint_report =
+        pipeline::lint_with_cache(t, lint_options, cache.get());
     pipeline::write_report(
-        report_path, pipeline::replay_report_json(
-                         result, platform, t.app.empty() ? "app" : t.app));
+        report_path,
+        pipeline::replay_report_json(result, platform,
+                                     t.app.empty() ? "app" : t.app,
+                                     &lint_report));
     std::printf("run report written to %s\n", report_path.c_str());
   }
   if (salvaged_with_losses) {

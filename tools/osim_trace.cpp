@@ -110,15 +110,7 @@ int main(int argc, char** argv) try {
     for (const Output& output : outputs) {
       lint::Report report = lint::lint_trace(output.trace);
       if (&output != &outputs[0]) {
-        const lint::Report pair =
-            lint::lint_transform(outputs[0].trace, output.trace);
-        for (const lint::Diagnostic& d : pair.diagnostics()) {
-          if (d.severity == lint::Severity::kError) {
-            report.error(d.pass, d.rank, d.record, d.message);
-          } else {
-            report.warning(d.pass, d.rank, d.record, d.message);
-          }
-        }
+        report.merge(lint::lint_transform(outputs[0].trace, output.trace));
       }
       if (!report.clean()) {
         std::printf("lint %s.%s:\n%s", out_prefix.c_str(), output.suffix,
