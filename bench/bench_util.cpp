@@ -14,18 +14,13 @@ bool BenchSetup::parse(const std::string& description, int argc,
   flags.add("iterations", &iterations, "application iterations");
   flags.add("chunks", &chunks, "chunks per message (paper: 4)");
   flags.add("scale", &scale, "problem size multiplier");
-  flags.add("jobs", &jobs,
-            "parallel replay jobs (0 = one per hardware thread)");
   flags.add("apps", &apps, "comma list of apps, or 'all'");
   flags.add("out-dir", &out_dir, "directory for CSV outputs");
   flags.add("paper-buses", &use_paper_buses,
             "use the paper's Table I bus counts");
-  flags.add("study-report", &study_report,
-            "write a JSON study report (per-scenario makespans, wall "
-            "times, cache behaviour) to this path");
-  flags.add("cache-dir", &cache_dir,
-            "persistent scenario store directory (default: $OSIM_CACHE_DIR; "
-            "warm reruns serve replays from disk — see osim_cache)");
+  run.register_flags(flags, "study-report",
+                     "write a JSON study report (per-scenario makespans, "
+                     "wall times, cache behaviour) to this path");
   return flags.parse(argc, argv);
 }
 
@@ -63,18 +58,26 @@ overlap::OverlapOptions BenchSetup::overlap_options() const {
 
 pipeline::StudyOptions BenchSetup::study_options() const {
   pipeline::StudyOptions options;
-  options.jobs = static_cast<int>(jobs);
-  options.record_scenarios = !study_report.empty();
-  options.cache_dir = cache_dir;
+  options.jobs = static_cast<int>(run.jobs);
+  options.record_scenarios = !run.report.empty();
+  options.cache_dir = run.cache_dir;
   return options;
 }
 
-void BenchSetup::maybe_write_study_report(const pipeline::Study& study) const {
-  if (study_report.empty()) return;
-  pipeline::write_report(study_report, pipeline::study_report_json(study));
-  std::fprintf(stderr, "[bench] study report written to %s\n",
-               study_report.c_str());
+void BenchSetup::finish(const pipeline::Study& study) const {
+  if (!run.report.empty()) {
+    pipeline::write_report(run.report, pipeline::study_report_json(study));
+    std::fprintf(stderr, "[bench] study report written to %s\n",
+                 run.report.c_str());
+  }
+  PerfRecorder record = perf;  // keeps finish() const; the copy is cheap
+  record.add("cache_hits", static_cast<double>(study.cache_hits()));
+  record.add("cache_misses", static_cast<double>(study.cache_misses()));
+  record.add("disk_hits", static_cast<double>(study.disk_hits()));
+  record.write_if(run.perf_json);
 }
+
+void BenchSetup::finish() const { perf.write_if(run.perf_json); }
 
 dimemas::Platform BenchSetup::platform_for(const apps::MiniApp& app) const {
   return dimemas::Platform::marenostrum(

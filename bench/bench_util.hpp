@@ -16,6 +16,7 @@
 
 #include "apps/app.hpp"
 #include "common/flags.hpp"
+#include "common/run_options.hpp"
 #include "dimemas/platform.hpp"
 #include "overlap/options.hpp"
 #include "pipeline/context.hpp"
@@ -30,18 +31,16 @@ struct BenchSetup {
   std::int64_t iterations = 8;
   std::int64_t chunks = 4;       // paper §IV: four chunks per message
   std::int64_t scale = 1;
-  std::int64_t jobs = 1;         // parallel replay jobs (0 = hw threads)
   std::string apps = "all";      // comma list or "all"
   std::string out_dir = "bench_results";
   bool use_paper_buses = true;   // Table I values; false → calibrate
-  /// Write a JSON study report (cache behaviour, per-scenario makespans
-  /// and wall times) to this path when non-empty (--study-report).
-  std::string study_report;
-  /// Persistent scenario store directory (--cache-dir, or $OSIM_CACHE_DIR
-  /// when empty): replay results are served from and written to the disk
-  /// tier, so a warm rerun of the bench is mostly cache hits. See
-  /// store::ScenarioStore and tools/osim_cache.
-  std::string cache_dir;
+  /// The shared execution flags every replay-running binary takes: --jobs,
+  /// --cache-dir, --perf-json, and the report path (registered here as
+  /// --study-report: per-scenario makespans, wall times, cache behaviour).
+  RunOptions run;
+  /// Wall-clock zero for --perf-json (constructed with the setup, so the
+  /// record covers the whole bench including tracing).
+  PerfRecorder perf{"bench"};
 
   /// Registers the shared flags and parses argv. Returns false on --help.
   bool parse(const std::string& description, int argc, const char* const* argv,
@@ -58,9 +57,14 @@ struct BenchSetup {
   /// Scenario recording is on when --study-report was given.
   pipeline::StudyOptions study_options() const;
 
-  /// Writes the study report if --study-report was given (call at the end
-  /// of a bench run). Prints the output path to stderr.
-  void maybe_write_study_report(const pipeline::Study& study) const;
+  /// End-of-run bookkeeping: writes the study report if --study-report was
+  /// given and the perf record if --perf-json was given (wall/CPU time,
+  /// peak RSS, replay cache counters). Call once, at the end of a bench.
+  void finish(const pipeline::Study& study) const;
+
+  /// Same, for the benches that analyze traces without replaying (no
+  /// study): writes the perf record only.
+  void finish() const;
 
   /// Marenostrum-like platform with the app's Table I bus count.
   dimemas::Platform platform_for(const apps::MiniApp& app) const;

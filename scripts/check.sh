@@ -40,6 +40,17 @@ if grep -rn --include='*.cpp' --include='*.hpp' -F 'dimemas/replay.hpp' \
 fi
 echo "layering OK (no direct dimemas::replay in bench/ or src/analysis/)"
 
+# The deprecated raw trace/platform analysis shims were removed once the
+# Study/ReplayContext API landed; they must not come back.
+if grep -rn --include='*.cpp' --include='*.hpp' -F '[[deprecated' \
+     "$ROOT/src/analysis"; then
+  echo "error: [[deprecated]] shim under src/analysis/; the raw" \
+       "trace/platform entry points were removed — add the Study/" \
+       "ReplayContext overload directly instead" >&2
+  exit 1
+fi
+echo "shims OK (no [[deprecated]] under src/analysis/)"
+
 cmake -B "$BUILD" -S "$ROOT" -DOSIM_SANITIZE="$SANITIZE" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD" -j "$(nproc)"

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""CI perf gate: compare osim_perf medians against the committed budget.
+
+    perf_gate.py [--bench BENCH_replay.json] [--budget bench/perf_budget.json]
+
+Reads the BENCH_replay.json produced by `osim_perf` and the floors in
+bench/perf_budget.json. Every path in the budget must be present in the
+bench record, report the same unit, and have a median at or above its
+floor. Exit 0 when everything passes, 1 on any violation, 2 on malformed
+input. The floors are intentionally generous (about 8x below a small
+reference machine) -- this gate exists to catch order-of-magnitude
+regressions such as an accidental O(n^2) in the replay loop, not to
+referee noisy CI runners.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", default="BENCH_replay.json")
+    parser.add_argument("--budget", default="bench/perf_budget.json")
+    args = parser.parse_args()
+
+    try:
+        with open(args.bench) as f:
+            bench = json.load(f)
+        with open(args.budget) as f:
+            budget = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf_gate: cannot read inputs: {e}", file=sys.stderr)
+        return 2
+
+    if bench.get("schema") != "osim-bench-replay-v1":
+        print(f"perf_gate: unexpected bench schema {bench.get('schema')!r}",
+              file=sys.stderr)
+        return 2
+    if budget.get("schema") != "osim-perf-budget-v1":
+        print(f"perf_gate: unexpected budget schema {budget.get('schema')!r}",
+              file=sys.stderr)
+        return 2
+
+    paths = bench.get("paths", {})
+    failures = []
+    for name, floor in budget.get("floors", {}).items():
+        record = paths.get(name)
+        if record is None:
+            failures.append(f"{name}: missing from bench record")
+            continue
+        if record.get("unit") != floor.get("unit"):
+            failures.append(
+                f"{name}: unit mismatch (bench {record.get('unit')!r} vs "
+                f"budget {floor.get('unit')!r})")
+            continue
+        median = float(record.get("median", 0.0))
+        minimum = float(floor["min_median"])
+        verdict = "ok" if median >= minimum else "FAIL"
+        print(f"perf_gate: {name:8s} {median:14.1f} {floor['unit']} "
+              f"(floor {minimum:.1f}) {verdict}")
+        if median < minimum:
+            failures.append(
+                f"{name}: median {median:.1f} {floor['unit']} below floor "
+                f"{minimum:.1f}")
+
+    if failures:
+        for failure in failures:
+            print(f"perf_gate: FAIL {failure}", file=sys.stderr)
+        return 1
+    print("perf_gate: all paths within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,41 +59,4 @@ std::optional<double> equivalent_bandwidth(
   return min_bandwidth_for(study, original, target, options);
 }
 
-// --- deprecated shims ---------------------------------------------------
-
-double time_at_bandwidth(const trace::Trace& t,
-                         const dimemas::Platform& platform, double mbps) {
-  pipeline::Study study;
-  return time_at_bandwidth(study, pipeline::ReplayContext(t, platform), mbps);
-}
-
-std::optional<double> min_bandwidth_for(
-    const trace::Trace& t, const dimemas::Platform& platform,
-    double target_time_s, const BandwidthSearchOptions& options) {
-  pipeline::Study study;
-  return min_bandwidth_for(study, pipeline::ReplayContext(t, platform),
-                           target_time_s, options);
-}
-
-std::optional<double> relaxed_bandwidth(
-    const trace::Trace& original, const trace::Trace& overlapped,
-    const dimemas::Platform& platform,
-    const BandwidthSearchOptions& options) {
-  pipeline::Study study;
-  return relaxed_bandwidth(study, pipeline::ReplayContext(original, platform),
-                           pipeline::ReplayContext(overlapped, platform),
-                           options);
-}
-
-std::optional<double> equivalent_bandwidth(
-    const trace::Trace& original, const trace::Trace& overlapped,
-    const dimemas::Platform& platform,
-    const BandwidthSearchOptions& options) {
-  pipeline::Study study;
-  return equivalent_bandwidth(study,
-                              pipeline::ReplayContext(original, platform),
-                              pipeline::ReplayContext(overlapped, platform),
-                              options);
-}
-
 }  // namespace osim::analysis

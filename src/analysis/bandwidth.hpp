@@ -61,29 +61,4 @@ std::optional<double> equivalent_bandwidth(
     const pipeline::ReplayContext& overlapped,
     const BandwidthSearchOptions& options = {});
 
-// --- deprecated raw trace/platform entry points -------------------------
-// One-release shims: each builds a throwaway context and serial study per
-// call, so repeated probes are not shared. Migrate to the overloads above.
-
-[[deprecated("use the ReplayContext/Study overload")]]
-double time_at_bandwidth(const trace::Trace& t,
-                         const dimemas::Platform& platform, double mbps);
-
-[[deprecated("use the ReplayContext/Study overload")]]
-std::optional<double> min_bandwidth_for(
-    const trace::Trace& t, const dimemas::Platform& platform,
-    double target_time_s, const BandwidthSearchOptions& options = {});
-
-[[deprecated("use the ReplayContext/Study overload")]]
-std::optional<double> relaxed_bandwidth(
-    const trace::Trace& original, const trace::Trace& overlapped,
-    const dimemas::Platform& platform,
-    const BandwidthSearchOptions& options = {});
-
-[[deprecated("use the ReplayContext/Study overload")]]
-std::optional<double> equivalent_bandwidth(
-    const trace::Trace& original, const trace::Trace& overlapped,
-    const dimemas::Platform& platform,
-    const BandwidthSearchOptions& options = {});
-
 }  // namespace osim::analysis

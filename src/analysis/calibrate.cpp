@@ -41,13 +41,4 @@ BusCalibration calibrate_buses(pipeline::Study& study,
   return best;
 }
 
-BusCalibration calibrate_buses(const trace::Trace& t,
-                               const dimemas::Platform& bus_platform,
-                               const dimemas::Platform& reference_platform,
-                               const CalibrateOptions& options) {
-  pipeline::Study study;
-  return calibrate_buses(study, pipeline::ReplayContext(t, bus_platform),
-                         reference_platform, options);
-}
-
 }  // namespace osim::analysis

@@ -38,12 +38,4 @@ BusCalibration calibrate_buses(pipeline::Study& study,
                                const dimemas::Platform& reference_platform,
                                const CalibrateOptions& options = {});
 
-/// Deprecated one-release shim: builds a throwaway context and serial study
-/// per call. Migrate to the ReplayContext/Study overload.
-[[deprecated("use the ReplayContext/Study overload")]]
-BusCalibration calibrate_buses(const trace::Trace& t,
-                               const dimemas::Platform& bus_platform,
-                               const dimemas::Platform& reference_platform,
-                               const CalibrateOptions& options = {});
-
 }  // namespace osim::analysis

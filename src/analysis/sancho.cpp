@@ -49,10 +49,4 @@ SanchoEstimate sancho_estimate(const pipeline::ReplayContext& original) {
   return estimate_from(original.trace(), original.platform());
 }
 
-SanchoEstimate sancho_estimate(const trace::Trace& original,
-                               const dimemas::Platform& platform) {
-  trace::validate(original);
-  return estimate_from(original, platform);
-}
-
 }  // namespace osim::analysis

@@ -48,9 +48,4 @@ struct SanchoEstimate {
 /// no Study involved.
 SanchoEstimate sancho_estimate(const pipeline::ReplayContext& original);
 
-/// Deprecated one-release shim; migrate to the ReplayContext overload.
-[[deprecated("use the ReplayContext overload")]]
-SanchoEstimate sancho_estimate(const trace::Trace& original,
-                               const dimemas::Platform& platform);
-
 }  // namespace osim::analysis

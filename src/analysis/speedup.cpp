@@ -30,11 +30,4 @@ OverlapOutcome evaluate_overlap(pipeline::Study& study,
   return outcome;
 }
 
-OverlapOutcome evaluate_overlap(const trace::AnnotatedTrace& annotated,
-                                const dimemas::Platform& platform,
-                                const overlap::OverlapOptions& options) {
-  pipeline::Study study;
-  return evaluate_overlap(study, annotated, platform, options);
-}
-
 }  // namespace osim::analysis

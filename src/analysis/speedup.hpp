@@ -27,11 +27,4 @@ OverlapOutcome evaluate_overlap(pipeline::Study& study,
                                 const dimemas::Platform& platform,
                                 const overlap::OverlapOptions& options = {});
 
-/// Deprecated one-release shim: builds a throwaway serial study per call.
-/// Migrate to the Study overload.
-[[deprecated("use the Study overload")]]
-OverlapOutcome evaluate_overlap(const trace::AnnotatedTrace& annotated,
-                                const dimemas::Platform& platform,
-                                const overlap::OverlapOptions& options = {});
-
 }  // namespace osim::analysis

@@ -56,10 +56,4 @@ WhatIfBreakdown whatif_network(pipeline::Study& study,
   return breakdown;
 }
 
-WhatIfBreakdown whatif_network(const trace::Trace& trace,
-                               const dimemas::Platform& platform) {
-  pipeline::Study study;
-  return whatif_network(study, pipeline::ReplayContext(trace, platform));
-}
-
 }  // namespace osim::analysis

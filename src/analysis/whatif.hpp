@@ -49,10 +49,4 @@ struct WhatIfBreakdown {
 WhatIfBreakdown whatif_network(pipeline::Study& study,
                                const pipeline::ReplayContext& context);
 
-/// Deprecated one-release shim: builds a throwaway context and serial study
-/// per call. Migrate to the ReplayContext/Study overload.
-[[deprecated("use the ReplayContext/Study overload")]]
-WhatIfBreakdown whatif_network(const trace::Trace& trace,
-                               const dimemas::Platform& platform);
-
 }  // namespace osim::analysis

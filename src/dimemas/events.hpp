@@ -1,24 +1,47 @@
 // Discrete-event simulation core: a time-ordered event queue with
 // deterministic FIFO tie-breaking for simultaneous events.
+//
+// The queue is a calendar queue (Brown 1988) tuned for the near-monotone
+// timestamp distribution replay produces: most events are scheduled a
+// short, similar distance into the future (compute bursts, transfer
+// completions), so they land in the current or a nearby bucket and both
+// schedule() and pop are O(1) amortized — versus O(log n) heap churn for
+// std::priority_queue. Ordering is exact, not approximate: each "year"
+// (global bucket number, floor(time / width)) maps to one bucket, years
+// are drained in increasing order, and within a year the earliest
+// (time, seq) entry wins, so the pop sequence is identical to the heap's
+// and replay results stay bit-for-bit deterministic.
+//
+// Handlers are InlineFunction (48-byte inline buffer), so scheduling an
+// event never heap-allocates for the closures the replay engine builds.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "common/expect.hpp"
+#include "common/inline_function.hpp"
 
 namespace osim::dimemas {
 
 class EventQueue {
  public:
-  using Handler = std::function<void()>;
+  using Handler = InlineFunction<void(), 48>;
+
+  EventQueue() { buckets_.resize(kMinBuckets); }
 
   /// Schedules `fn` at absolute simulated time `time` (>= now()).
   void schedule(double time, Handler fn) {
     OSIM_CHECK_MSG(time >= now_, "event scheduled in the past");
-    heap_.push(Entry{time, next_seq_++, std::move(fn)});
+    const std::uint64_t year = year_of(time);
+    buckets_[bucket_of(year)].push_back(Entry{time, year, next_seq_++,
+                                              std::move(fn)});
+    ++size_;
+    if (size_ > buckets_.size() * 2 && buckets_.size() < kMaxBuckets) {
+      rebuild(buckets_.size() * 2);
+    }
   }
 
   /// Schedules `fn` after a relative delay (>= 0).
@@ -27,22 +50,21 @@ class EventQueue {
   }
 
   double now() const { return now_; }
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
   std::uint64_t events_processed() const { return processed_; }
 
-  /// Pops and runs the earliest event. Returns false when the queue is empty.
+  /// Pops and runs the earliest event. Returns false when the queue is
+  /// empty. The entry is moved out of its bucket before the handler runs —
+  /// no copy-then-pop workaround (the old std::priority_queue only exposed
+  /// a const top()).
   bool run_one() {
-    if (heap_.empty()) return false;
-    // Entry's handler is moved out before pop; const_cast is confined here
-    // because std::priority_queue only exposes const top().
-    Entry& top = const_cast<Entry&>(heap_.top());
-    OSIM_CHECK(top.time >= now_);
-    now_ = top.time;
-    Handler fn = std::move(top.fn);
-    heap_.pop();
+    if (size_ == 0) return false;
+    Entry entry = pop();
+    OSIM_CHECK(entry.time >= now_);
+    now_ = entry.time;
     ++processed_;
-    fn();
+    entry.fn();
     return true;
   }
 
@@ -54,15 +76,112 @@ class EventQueue {
  private:
   struct Entry {
     double time;
+    std::uint64_t year;  // floor(time / width_) at insertion width
     std::uint64_t seq;
     Handler fn;
-    bool operator>(const Entry& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;  // FIFO among simultaneous events
-    }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  static constexpr std::size_t kMinBuckets = 64;       // power of two
+  static constexpr std::size_t kMaxBuckets = 1 << 20;  // power of two
+
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;  // FIFO among simultaneous events
+  }
+
+  std::uint64_t year_of(double time) const {
+    double q = time / width_;
+    // Clamp runaway clocks instead of invoking UB on the cast; entries
+    // sharing the clamped year still pop in exact (time, seq) order.
+    if (q > 9.0e18) q = 9.0e18;
+    return static_cast<std::uint64_t>(q);
+  }
+
+  std::size_t bucket_of(std::uint64_t year) const {
+    return static_cast<std::size_t>(year & (buckets_.size() - 1));
+  }
+
+  /// Extracts the earliest (time, seq) entry. Years are visited in
+  /// increasing order; a year's entries all live in one bucket (tagged with
+  /// their year so entries a whole cycle ahead are skipped). If a full
+  /// cycle of buckets turns up nothing — the next event is far in the
+  /// future — one direct O(n) scan finds the earliest year and jumps there.
+  Entry pop() {
+    for (std::size_t walked = 0;; ++walked) {
+      std::vector<Entry>& bucket = buckets_[bucket_of(current_year_)];
+      std::size_t best = bucket.size();
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        if (bucket[i].year != current_year_) continue;
+        if (best == bucket.size() || earlier(bucket[i], bucket[best])) {
+          best = i;
+        }
+      }
+      if (best != bucket.size()) {
+        Entry out = std::move(bucket[best]);
+        bucket[best] = std::move(bucket.back());
+        bucket.pop_back();
+        --size_;
+        if (size_ * 8 < buckets_.size() && buckets_.size() > kMinBuckets) {
+          rebuild(buckets_.size() / 2);
+        }
+        return out;
+      }
+      if (walked >= buckets_.size()) {
+        current_year_ = earliest_year();
+        walked = 0;
+      } else {
+        ++current_year_;
+      }
+    }
+  }
+
+  std::uint64_t earliest_year() const {
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    for (const std::vector<Entry>& bucket : buckets_) {
+      for (const Entry& entry : bucket) {
+        if (entry.year < best) best = entry.year;
+      }
+    }
+    return best;
+  }
+
+  /// Re-buckets every entry into `nbuckets` buckets, resampling the bucket
+  /// width so entries spread ~2 per bucket across their time span. Pop
+  /// order is unaffected: ordering is by (time, seq), never by layout.
+  void rebuild(std::size_t nbuckets) {
+    std::vector<Entry> all;
+    all.reserve(size_);
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (std::vector<Entry>& bucket : buckets_) {
+      for (Entry& entry : bucket) {
+        if (entry.time < lo) lo = entry.time;
+        if (entry.time > hi) hi = entry.time;
+        all.push_back(std::move(entry));
+      }
+      bucket.clear();
+    }
+    if (hi > lo && !all.empty()) {
+      width_ = (hi - lo) / static_cast<double>(all.size()) * 2.0;
+      if (width_ < 1e-308) width_ = 1e-308;  // denormal guard
+    }
+    buckets_.clear();
+    buckets_.resize(nbuckets);
+    // Restart the year cursor at the clock, never at the earliest entry:
+    // a cursor ahead of year_of(now_) would pop entries scheduled later
+    // (by a handler, between now and the earliest pre-rebuild entry) out
+    // of order. Starting at the clock only costs a forward walk.
+    current_year_ = year_of(now_);
+    for (Entry& entry : all) {
+      entry.year = year_of(entry.time);
+      buckets_[bucket_of(entry.year)].push_back(std::move(entry));
+    }
+  }
+
+  std::vector<std::vector<Entry>> buckets_;
+  double width_ = 1e-5;  // resampled at every rebuild
+  std::uint64_t current_year_ = 0;
+  std::size_t size_ = 0;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

@@ -4,8 +4,8 @@
 #include <deque>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 
+#include "common/arena.hpp"
 #include "common/expect.hpp"
 #include "common/strings.hpp"
 #include "dimemas/collectives.hpp"
@@ -14,20 +14,17 @@
 #include "dimemas/network.hpp"
 #include "faults/injector.hpp"
 #include "metrics/collector.hpp"
+#include "trace/soa.hpp"
 
 namespace osim::dimemas {
 
-using trace::CpuBurst;
-using trace::GlobalOp;
+using trace::CompiledStream;
 using trace::kAnyRank;
 using trace::kAnyTag;
+using trace::LaneKind;
 using trace::Rank;
-using trace::Record;
-using trace::Recv;
 using trace::ReqId;
-using trace::Send;
 using trace::Tag;
-using trace::Wait;
 
 namespace {
 
@@ -85,7 +82,7 @@ class Replayer {
     }
     if (options_.record_comms) {
       result.comms.reserve(comms_.size());
-      for (const auto& comm : comms_) result.comms.push_back(*comm);
+      for (const CommEvent* comm : comms_) result.comms.push_back(*comm);
     }
     if (collector_ != nullptr) {
       result.metrics = std::make_shared<const metrics::ReplayMetrics>(
@@ -98,6 +95,10 @@ class Replayer {
 
  private:
   // --- bookkeeping types --------------------------------------------------
+  //
+  // SendSide / PostedRecv / CommEvent are arena-allocated: one bump-pointer
+  // allocation per message, stable addresses, and everything is released
+  // wholesale when the run ends (they are trivially destructible).
 
   struct PostedRecv;
 
@@ -115,7 +116,7 @@ class Replayer {
     /// assigned in record order so it is independent of event scheduling.
     std::uint64_t fault_seq = 0;
     PostedRecv* partner = nullptr;
-    CommEvent* comm = nullptr;  // owned by comms_; null unless recording
+    CommEvent* comm = nullptr;  // arena-owned; null unless recording
     // Submit/start timestamps and queue reason for wait-time attribution;
     // only filled in when metrics collection is on.
     metrics::TransferTiming timing;
@@ -153,6 +154,9 @@ class Replayer {
     const SendSide* wait_releaser = nullptr;
     bool wait_completed_any = false;
     std::unordered_map<ReqId, bool> request_complete;
+    /// Requests the currently-blocked Wait still needs (small; linear scan
+    /// beats hashing and is deterministic).
+    std::vector<ReqId> waited;
     // Running per-rank decision indices for fault injection.
     std::uint64_t burst_seq = 0;
     std::uint64_t send_seq = 0;
@@ -167,8 +171,8 @@ class Replayer {
 
   // --- helpers --------------------------------------------------------------
 
-  const std::vector<Record>& stream(const Proc& proc) const {
-    return replayed_->ranks[static_cast<std::size_t>(proc.rank)];
+  const CompiledStream& stream(const Proc& proc) const {
+    return compiled_.ranks[static_cast<std::size_t>(proc.rank)];
   }
 
   double now() const { return events_.now(); }
@@ -268,13 +272,14 @@ class Replayer {
       OSIM_CHECK(proc.outstanding > 0);
       // Only decrement if this request is among the waited set — the wait
       // installed `outstanding` as the count of incomplete waited requests
-      // and marked them in waited_requests_.
-      const auto waited = waited_.find(&proc);
-      if (waited != waited_.end() && waited->second.count(request) > 0) {
-        waited->second.erase(request);
+      // and listed them in proc.waited.
+      const auto waited =
+          std::find(proc.waited.begin(), proc.waited.end(), request);
+      if (waited != proc.waited.end()) {
+        *waited = proc.waited.back();
+        proc.waited.pop_back();
         record_wait_release(proc, cause_rank, cause_time, releaser);
         if (--proc.outstanding == 0) {
-          waited_.erase(waited);
           unblock(proc, proc.wait_cause_rank, proc.wait_cause_time,
                   proc.wait_releaser);
         }
@@ -287,33 +292,37 @@ class Replayer {
   void step(Proc& proc) {
     if (proc.finished || proc.blocked) return;
     proc.running = true;
-    const auto& recs = stream(proc);
-    while (!proc.blocked && proc.pc < recs.size()) {
-      const Record& rec = recs[proc.pc++];
-      if (const auto* burst = std::get_if<CpuBurst>(&rec)) {
-        do_compute(proc, *burst);
-        proc.running = false;
-        return;  // resumes via the scheduled wake-up
-      } else if (const auto* send = std::get_if<Send>(&rec)) {
-        do_send(proc, *send);
-      } else if (const auto* recv = std::get_if<Recv>(&rec)) {
-        do_recv(proc, *recv);
-      } else if (const auto* wait = std::get_if<Wait>(&rec)) {
-        do_wait(proc, *wait);
-      } else {
-        OSIM_UNREACHABLE("GlobalOp survived collective expansion");
+    const CompiledStream& recs = stream(proc);
+    const std::size_t n = recs.records();
+    while (!proc.blocked && proc.pc < n) {
+      const std::size_t i = proc.pc++;
+      const std::uint32_t slot = recs.slot[i];
+      switch (recs.kind[i]) {
+        case LaneKind::kCpu:
+          do_compute(proc, recs.burst_instructions[slot]);
+          proc.running = false;
+          return;  // resumes via the scheduled wake-up
+        case LaneKind::kSend:
+          do_send(proc, recs, slot);
+          break;
+        case LaneKind::kRecv:
+          do_recv(proc, recs, slot);
+          break;
+        case LaneKind::kWait:
+          do_wait(proc, recs, slot);
+          break;
       }
     }
     proc.running = false;
-    if (!proc.blocked && proc.pc >= recs.size()) {
+    if (!proc.blocked && proc.pc >= n) {
       proc.finished = true;
       proc.stats.finish_time = now();
     }
   }
 
-  void do_compute(Proc& proc, const CpuBurst& burst) {
+  void do_compute(Proc& proc, std::uint64_t instructions) {
     double duration =
-        static_cast<double>(burst.instructions) /
+        static_cast<double>(instructions) /
         (trace_.mips * 1.0e6 * platform_.node_cpu_speed(proc.rank));
     if (injector_ != nullptr) {
       duration = injector_->perturb_compute(proc.rank, proc.burst_seq++,
@@ -324,27 +333,22 @@ class Replayer {
     events_.schedule(now() + duration, [this, &proc] { step(proc); });
   }
 
-  bool is_eager(const Send& rec) const {
-    if (rec.synchronous) return false;
-    return rec.bytes <= platform_.eager_threshold_bytes;
-  }
-
-  void do_send(Proc& proc, const Send& rec) {
-    auto owned = std::make_unique<SendSide>();
-    SendSide* send = owned.get();
-    send_pool_.push_back(std::move(owned));
+  void do_send(Proc& proc, const CompiledStream& recs, std::uint32_t slot) {
+    SendSide* send = arena_.make<SendSide>();
     send->src = proc.rank;
-    send->dst = rec.dest;
-    send->tag = rec.tag;
-    send->bytes = rec.bytes;
-    send->immediate = rec.immediate;
-    send->request = rec.request;
-    send->eager = is_eager(rec);
+    send->dst = recs.send_dest[slot];
+    send->tag = recs.send_tag[slot];
+    send->bytes = recs.send_bytes[slot];
+    const bool immediate = recs.send_immediate[slot] != 0;
+    send->immediate = immediate;
+    send->request = recs.send_request[slot];
+    send->eager = recs.send_synchronous[slot] == 0 &&
+                  send->bytes <= platform_.eager_threshold_bytes;
     send->call_time = now();
     send->fault_seq = proc.send_seq++;
     if (options_.record_comms) {
-      comms_.push_back(std::make_unique<CommEvent>());
-      send->comm = comms_.back().get();
+      send->comm = arena_.make<CommEvent>();
+      comms_.push_back(send->comm);
       send->comm->src = send->src;
       send->comm->dst = send->dst;
       send->comm->tag = send->tag;
@@ -352,14 +356,14 @@ class Replayer {
       send->comm->send_call_time = now();
     }
     proc.stats.messages_sent++;
-    proc.stats.bytes_sent += rec.bytes;
+    proc.stats.bytes_sent += send->bytes;
     if (collector_ != nullptr) {
-      collector_->count_message(send->eager, rec.bytes);
+      collector_->count_message(send->eager, send->bytes);
     }
 
-    if (rec.immediate) {
+    if (immediate) {
       const bool inserted =
-          proc.request_complete.emplace(rec.request, false).second;
+          proc.request_complete.emplace(send->request, false).second;
       OSIM_CHECK_MSG(inserted, "duplicate request id in trace");
     }
 
@@ -368,33 +372,32 @@ class Replayer {
     if (send->eager) {
       // Eager: the message leaves immediately; local completion is instant.
       submit_transfer(send);
-      if (rec.immediate) complete_request(proc, rec.request);
+      if (immediate) complete_request(proc, send->request);
       return;  // blocking eager send does not block
     }
     // Rendezvous: transfer starts when the partner recv is posted.
     if (send->partner != nullptr) submit_transfer(send);
-    if (!rec.immediate) {
+    if (!immediate) {
       block(proc, RankState::kSendBlocked);  // until arrival
     }
     // Immediate rendezvous send: request completes at arrival.
   }
 
-  void do_recv(Proc& proc, const Recv& rec) {
-    auto owned = std::make_unique<PostedRecv>();
-    PostedRecv* recv = owned.get();
-    recv_pool_.push_back(std::move(owned));
-    recv->src = rec.src;
-    recv->tag = rec.tag;
-    recv->bytes = rec.bytes;
+  void do_recv(Proc& proc, const CompiledStream& recs, std::uint32_t slot) {
+    PostedRecv* recv = arena_.make<PostedRecv>();
+    recv->src = recs.recv_src[slot];
+    recv->tag = recs.recv_tag[slot];
+    recv->bytes = recs.recv_bytes[slot];
     recv->dst = proc.rank;
-    recv->immediate = rec.immediate;
-    recv->request = rec.request;
+    const bool immediate = recs.recv_immediate[slot] != 0;
+    recv->immediate = immediate;
+    recv->request = recs.recv_request[slot];
     recv->post_time = now();
     proc.stats.messages_received++;
 
-    if (rec.immediate) {
+    if (immediate) {
       const bool inserted =
-          proc.request_complete.emplace(rec.request, false).second;
+          proc.request_complete.emplace(recv->request, false).second;
       OSIM_CHECK_MSG(inserted, "duplicate request id in trace");
     }
 
@@ -410,29 +413,29 @@ class Replayer {
       }
       if (!recv->partner->eager) submit_transfer(recv->partner);
     }
-    if (!rec.immediate && !recv->complete) {
+    if (!immediate && !recv->complete) {
       proc.blocking_recv = recv;
       block(proc, RankState::kRecvBlocked);
     }
   }
 
-  void do_wait(Proc& proc, const Wait& rec) {
+  void do_wait(Proc& proc, const CompiledStream& recs, std::uint32_t slot) {
     std::size_t incomplete = 0;
-    auto& waited = waited_[&proc];
-    for (const ReqId req : rec.requests) {
+    proc.waited.clear();
+    const std::uint32_t begin = recs.wait_begin[slot];
+    const std::uint32_t end = recs.wait_begin[slot + 1];
+    for (std::uint32_t k = begin; k < end; ++k) {
+      const ReqId req = recs.wait_requests[k];
       auto it = proc.request_complete.find(req);
       OSIM_CHECK_MSG(it != proc.request_complete.end(),
                      "wait on unknown request (trace not validated?)");
       if (!it->second) {
-        waited.insert(req);
+        proc.waited.push_back(req);
         ++incomplete;
       }
       // Completed requests are consumed by the wait.
     }
-    if (incomplete == 0) {
-      waited_.erase(&proc);
-      return;
-    }
+    if (incomplete == 0) return;
     proc.outstanding = incomplete;
     proc.wait_cause_rank = -1;
     proc.wait_cause_time = 0.0;
@@ -461,7 +464,7 @@ class Replayer {
         recv->partner = send;
         if (send->comm != nullptr) {
           // recv was posted before this send.
-          send->comm->recv_post_time = recv_post_times_[recv];
+          send->comm->recv_post_time = recv->post_time;
         }
         return;
       }
@@ -481,7 +484,6 @@ class Replayer {
         return;
       }
     }
-    recv_post_times_[recv] = now();
     inbox.unmatched_recvs.push_back(recv);
   }
 
@@ -596,7 +598,10 @@ class Replayer {
     std::vector<std::string> stuck;
     for (const auto& proc : procs_) {
       if (proc.finished) continue;
-      const auto& recs = stream(proc);
+      // Diagnostics read the canonical variant stream (same record order
+      // as the compiled one).
+      const auto& recs =
+          replayed_->ranks[static_cast<std::size_t>(proc.rank)];
       const std::size_t at = proc.pc == 0 ? 0 : proc.pc - 1;
       stuck.push_back(strprintf(
           "rank %d %s at record %zu/%zu: %s", proc.rank,
@@ -626,23 +631,25 @@ class Replayer {
     } else {
       replayed_ = &trace_;
     }
+    // Lower the record streams to struct-of-arrays once; the interpreter
+    // then streams dense lanes instead of walking 48-byte variants.
+    // compile() rejects surviving GlobalOps.
+    compiled_ = trace::compile(*replayed_);
   }
 
  private:
   const trace::Trace& trace_;
   trace::Trace expanded_;
   const trace::Trace* replayed_ = nullptr;
+  trace::CompiledTrace compiled_;
   const Platform& platform_;
   const ReplayOptions& options_;
   EventQueue events_;
   std::unique_ptr<Network> network_;
   std::vector<Proc> procs_;
   std::vector<Inbox> inbox_;
-  std::vector<std::unique_ptr<SendSide>> send_pool_;
-  std::vector<std::unique_ptr<PostedRecv>> recv_pool_;
-  std::vector<std::unique_ptr<CommEvent>> comms_;
-  std::unordered_map<const PostedRecv*, double> recv_post_times_;
-  std::unordered_map<Proc*, std::unordered_set<ReqId>> waited_;
+  Arena arena_;  // SendSide / PostedRecv / CommEvent storage
+  std::vector<CommEvent*> comms_;
   std::unique_ptr<metrics::ReplayCollector> collector_;  // null unless on
   std::unique_ptr<faults::FaultInjector> injector_;      // null unless on
 };

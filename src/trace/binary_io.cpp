@@ -11,6 +11,7 @@
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "trace/io.hpp"
+#include "trace/mmap_file.hpp"
 
 static_assert(std::endian::native == std::endian::little,
               "binary trace format assumes a little-endian host");
@@ -83,9 +84,13 @@ class Writer {
   Crc32* crc_ = nullptr;
 };
 
+/// Templated over the byte source: std::istream for stream callers, or
+/// MemStream over a MappedFile for the zero-copy file path. Both expose the
+/// same get/read/peek/clear/eof subset.
+template <typename Stream>
 class Reader {
  public:
-  explicit Reader(std::istream& in) : in_(in) {}
+  explicit Reader(Stream& in) : in_(in) {}
 
   std::uint64_t get_varint() {
     std::uint64_t value = 0;
@@ -154,13 +159,14 @@ class Reader {
   /// Routes subsequent reads through `crc` (nullptr detaches).
   void set_crc(Crc32* crc) { crc_ = crc; }
 
-  std::istream& in_;
+  Stream& in_;
   Crc32* crc_ = nullptr;
   std::uint64_t consumed_ = 0;
 };
 
 /// Parses one record into `stream`. Throws osim::Error on any corruption.
-void read_one_record(Reader& r, std::vector<Record>& stream) {
+template <typename Stream>
+void read_one_record(Reader<Stream>& r, std::vector<Record>& stream) {
   const std::uint8_t kind = r.get_byte();
   switch (kind) {
     case kKindCpu:
@@ -223,8 +229,9 @@ void read_one_record(Reader& r, std::vector<Record>& stream) {
 /// Shared strict/salvaging reader. `damage == nullptr` is strict mode:
 /// every problem throws. With a Damage sink nothing throws; problems are
 /// recorded and the longest valid prefix is returned.
-Trace read_binary_impl(std::istream& in, Damage* damage) {
-  Reader r(in);
+template <typename Stream>
+Trace read_binary_impl(Stream& in, Damage* damage) {
+  Reader<Stream> r(in);
   const bool recover = damage != nullptr;
 
   auto report = [&](std::uint64_t offset, std::int32_t rank,
@@ -408,27 +415,35 @@ void write_binary_file(const Trace& trace, const std::string& path) {
   write_binary(trace, out);
 }
 
+namespace {
+
+bool has_binary_magic(const MappedFile& file) {
+  return file.size() >= sizeof(kMagic) &&
+         std::memcmp(file.data(), kMagic, sizeof(kMagic)) == 0;
+}
+
+}  // namespace
+
 Trace read_binary(std::istream& in) {
   return read_binary_impl(in, nullptr);
 }
 
 Trace read_binary_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot open binary trace file: " + path);
-  return read_binary(in);
+  // Parse straight out of the mapping: no read() copies, no per-byte
+  // iostream dispatch. Records are still materialized (the Trace owns its
+  // data); only the ingestion path is zero-copy.
+  const MappedFile file = MappedFile::open(path);
+  MemStream in(file);
+  return read_binary_impl(in, nullptr);
 }
 
 Trace read_any_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot open trace file: " + path);
-  char magic[8] = {};
-  in.read(magic, sizeof(magic));
-  in.clear();
-  in.seekg(0);
-  if (in.gcount() == sizeof(magic) &&
-      std::memcmp(magic, kMagic, sizeof(kMagic)) == 0) {
-    return read_binary(in);
+  const MappedFile file = MappedFile::open(path);
+  if (has_binary_magic(file)) {
+    MemStream in(file);
+    return read_binary_impl(in, nullptr);
   }
+  std::istringstream in(std::string(file.data(), file.size()));
   return read_text(in);
 }
 
@@ -439,18 +454,18 @@ RecoveredTrace read_binary_recover(std::istream& in) {
 }
 
 RecoveredTrace read_any_file_recover(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot open trace file: " + path);
-  char magic[8] = {};
-  in.read(magic, sizeof(magic));
-  in.clear();
-  in.seekg(0);
-  if (in.gcount() == sizeof(magic) &&
-      std::memcmp(magic, kMagic, sizeof(kMagic)) == 0) {
-    return read_binary_recover(in);
+  // A damaged mapping behaves exactly like a damaged stream: the salvage
+  // parser reports issues and keeps the longest valid prefix.
+  const MappedFile file = MappedFile::open(path);
+  if (has_binary_magic(file)) {
+    MemStream in(file);
+    RecoveredTrace result;
+    result.trace = read_binary_impl(in, &result.damage);
+    return result;
   }
   RecoveredTrace result;
   try {
+    std::istringstream in(std::string(file.data(), file.size()));
     result.trace = read_text(in);
   } catch (const Error& e) {
     // The text parser has no partial-salvage mode: report and bail.

@@ -1,0 +1,110 @@
+#include "trace/mmap_file.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/expect.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define OSIM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define OSIM_HAVE_MMAP 0
+#endif
+
+namespace osim::trace {
+
+namespace {
+
+std::string read_whole_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open trace file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) throw Error("error reading trace file: " + path);
+  return std::move(buf).str();
+}
+
+}  // namespace
+
+MappedFile MappedFile::open(const std::string& path) {
+  MappedFile file;
+#if OSIM_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw Error("cannot open trace file: " + path);
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw Error("cannot stat trace file: " + path);
+  }
+  // Only regular, non-empty files are mappable (mmap of length 0 is EINVAL;
+  // pipes and devices have no fixed extent). Everything else falls back.
+  if (S_ISREG(st.st_mode) && st.st_size > 0) {
+    void* addr = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                        PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (addr != MAP_FAILED) {
+      file.data_ = static_cast<const char*>(addr);
+      file.size_ = static_cast<std::size_t>(st.st_size);
+      file.mapped_ = true;
+      return file;
+    }
+  } else {
+    ::close(fd);
+  }
+#endif
+  file.fallback_ = read_whole_file(path);
+  file.data_ = file.fallback_.data();
+  file.size_ = file.fallback_.size();
+  file.mapped_ = false;
+  return file;
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      fallback_(std::move(other.fallback_)) {
+  if (!mapped_) data_ = fallback_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    this->~MappedFile();
+    new (this) MappedFile(std::move(other));
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+#if OSIM_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+}
+
+MemStream& MemStream::read(char* out, std::streamsize n) {
+  const auto want = static_cast<std::size_t>(n);
+  const std::size_t have = size_ - pos_;
+  if (want > have) {
+    std::memcpy(out, data_ + pos_, have);
+    pos_ = size_;
+    eof_ = true;
+    fail_ = true;
+    return *this;
+  }
+  std::memcpy(out, data_ + pos_, want);
+  pos_ += want;
+  return *this;
+}
+
+}  // namespace osim::trace

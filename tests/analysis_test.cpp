@@ -266,20 +266,6 @@ TEST(Bandwidth, EquivalentBandwidthAboveNominal) {
   }
 }
 
-TEST(Bandwidth, DeprecatedShimMatchesContextOverload) {
-  // The raw trace/platform entry points stay for one release; they must
-  // produce the same answers as the context-based API they delegate to.
-  const trace::Trace original = overlap::lower_original(overlap_friendly());
-  const dimemas::Platform p = small_platform(2);
-  pipeline::Study study;
-  const pipeline::ReplayContext context(original, p);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_DOUBLE_EQ(time_at_bandwidth(original, p, 25.0),
-                   time_at_bandwidth(study, context, 25.0));
-#pragma GCC diagnostic pop
-}
-
 TEST(Calibrate, FindsMatchingBusCount) {
   // Build a congestion-heavy workload and check the calibration brackets
   // the reference time tightly.

@@ -18,11 +18,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <thread>
 
 #include "common/exit_codes.hpp"
 #include "common/expect.hpp"
 #include "common/flags.hpp"
+#include "common/run_options.hpp"
 #include "dimemas/platform_io.hpp"
 #include "lint/lint.hpp"
 #include "pipeline/lint_cache.hpp"
@@ -31,6 +31,7 @@
 
 int main(int argc, char** argv) try {
   using namespace osim;
+  PerfRecorder perf("osim_lint");
   std::string trace_path;
   std::string original_path;
   std::string transformed_path;
@@ -38,8 +39,7 @@ int main(int argc, char** argv) try {
   std::string format = "text";
   std::string fail_on = "error";
   std::int64_t eager_threshold = -1;  // sentinel: not set on the command line
-  std::int64_t jobs = 1;
-  std::string cache_dir;
+  RunOptions run;
 
   Flags flags(
       "osim_lint: verify that a trace is a semantically valid MPI program "
@@ -60,13 +60,7 @@ int main(int argc, char** argv) try {
   flags.add("eager-threshold", &eager_threshold,
             "rendezvous cutoff in bytes; overrides --platform (default: the "
             "platform's threshold, else 16 KiB)");
-  flags.add("jobs", &jobs,
-            "worker threads for the lint passes (0 = one per hardware "
-            "thread); any value produces a byte-identical report");
-  flags.add("cache-dir", &cache_dir,
-            "persistent scenario store directory (default: $OSIM_CACHE_DIR); "
-            "single-trace lint reports are served from and written to the "
-            "store, keyed by trace content");
+  run.register_flags(flags, nullptr, "");
   if (!flags.parse(argc, argv)) return 0;
 
   if (format != "text" && format != "csv" && format != "json") {
@@ -90,8 +84,6 @@ int main(int argc, char** argv) try {
   if (pair_mode && !trace_path.empty()) {
     throw UsageError("--trace and --original/--transformed are exclusive");
   }
-  if (jobs < 0) throw UsageError("--jobs must be non-negative");
-
   lint::LintOptions options;
   if (!platform_path.empty()) {
     options.eager_threshold_bytes =
@@ -102,9 +94,7 @@ int main(int argc, char** argv) try {
     options.eager_threshold_bytes =
         static_cast<std::uint64_t>(eager_threshold);
   }
-  options.jobs = jobs == 0
-                     ? static_cast<int>(std::thread::hardware_concurrency())
-                     : static_cast<int>(jobs);
+  options.jobs = run.resolved_jobs();
 
   const auto read_trace = [](const std::string& path) {
     try {
@@ -116,7 +106,8 @@ int main(int argc, char** argv) try {
   };
 
   std::unique_ptr<store::ScenarioStore> cache;
-  const std::string resolved_cache_dir = store::resolve_cache_dir(cache_dir);
+  const std::string resolved_cache_dir =
+      store::resolve_cache_dir(run.cache_dir);
   if (!resolved_cache_dir.empty()) {
     cache = std::make_unique<store::ScenarioStore>(resolved_cache_dir);
   }
@@ -153,6 +144,8 @@ int main(int argc, char** argv) try {
   } else {
     std::printf("%s: clean\n", subject.c_str());
   }
+  perf.add("findings", static_cast<double>(report.diagnostics().size()));
+  perf.write_if(run.perf_json);
   return report.has_at_least(fail_severity) ? kExitError : kExitOk;
 } catch (const osim::UsageError& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

@@ -25,6 +25,7 @@
 #include "common/exit_codes.hpp"
 #include "common/expect.hpp"
 #include "common/flags.hpp"
+#include "common/run_options.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "dimemas/platform_io.hpp"
@@ -40,10 +41,10 @@
 
 int main(int argc, char** argv) try {
   using namespace osim;
+  PerfRecorder perf("osim_replay");
   std::string trace_path;
   std::string platform_path;
   std::string prv_base;
-  std::string report_path;
   double bandwidth = 250.0;
   double latency = 4.0;
   std::int64_t buses = 0;
@@ -57,8 +58,7 @@ int main(int argc, char** argv) try {
   std::string fault_spec;
   bool recover = false;
   std::int64_t timeline_width = 100;
-  std::int64_t jobs = 1;
-  std::string cache_dir;
+  RunOptions run;
 
   Flags flags("osim_replay: replay a trace file on a configurable platform");
   flags.add("trace", &trace_path, "trace file to replay (required)");
@@ -79,22 +79,17 @@ int main(int argc, char** argv) try {
             "collective algorithm: binomial-tree | linear | "
             "recursive-doubling");
   flags.add("prv", &prv_base, "write a Paraver bundle to <prv>.prv/.pcf/.row");
-  flags.add("report", &report_path,
-            "write a JSON run report (wait-time attribution, occupancy, "
-            "protocol counters) to this path");
   flags.add("faults", &fault_spec,
             "fault-injection spec, e.g. 'seed=7;loss=0.02;degrade=0-1,"
             "bw=0.5' (see faults/spec.hpp for the grammar)");
   flags.add("recover", &recover,
             "salvage a damaged trace instead of rejecting it (exit code 4 "
             "when records were lost)");
-  flags.add("jobs", &jobs,
-            "replay jobs for batch studies (0 = one per hardware thread)");
-  flags.add("cache-dir", &cache_dir,
-            "persistent scenario store directory (default: $OSIM_CACHE_DIR); "
-            "summary-level replays are served from and written to the "
-            "store — see osim_cache");
+  run.register_flags(flags, "report",
+                     "write a JSON run report (wait-time attribution, "
+                     "occupancy, protocol counters) to this path");
   if (!flags.parse(argc, argv)) return 0;
+  const std::string& report_path = run.report;
 
   if (trace_path.empty()) throw UsageError("--trace is required");
   trace::Trace t;
@@ -161,7 +156,7 @@ int main(int argc, char** argv) try {
   // the study carries the --jobs thread pool and replay cache.
   const pipeline::ReplayContext context(t, platform, options);
   pipeline::StudyOptions study_options;
-  study_options.jobs = static_cast<int>(jobs);
+  study_options.jobs = static_cast<int>(run.jobs);
   pipeline::Study study(study_options);
 
   // Persistent store: a summary-level replay (no timeline, comms or
@@ -169,7 +164,8 @@ int main(int argc, char** argv) try {
   // cache when this exact (trace, platform, options) fingerprint has been
   // replayed before, by any process.
   std::unique_ptr<store::ScenarioStore> cache;
-  const std::string resolved_cache_dir = store::resolve_cache_dir(cache_dir);
+  const std::string resolved_cache_dir =
+      store::resolve_cache_dir(run.cache_dir);
   if (!resolved_cache_dir.empty()) {
     cache = std::make_unique<store::ScenarioStore>(resolved_cache_dir);
   }
@@ -263,6 +259,10 @@ int main(int argc, char** argv) try {
                                      &lint_report));
     std::printf("run report written to %s\n", report_path.c_str());
   }
+  perf.add("makespan_s", result.makespan);
+  perf.add("des_events", static_cast<double>(result.des_events));
+  perf.add("store_hit", served_from_store ? 1.0 : 0.0);
+  perf.write_if(run.perf_json);
   if (salvaged_with_losses) {
     std::fprintf(stderr,
                  "warning: results reflect a salvaged trace (exit %d)\n",
