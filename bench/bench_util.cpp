@@ -18,6 +18,9 @@ bool BenchSetup::parse(const std::string& description, int argc,
   flags.add("out-dir", &out_dir, "directory for CSV outputs");
   flags.add("paper-buses", &use_paper_buses,
             "use the paper's Table I bus counts");
+  flags.add("progress", &progress,
+            "MPI progress model: 'offload' (default), 'app', or "
+            "'thread[,tax=F]'");
   run.register_flags(flags, "study-report",
                      "write a JSON study report (per-scenario makespans, "
                      "wall times, cache behaviour) to this path");
@@ -53,6 +56,14 @@ apps::AppConfig BenchSetup::app_config(const apps::MiniApp& app) const {
 overlap::OverlapOptions BenchSetup::overlap_options() const {
   overlap::OverlapOptions options;
   options.chunks = static_cast<int>(chunks);
+  return options;
+}
+
+dimemas::ReplayOptions BenchSetup::replay_options() const {
+  dimemas::ReplayOptions options;
+  if (!progress.empty()) {
+    options.progress = dimemas::parse_progress_spec(progress);
+  }
   return options;
 }
 
@@ -112,16 +123,17 @@ AppScenarios scenarios(const BenchSetup& setup, const apps::MiniApp& app,
                        const tracer::TracedRun& traced) {
   const dimemas::Platform platform = setup.platform_for(app);
   const overlap::OverlapOptions options = setup.overlap_options();
+  const dimemas::ReplayOptions replay = setup.replay_options();
   return AppScenarios{
       pipeline::make_context(traced.annotated,
                              pipeline::TraceVariant::kOriginal, options,
-                             platform),
+                             platform, replay),
       pipeline::make_context(traced.annotated,
                              pipeline::TraceVariant::kOverlapMeasured, options,
-                             platform),
+                             platform, replay),
       pipeline::make_context(traced.annotated,
                              pipeline::TraceVariant::kOverlapIdeal, options,
-                             platform)};
+                             platform, replay)};
 }
 
 }  // namespace osim::bench

@@ -34,6 +34,9 @@ struct BenchSetup {
   std::string apps = "all";      // comma list or "all"
   std::string out_dir = "bench_results";
   bool use_paper_buses = true;   // Table I values; false → calibrate
+  /// MPI progress model spec ("" = offload; see dimemas/progress.hpp).
+  /// Applied to every context scenarios() builds.
+  std::string progress;
   /// The shared execution flags every replay-running binary takes: --jobs,
   /// --cache-dir, --perf-json, and the report path (registered here as
   /// --study-report: per-scenario makespans, wall times, cache behaviour).
@@ -52,6 +55,11 @@ struct BenchSetup {
   apps::AppConfig app_config(const apps::MiniApp& app) const;
 
   overlap::OverlapOptions overlap_options() const;
+
+  /// Replay options shared by every context a bench builds: the parsed
+  /// --progress model (default-constructed — and therefore inert — when the
+  /// flag was not given).
+  dimemas::ReplayOptions replay_options() const;
 
   /// Study sized by --jobs; replay results are cached across a bench run.
   /// Scenario recording is on when --study-report was given.

@@ -7,10 +7,14 @@ Reads the BENCH_replay.json produced by `osim_perf` and the floors in
 bench/perf_budget.json. Every path in the budget must be present in the
 bench record, report the same unit, and have a median at or above its
 floor. Exit 0 when everything passes, 1 on any violation, 2 on malformed
-input. The floors are intentionally generous (about 8x below a small
-reference machine) -- this gate exists to catch order-of-magnitude
-regressions such as an accidental O(n^2) in the replay loop, not to
-referee noisy CI runners.
+input. Malformed covers everything short of a well-formed record: a
+missing or truncated file, JSON that is not an object, version skew, a
+budget with no floors, or non-numeric medians -- each exits 2 with a
+one-line diagnosis, never a traceback, and never a silent pass. The
+floors are intentionally generous (about 8x below a small reference
+machine) -- this gate exists to catch order-of-magnitude regressions
+such as an accidental O(n^2) in the replay loop, not to referee noisy
+CI runners.
 """
 
 import argparse
@@ -18,44 +22,85 @@ import json
 import sys
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--bench", default="BENCH_replay.json")
-    parser.add_argument("--budget", default="bench/perf_budget.json")
-    args = parser.parse_args()
+class GateInputError(Exception):
+    """Malformed bench or budget input; message is the one-line diagnosis."""
 
+
+def load_object(path: str, what: str) -> dict:
     try:
-        with open(args.bench) as f:
-            bench = json.load(f)
-        with open(args.budget) as f:
-            budget = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"perf_gate: cannot read inputs: {e}", file=sys.stderr)
-        return 2
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        raise GateInputError(f"cannot read {what} {path!r}: {e}") from e
+    except json.JSONDecodeError as e:
+        raise GateInputError(
+            f"{what} {path!r} is not valid JSON ({e}); "
+            "truncated write?") from e
+    if not isinstance(data, dict):
+        raise GateInputError(
+            f"{what} {path!r}: expected a JSON object, got "
+            f"{type(data).__name__}")
+    return data
 
-    if bench.get("schema") != "osim-bench-replay-v1":
-        print(f"perf_gate: unexpected bench schema {bench.get('schema')!r}",
-              file=sys.stderr)
-        return 2
-    if budget.get("schema") != "osim-perf-budget-v1":
-        print(f"perf_gate: unexpected budget schema {budget.get('schema')!r}",
-              file=sys.stderr)
-        return 2
 
-    paths = bench.get("paths", {})
+def check_schema(data: dict, path: str, what: str, expected: str) -> None:
+    schema = data.get("schema")
+    if schema != expected:
+        raise GateInputError(
+            f"{what} {path!r}: schema {schema!r} (expected {expected!r}); "
+            "version skew between osim_perf and this gate?")
+
+
+def as_number(value, what: str) -> float:
+    # bool is an int subclass; a true/false median is still malformed.
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise GateInputError(f"{what}: expected a number, got {value!r}")
+    return float(value)
+
+
+def run_gate(args: argparse.Namespace) -> int:
+    bench = load_object(args.bench, "bench record")
+    budget = load_object(args.budget, "budget")
+    check_schema(bench, args.bench, "bench record", "osim-bench-replay-v1")
+    check_schema(budget, args.budget, "budget", "osim-perf-budget-v1")
+
+    paths = bench.get("paths")
+    if not isinstance(paths, dict):
+        raise GateInputError(
+            f"bench record {args.bench!r}: missing 'paths' object; "
+            "truncated osim_perf run?")
+    floors = budget.get("floors")
+    if not isinstance(floors, dict) or not floors:
+        # An empty budget must fail loudly: a gate with nothing to check
+        # would otherwise pass forever.
+        raise GateInputError(
+            f"budget {args.budget!r}: no floors to enforce")
+
     failures = []
-    for name, floor in budget.get("floors", {}).items():
+    for name, floor in floors.items():
+        if not isinstance(floor, dict):
+            raise GateInputError(
+                f"budget floor {name!r}: expected an object, got "
+                f"{floor!r}")
+        if "min_median" not in floor or "unit" not in floor:
+            raise GateInputError(
+                f"budget floor {name!r}: needs 'min_median' and 'unit'")
+        minimum = as_number(floor["min_median"],
+                            f"budget floor {name!r} min_median")
         record = paths.get(name)
         if record is None:
             failures.append(f"{name}: missing from bench record")
             continue
-        if record.get("unit") != floor.get("unit"):
+        if not isinstance(record, dict):
+            raise GateInputError(
+                f"bench path {name!r}: expected an object, got {record!r}")
+        if record.get("unit") != floor["unit"]:
             failures.append(
                 f"{name}: unit mismatch (bench {record.get('unit')!r} vs "
-                f"budget {floor.get('unit')!r})")
+                f"budget {floor['unit']!r})")
             continue
-        median = float(record.get("median", 0.0))
-        minimum = float(floor["min_median"])
+        median = as_number(record.get("median", 0.0),
+                           f"bench path {name!r} median")
         verdict = "ok" if median >= minimum else "FAIL"
         print(f"perf_gate: {name:8s} {median:14.1f} {floor['unit']} "
               f"(floor {minimum:.1f}) {verdict}")
@@ -70,6 +115,18 @@ def main() -> int:
         return 1
     print("perf_gate: all paths within budget")
     return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", default="BENCH_replay.json")
+    parser.add_argument("--budget", default="bench/perf_budget.json")
+    args = parser.parse_args()
+    try:
+        return run_gate(args)
+    except GateInputError as e:
+        print(f"perf_gate: {e}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -164,6 +164,13 @@ class EventQueue {
     if (hi > lo && !all.empty()) {
       width_ = (hi - lo) / static_cast<double>(all.size()) * 2.0;
       if (width_ < 1e-308) width_ = 1e-308;  // denormal guard
+    } else if (!all.empty()) {
+      // Degenerate span (every pending entry at one timestamp): resample
+      // back to the construction default instead of keeping whatever width
+      // the previous rebuild landed on. A stale near-denormal width here
+      // would map nearby future times to astronomically distant years and
+      // turn every subsequent pop into a full bucket walk.
+      width_ = 1e-5;
     }
     buckets_.clear();
     buckets_.resize(nbuckets);

@@ -1,0 +1,82 @@
+#include "dimemas/progress.hpp"
+
+#include <string_view>
+
+#include "common/expect.hpp"
+#include "common/strings.hpp"
+
+namespace osim::dimemas {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& spec, const std::string& why) {
+  throw Error("progress spec '" + spec + "': " + why);
+}
+
+}  // namespace
+
+const char* progress_regime_name(ProgressRegime regime) {
+  switch (regime) {
+    case ProgressRegime::kOffload:
+      return "offload";
+    case ProgressRegime::kApplicationDriven:
+      return "app";
+    case ProgressRegime::kProgressThread:
+      return "thread";
+  }
+  OSIM_UNREACHABLE("bad ProgressRegime");
+}
+
+ProgressModel parse_progress_spec(const std::string& spec) {
+  ProgressModel model;
+  const std::vector<std::string> fields = split(spec, ',');
+  const std::string head(trim(fields.empty() ? std::string() : fields[0]));
+  if (head.empty() || head == "offload") {
+    model.regime = ProgressRegime::kOffload;
+  } else if (head == "app") {
+    model.regime = ProgressRegime::kApplicationDriven;
+  } else if (head == "thread") {
+    model.regime = ProgressRegime::kProgressThread;
+  } else {
+    bad(spec, "unknown regime '" + head +
+                  "' (expected offload, app or thread)");
+  }
+  for (std::size_t i = 1; i < fields.size(); ++i) {
+    const std::string item(trim(fields[i]));
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      bad(spec, "expected key=value, got '" + item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string_view value = std::string_view(item).substr(eq + 1);
+    if (key == "tax") {
+      if (model.regime != ProgressRegime::kProgressThread) {
+        bad(spec, "tax only applies to the thread regime");
+      }
+      const auto parsed = parse_f64(value);
+      if (!parsed || !(*parsed >= 0.0) || !(*parsed <= 10.0)) {
+        bad(spec, "tax must be a number in [0, 10], got '" +
+                      std::string(value) + "'");
+      }
+      model.thread_cpu_tax = *parsed;
+    } else {
+      bad(spec, "unknown key '" + key + "'");
+    }
+  }
+  return model;
+}
+
+std::string to_spec(const ProgressModel& model) {
+  switch (model.regime) {
+    case ProgressRegime::kOffload:
+      return "";
+    case ProgressRegime::kApplicationDriven:
+      return "app";
+    case ProgressRegime::kProgressThread:
+      // %.17g round-trips every double, so parse(to_spec(m)) == m.
+      return strprintf("thread,tax=%.17g", model.thread_cpu_tax);
+  }
+  OSIM_UNREACHABLE("bad ProgressRegime");
+}
+
+}  // namespace osim::dimemas

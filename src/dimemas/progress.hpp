@@ -1,0 +1,71 @@
+// The MPI progress engine as a deterministic scenario axis.
+//
+// The paper's replay model assumes communication advances while the CPU
+// computes — i.e. perfect hardware offload. "MPI Progress For All" shows
+// that assumption decides whether overlap mechanisms pay off at all, so
+// the regime is modeled explicitly:
+//
+//   offload      transfers and rendezvous handshakes advance continuously,
+//                independent of what the host CPU is doing. This is the
+//                historical behavior and the bit-identical default.
+//   app          application-driven progress: rendezvous handshakes and
+//                transfer-completion observation only advance while the
+//                owning rank is inside an MPI call (posted, blocked, or
+//                between trace records). A compute burst freezes them
+//                until the rank's next enter-MPI event.
+//   thread       a dedicated progress thread: communication advances
+//                continuously as under offload, but the thread steals
+//                cycles — every compute burst is stretched by a
+//                configurable CPU tax.
+//
+// Like faults::FaultModel, the model is inert when disabled: a
+// default-constructed ProgressModel must leave replay results, reports and
+// fingerprints byte-identical to a build without this header.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace osim::dimemas {
+
+enum class ProgressRegime : std::uint8_t {
+  kOffload = 0,
+  kApplicationDriven = 1,
+  kProgressThread = 2,
+};
+
+const char* progress_regime_name(ProgressRegime regime);
+
+struct ProgressModel {
+  ProgressRegime regime = ProgressRegime::kOffload;
+  /// Fraction of every compute burst consumed by the progress thread
+  /// (kProgressThread only): a burst of duration d costs d * (1 + tax).
+  double thread_cpu_tax = 0.05;
+
+  /// True when the regime differs from the offload default. A disabled
+  /// model is never hashed into fingerprints and perturbs nothing.
+  bool enabled() const { return regime != ProgressRegime::kOffload; }
+
+  friend bool operator==(const ProgressModel& a, const ProgressModel& b) {
+    return a.regime == b.regime && a.thread_cpu_tax == b.thread_cpu_tax;
+  }
+  friend bool operator!=(const ProgressModel& a, const ProgressModel& b) {
+    return !(a == b);
+  }
+};
+
+/// Parses a progress spec. Grammar (same flavor as faults::parse_spec):
+///
+///   "" | "offload"        the inert default
+///   "app"                 application-driven progress
+///   "thread[,tax=F]"      progress thread with CPU tax F (default 0.05)
+///
+/// Throws Error with the offending clause on malformed input.
+ProgressModel parse_progress_spec(const std::string& spec);
+
+/// Canonical spec: "" for a disabled model, otherwise a string that
+/// parse_progress_spec maps back to an equal model (fixed point). This is
+/// the exact byte sequence hashed into pipeline fingerprints.
+std::string to_spec(const ProgressModel& model);
+
+}  // namespace osim::dimemas

@@ -7,6 +7,7 @@
 
 #include "common/arena.hpp"
 #include "common/expect.hpp"
+#include "common/inline_function.hpp"
 #include "common/strings.hpp"
 #include "dimemas/collectives.hpp"
 #include "dimemas/events.hpp"
@@ -160,6 +161,19 @@ class Replayer {
     // Running per-rank decision indices for fault injection.
     std::uint64_t burst_seq = 0;
     std::uint64_t send_seq = 0;
+    // MPI-activity window for the application-driven progress regime:
+    // `computing` is true while a compute burst is in flight, i.e. the
+    // rank is outside MPI until `compute_until` (its next enter-MPI
+    // event). Maintained in every regime (two stores per burst), read
+    // only under application-driven progress.
+    bool computing = false;
+    double compute_until = 0.0;
+    /// Progress actions frozen by the current compute burst (app-driven
+    /// regime only): handshake hops and completion observations, run in
+    /// defer order at the rank's next MPI activity. Always empty in the
+    /// other regimes.
+    std::vector<InlineFunction<void()>> pending_mpi;
+    bool drain_scheduled = false;
     RankStats stats;
     std::vector<StateInterval> timeline;
   };
@@ -176,6 +190,64 @@ class Replayer {
   }
 
   double now() const { return events_.now(); }
+
+  bool app_driven() const {
+    return options_.progress.regime == ProgressRegime::kApplicationDriven;
+  }
+
+  // Runs `fn` now if `proc` can progress MPI work — it is blocked in an
+  // MPI call, between records, or finished — and otherwise freezes it in
+  // the rank's pending queue until its next MPI activity: the next
+  // send/recv/wait record drains the queue on entry, and the end of the
+  // compute burst drains whatever is left. Only the application-driven
+  // regime ever defers; every other regime runs `fn` inline, which is
+  // exactly the pre-axis event order.
+  template <typename Fn>
+  void run_in_mpi(Proc& proc, Fn fn) {
+    if (!app_driven() || !proc.computing) {
+      fn();
+      return;
+    }
+    proc.pending_mpi.emplace_back(fn);
+    if (!proc.drain_scheduled) {
+      proc.drain_scheduled = true;
+      events_.schedule(proc.compute_until,
+                       [this, &proc] { drain_pending_event(proc); });
+    }
+  }
+
+  /// Like run_in_mpi, but never before `time` (clamped to now()).
+  template <typename Fn>
+  void run_in_mpi_at(Proc& proc, double time, Fn fn) {
+    if (time <= now()) {
+      run_in_mpi(proc, fn);
+      return;
+    }
+    events_.schedule(time, [this, &proc, fn] { run_in_mpi(proc, fn); });
+  }
+
+  /// Burst-end fallback for frozen progress actions: if the rank chained
+  /// straight into another compute burst (no MPI record in between), keep
+  /// waiting; otherwise the rank is at an MPI boundary — run them.
+  void drain_pending_event(Proc& proc) {
+    if (proc.computing) {
+      events_.schedule(proc.compute_until,
+                       [this, &proc] { drain_pending_event(proc); });
+      return;
+    }
+    proc.drain_scheduled = false;
+    drain_pending(proc);
+  }
+
+  /// Runs the frozen progress actions in defer order. Draining never
+  /// re-appends: run_in_mpi only defers while the rank is computing, and
+  /// every drain site has computing == false.
+  void drain_pending(Proc& proc) {
+    for (std::size_t i = 0; i < proc.pending_mpi.size(); ++i) {
+      proc.pending_mpi[i]();
+    }
+    proc.pending_mpi.clear();
+  }
 
   void add_interval(Proc& proc, double begin, double end, RankState state) {
     if (!options_.record_timeline || end <= begin) return;
@@ -328,12 +400,26 @@ class Replayer {
       duration = injector_->perturb_compute(proc.rank, proc.burst_seq++,
                                             now(), duration);
     }
+    if (options_.progress.regime == ProgressRegime::kProgressThread) {
+      // The progress thread steals cycles: the burst stretches by the
+      // configured CPU tax (and communication keeps advancing, as under
+      // offload).
+      duration *= 1.0 + options_.progress.thread_cpu_tax;
+    }
     proc.stats.compute_s += duration;
     add_interval(proc, now(), now() + duration, RankState::kCompute);
-    events_.schedule(now() + duration, [this, &proc] { step(proc); });
+    proc.computing = true;
+    proc.compute_until = now() + duration;
+    events_.schedule(now() + duration, [this, &proc] {
+      proc.computing = false;
+      step(proc);
+    });
   }
 
   void do_send(Proc& proc, const CompiledStream& recs, std::uint32_t slot) {
+    // Entering an MPI call progresses the engine (app-driven regime):
+    // frozen handshakes and completions run before the call's own work.
+    if (!proc.pending_mpi.empty()) drain_pending(proc);
     SendSide* send = arena_.make<SendSide>();
     send->src = proc.rank;
     send->dst = recs.send_dest[slot];
@@ -376,7 +462,7 @@ class Replayer {
       return;  // blocking eager send does not block
     }
     // Rendezvous: transfer starts when the partner recv is posted.
-    if (send->partner != nullptr) submit_transfer(send);
+    if (send->partner != nullptr) start_rendezvous(send);
     if (!immediate) {
       block(proc, RankState::kSendBlocked);  // until arrival
     }
@@ -384,6 +470,7 @@ class Replayer {
   }
 
   void do_recv(Proc& proc, const CompiledStream& recs, std::uint32_t slot) {
+    if (!proc.pending_mpi.empty()) drain_pending(proc);
     PostedRecv* recv = arena_.make<PostedRecv>();
     recv->src = recs.recv_src[slot];
     recv->tag = recs.recv_tag[slot];
@@ -411,7 +498,7 @@ class Replayer {
         finish_recv(*recv);
         return;
       }
-      if (!recv->partner->eager) submit_transfer(recv->partner);
+      if (!recv->partner->eager) start_rendezvous(recv->partner);
     }
     if (!immediate && !recv->complete) {
       proc.blocking_recv = recv;
@@ -420,6 +507,7 @@ class Replayer {
   }
 
   void do_wait(Proc& proc, const CompiledStream& recs, std::uint32_t slot) {
+    if (!proc.pending_mpi.empty()) drain_pending(proc);
     std::size_t incomplete = 0;
     proc.waited.clear();
     const std::uint32_t begin = recs.wait_begin[slot];
@@ -489,6 +577,38 @@ class Replayer {
 
   // --- transfers ----------------------------------------------------------
 
+  // Starts the data transfer of a matched rendezvous pair. Under offload
+  // and progress-thread regimes the handshake is free — hardware (or the
+  // progress thread) advances it while the hosts compute, so the transfer
+  // enters the network the instant both sides are known, exactly the
+  // historical behavior. Under application-driven progress the handshake
+  // itself needs host attention: the RTS (issued at the send call)
+  // reaches the receiver after one fixed-latency hop but is only noticed
+  // inside one of the receiver's MPI calls; the CTS answer likewise costs
+  // a hop and is only noticed inside one of the sender's MPI calls. Only
+  // then does the payload enter the network. The extra time relative to
+  // the ungated model is recorded as timing.progress_delay_s so the
+  // wait-attribution collectors can bill it to the progress_s cause.
+  void start_rendezvous(SendSide* send) {
+    if (!app_driven()) {
+      submit_transfer(send);
+      return;
+    }
+    const double trigger = now();
+    const double hop = network_->fixed_latency_s();
+    Proc& receiver = procs_[static_cast<std::size_t>(send->dst)];
+    run_in_mpi_at(receiver, send->call_time + hop, [this, send, trigger] {
+      Proc& sender = procs_[static_cast<std::size_t>(send->src)];
+      run_in_mpi_at(sender, now() + network_->fixed_latency_s(),
+                    [this, send, trigger] {
+                      if (collector_ != nullptr) {
+                        send->timing.progress_delay_s = now() - trigger;
+                      }
+                      submit_transfer(send);
+                    });
+    });
+  }
+
   void submit_transfer(SendSide* send) {
     // The loss model's injected delay (retransmission backoff) postpones
     // the message's entry into the network; dropped attempts never occupy
@@ -539,24 +659,41 @@ class Replayer {
   void on_arrival(SendSide* send, double time) {
     send->arrived = true;
     if (send->comm != nullptr) send->comm->arrival_time = time;
+    if (collector_ != nullptr) send->timing.arrival_s = time;
     Proc& sender = procs_[static_cast<std::size_t>(send->src)];
     if (!send->eager) {
-      // Rendezvous completion on the sender side. The causal constraint is
-      // the receive post when it gated the transfer start.
-      Rank cause_rank = -1;
-      double cause_time = 0.0;
-      if (send->partner != nullptr &&
-          send->partner->post_time > send->call_time) {
-        cause_rank = send->dst;
-        cause_time = send->partner->post_time;
-      }
-      if (send->immediate) {
-        complete_request(sender, send->request, cause_rank, cause_time, send);
-      } else {
-        unblock(sender, cause_rank, cause_time, send);
-      }
+      // Rendezvous completion on the sender side. Under application-driven
+      // progress a computing sender only observes it at its next enter-MPI
+      // event; run_in_mpi is inline in every other regime.
+      run_in_mpi(sender, [this, send] { complete_send_side(send); });
     }
-    if (send->partner != nullptr) finish_recv(*send->partner);
+    if (send->partner != nullptr) {
+      // Delivery to the receiver, gated the same way. The pair
+      // (send, partner) is final here: matching happened before the
+      // transfer could start, so a deferred delivery cannot race with the
+      // do_recv inline-completion path (that path only runs when the
+      // message had already arrived unmatched, i.e. partner was null now).
+      Proc& receiver = procs_[static_cast<std::size_t>(send->partner->dst)];
+      run_in_mpi(receiver, [this, send] { finish_recv(*send->partner); });
+    }
+  }
+
+  void complete_send_side(SendSide* send) {
+    Proc& sender = procs_[static_cast<std::size_t>(send->src)];
+    // The causal constraint is the receive post when it gated the
+    // transfer start.
+    Rank cause_rank = -1;
+    double cause_time = 0.0;
+    if (send->partner != nullptr &&
+        send->partner->post_time > send->call_time) {
+      cause_rank = send->dst;
+      cause_time = send->partner->post_time;
+    }
+    if (send->immediate) {
+      complete_request(sender, send->request, cause_rank, cause_time, send);
+    } else {
+      unblock(sender, cause_rank, cause_time, send);
+    }
   }
 
   void finish_recv(PostedRecv& recv) {

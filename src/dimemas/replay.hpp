@@ -32,6 +32,7 @@
 
 #include "dimemas/collectives.hpp"
 #include "dimemas/platform.hpp"
+#include "dimemas/progress.hpp"
 #include "dimemas/result.hpp"
 #include "faults/model.hpp"
 #include "trace/trace.hpp"
@@ -56,6 +57,10 @@ struct ReplayOptions {
   /// constructed and replay results are bit-identical to a fault-free
   /// build. SimResult::fault_counts reports the injected activity.
   faults::FaultModel faults;
+  /// MPI progress-engine regime (see dimemas/progress.hpp). Inert by
+  /// default: the offload regime takes exactly the historical code paths,
+  /// so results are bit-identical to a build without the axis.
+  ProgressModel progress;
 };
 
 /// Replays `trace` on `platform`. Throws osim::Error on malformed traces or

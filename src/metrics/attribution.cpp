@@ -27,6 +27,7 @@ WaitComponents& WaitComponents::operator+=(const WaitComponents& other) {
   port_contention_s += other.port_contention_s;
   wire_s += other.wire_s;
   latency_s += other.latency_s;
+  progress_s += other.progress_s;
   return *this;
 }
 
@@ -41,6 +42,12 @@ WaitComponents decompose(double begin, double end,
     return c;
   }
   const double submit = std::clamp(timing->submit_s, begin, end);
+  // The application-driven regime can gate submission itself (the
+  // rendezvous handshake waited for a host's MPI call): carve that out of
+  // the dependency span. With no gating progress_delay_s == 0, so
+  // handshake_begin == submit exactly and nothing changes.
+  const double handshake_begin =
+      std::clamp(submit - timing->progress_delay_s, begin, submit);
   // Injected fault delay sits between submission and network entry. With
   // no injected delay fault_end == submit exactly, so the fault component
   // is identically zero and the remaining differences are unchanged.
@@ -48,10 +55,18 @@ WaitComponents decompose(double begin, double end,
       std::clamp(timing->submit_s + timing->fault_delay_s, submit, end);
   const double raw_start = timing->start_s >= 0.0 ? timing->start_s : end;
   const double start = std::clamp(raw_start, fault_end, end);
+  // Completion observation can be gated too: the transfer arrived at
+  // arrival_s but the block only released at `end`, when the host next
+  // progressed MPI. Unset arrival (or hardware offload, where the block
+  // releases at the arrival event) means arrival == end exactly.
+  const double raw_arrival =
+      timing->arrival_s >= 0.0 ? timing->arrival_s : end;
+  const double arrival = std::clamp(raw_arrival, start, end);
 
   // Telescoping partition of [begin, end]: the differences sum to
   // end - begin exactly, in floating point too.
-  c.dependency_s = submit - begin;
+  c.dependency_s = handshake_begin - begin;
+  c.progress_s = (submit - handshake_begin) + (end - arrival);
   c.fault_s = fault_end - submit;
   const double queued = start - fault_end;
   switch (timing->queue_reason) {
@@ -64,7 +79,7 @@ WaitComponents decompose(double begin, double end,
       c.bus_contention_s = queued;
       break;
   }
-  const double in_network = end - start;
+  const double in_network = arrival - start;
   c.latency_s = std::min(timing->fixed_latency_s, in_network);
   c.wire_s = in_network - c.latency_s;
   return c;

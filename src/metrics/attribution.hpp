@@ -16,10 +16,16 @@
 //   wire             serialization time (bytes / bandwidth, plus any
 //                    per-message endpoint overhead)
 //   latency          the fixed per-message network latency
+//   progress         time the MPI progress engine sat idle: the rendezvous
+//                    handshake waited for a host to reach an MPI call, or
+//                    the transfer had arrived but its completion was only
+//                    observed at the host's next enter-MPI event
+//                    (application-driven progress regime)
 //
 // decompose() partitions [begin, end] with telescoping differences, so the
-// components always sum to exactly end - begin. The fault component is
-// identically zero (and absent from reports) when fault injection is off.
+// components always sum to exactly end - begin. The fault and progress
+// components are identically zero (and absent from reports) when fault
+// injection / the progress axis are off.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +49,15 @@ struct TransferTiming {
   /// Injected fault delay (retransmission backoff) between submission and
   /// network entry; 0 unless fault injection dropped the message.
   double fault_delay_s = 0.0;
+  /// Time the rendezvous handshake spent waiting on the MPI progress
+  /// engine before submission; 0 unless the application-driven regime
+  /// gated it (dimemas/progress.hpp).
+  double progress_delay_s = 0.0;
+  /// When the transfer's last byte arrived. Under hardware offload the
+  /// released block ends at this instant, so arrival_s == end and the
+  /// progress component is exactly zero; under application-driven
+  /// progress the gap until `end` is progress-engine idle time.
+  double arrival_s = -1.0;
   QueueReason queue_reason = QueueReason::kNone;
 };
 
@@ -54,10 +69,11 @@ struct WaitComponents {
   double port_contention_s = 0.0;
   double wire_s = 0.0;
   double latency_s = 0.0;
+  double progress_s = 0.0;
 
   double total_s() const {
     return dependency_s + fault_s + bus_contention_s + port_contention_s +
-           wire_s + latency_s;
+           wire_s + latency_s + progress_s;
   }
   WaitComponents& operator+=(const WaitComponents& other);
 };

@@ -118,6 +118,9 @@ void hash_options(Hasher& h, const dimemas::ReplayOptions& o) {
   // Hashed only when enabled so faults-off fingerprints stay bit-identical
   // to pre-fault builds. The canonical spec covers every model field.
   if (o.faults.enabled()) h.str(faults::to_spec(o.faults));
+  // Same inert-when-off rule for the progress axis: the offload default
+  // contributes nothing to the byte stream.
+  if (o.progress.enabled()) h.str(dimemas::to_spec(o.progress));
 }
 
 std::shared_ptr<const trace::Trace> validated(
@@ -200,6 +203,12 @@ ReplayContext ReplayContext::with_bandwidth(double mbps) const {
 ReplayContext ReplayContext::with_faults(faults::FaultModel faults) const {
   dimemas::ReplayOptions options = options_;
   options.faults = std::move(faults);
+  return with_options(std::move(options));
+}
+
+ReplayContext ReplayContext::with_progress(dimemas::ProgressModel progress) const {
+  dimemas::ReplayOptions options = options_;
+  options.progress = progress;
   return with_options(std::move(options));
 }
 

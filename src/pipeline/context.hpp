@@ -58,6 +58,10 @@ class ReplayContext {
   /// the fingerprint (via its canonical spec) only when enabled, so a
   /// faults-off context keeps its pre-fault fingerprint bit for bit.
   ReplayContext with_faults(faults::FaultModel faults) const;
+  /// Same scenario under another MPI progress regime. Like faults, the
+  /// model only reaches the fingerprint when enabled, so an offload
+  /// context keeps its pre-axis fingerprint bit for bit.
+  ReplayContext with_progress(dimemas::ProgressModel progress) const;
 
  private:
   ReplayContext(std::shared_ptr<const trace::Trace> trace,

@@ -31,6 +31,9 @@ void write_components(JsonWriter& w, const metrics::WaitComponents& c) {
   // Present only when fault injection actually delayed something, so
   // fault-free reports stay byte-identical to pre-fault builds.
   if (c.fault_s != 0.0) w.key("fault_s").value(c.fault_s);
+  // Same contract for the progress engine: only non-offload replays can
+  // accrue progress_s, so offload reports stay byte-identical.
+  if (c.progress_s != 0.0) w.key("progress_s").value(c.progress_s);
   w.key("bus_contention_s").value(c.bus_contention_s);
   w.key("port_contention_s").value(c.port_contention_s);
   w.key("wire_s").value(c.wire_s);
@@ -269,6 +272,9 @@ std::string study_report_json(const Study& study,
       w.key("faults");
       write_fault_counts(w, record.fault_counts);
       w.key("fault_wait_s").value(record.fault_wait_s);
+    }
+    if (record.progress_wait_s != 0.0) {
+      w.key("progress_wait_s").value(record.progress_wait_s);
     }
     w.end_object();
   }

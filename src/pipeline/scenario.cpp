@@ -49,4 +49,15 @@ std::vector<ReplayContext> cross_faults(
   return contexts;
 }
 
+std::vector<ReplayContext> cross_progress(
+    const ReplayContext& base,
+    const std::vector<ProgressScenario>& scenarios) {
+  std::vector<ReplayContext> contexts;
+  contexts.reserve(scenarios.size());
+  for (const ProgressScenario& scenario : scenarios) {
+    contexts.push_back(base.with_progress(scenario.model));
+  }
+  return contexts;
+}
+
 }  // namespace osim::pipeline

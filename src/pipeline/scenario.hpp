@@ -55,4 +55,18 @@ struct FaultScenario {
 std::vector<ReplayContext> cross_faults(
     const ReplayContext& base, const std::vector<FaultScenario>& scenarios);
 
+/// One point on a progress-regime sweep axis: a labelled progress model.
+/// An inert model (the offload default) represents the baseline and leaves
+/// the derived context's fingerprint untouched.
+struct ProgressScenario {
+  std::string label;
+  dimemas::ProgressModel model;
+};
+
+/// The progress axis of a sweep, shaped exactly like cross_faults: `base`
+/// crossed with each regime, in scenario order, sharing the validated
+/// trace.
+std::vector<ReplayContext> cross_progress(
+    const ReplayContext& base, const std::vector<ProgressScenario>& scenarios);
+
 }  // namespace osim::pipeline

@@ -88,7 +88,8 @@ double Study::makespan(const ReplayContext& context, std::string_view label) {
       ScenarioRecord record{key,   it->second.makespan,
                             0.0,   true,
                             std::string(label), it->second.fault_counts,
-                            it->second.fault_wait_s, CacheTier::kMemory};
+                            it->second.fault_wait_s,
+                            it->second.progress_wait_s, CacheTier::kMemory};
       record_scenario(std::move(record));
       return it->second.makespan;
     }
@@ -104,6 +105,7 @@ double Study::makespan(const ReplayContext& context, std::string_view label) {
       cached.makespan = artifact->makespan;
       cached.fault_counts = artifact->fault_counts;
       cached.fault_wait_s = artifact->fault_wait_s;
+      cached.progress_wait_s = artifact->progress_wait_s;
       {
         std::lock_guard<std::mutex> lock(cache_mutex_);
         ++disk_hits_;
@@ -112,7 +114,8 @@ double Study::makespan(const ReplayContext& context, std::string_view label) {
       ScenarioRecord record{key,   cached.makespan,
                             0.0,   true,
                             std::string(label), cached.fault_counts,
-                            cached.fault_wait_s, CacheTier::kDisk};
+                            cached.fault_wait_s,
+                            cached.progress_wait_s, CacheTier::kDisk};
       record_scenario(std::move(record));
       return cached.makespan;
     }
@@ -135,6 +138,7 @@ double Study::makespan(const ReplayContext& context, std::string_view label) {
   cached.makespan = artifact.makespan;
   cached.fault_counts = artifact.fault_counts;
   cached.fault_wait_s = artifact.fault_wait_s;
+  cached.progress_wait_s = artifact.progress_wait_s;
   if (options_.cache_replays) {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     cache_.emplace(key, cached);
@@ -154,7 +158,8 @@ double Study::makespan(const ReplayContext& context, std::string_view label) {
   ScenarioRecord record{key,   cached.makespan,
                         wall_s, false,
                         std::string(label), cached.fault_counts,
-                        cached.fault_wait_s, CacheTier::kMiss};
+                        cached.fault_wait_s,
+                        cached.progress_wait_s, CacheTier::kMiss};
   record_scenario(std::move(record));
   return cached.makespan;
 }

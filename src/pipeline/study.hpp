@@ -80,6 +80,10 @@ struct ScenarioRecord {
   /// Total fault-attributed wait time across ranks; populated only when the
   /// context collects metrics (0 otherwise).
   double fault_wait_s = 0.0;
+  /// Total progress-engine-attributed wait time across ranks (see
+  /// metrics::WaitComponents::progress_s); like fault_wait_s, populated
+  /// only when the context collects metrics.
+  double progress_wait_s = 0.0;
   /// Tier that served this evaluation; cache_hit == (tier != kMiss).
   CacheTier cache_tier = CacheTier::kMiss;
 };
@@ -140,6 +144,7 @@ class Study {
     double makespan = 0.0;
     faults::Counts fault_counts;
     double fault_wait_s = 0.0;
+    double progress_wait_s = 0.0;
   };
 
   mutable std::mutex cache_mutex_;

@@ -165,6 +165,7 @@ std::string encode_object(const pipeline::Fingerprint& fp,
   put_f64(payload, artifact.makespan);
   put_u64(payload, artifact.des_events);
   put_f64(payload, artifact.fault_wait_s);
+  put_f64(payload, artifact.progress_wait_s);
   put_counts(payload, artifact.fault_counts);
   put_u64(payload, artifact.rank_stats.size());
   for (const dimemas::RankStats& s : artifact.rank_stats) {
@@ -220,6 +221,7 @@ std::optional<DecodedObject> decode_object(std::string_view bytes) {
   std::uint64_t rank_count = 0;
   if (!get_f64(bytes, pos, a.makespan) || !get_u64(bytes, pos, a.des_events) ||
       !get_f64(bytes, pos, a.fault_wait_s) ||
+      !get_f64(bytes, pos, a.progress_wait_s) ||
       !get_counts(bytes, pos, a.fault_counts) ||
       !get_u64(bytes, pos, rank_count)) {
     return std::nullopt;
@@ -243,6 +245,7 @@ ScenarioArtifact make_artifact(const dimemas::SimResult& result) {
     for (const metrics::RankWaitAttribution& waits :
          result.metrics->rank_waits) {
       artifact.fault_wait_s += waits.total().fault_s;
+      artifact.progress_wait_s += waits.total().progress_s;
     }
   }
   return artifact;

@@ -9,7 +9,7 @@
 //   u64 fingerprint.hi, u64 fingerprint.lo   (the content address)
 //   u64 payload_bytes (P)
 //   payload (P bytes):
-//     f64 makespan, u64 des_events, f64 fault_wait_s
+//     f64 makespan, u64 des_events, f64 fault_wait_s, f64 progress_wait_s
 //     u8 fault_enabled, then the faults::Counts fields
 //     u64 rank_count, per rank the dimemas::RankStats fields
 //   u32 CRC-32 (IEEE, common/crc32.hpp) over every byte after the magic
@@ -36,7 +36,9 @@
 namespace osim::store {
 
 inline constexpr std::string_view kObjectMagic = "OSIMSTO1";
-inline constexpr std::uint32_t kObjectVersion = 1;
+/// v2 appended progress_wait_s to the payload; v1 objects decode as a miss
+/// (strict total decode) and are re-replayed, never misread.
+inline constexpr std::uint32_t kObjectVersion = 2;
 
 /// Second object kind sharing the store: a cached lint report, keyed by a
 /// trace-derived fingerprint (pipeline/lint_cache.hpp). Same envelope as
@@ -60,6 +62,9 @@ struct ScenarioArtifact {
   /// fault-injected contexts that collect metrics (mirrors
   /// pipeline::ScenarioRecord::fault_wait_s).
   double fault_wait_s = 0.0;
+  /// Total progress-engine-attributed wait time across ranks (mirrors
+  /// pipeline::ScenarioRecord::progress_wait_s).
+  double progress_wait_s = 0.0;
 
   friend bool operator==(const ScenarioArtifact&,
                          const ScenarioArtifact&) = default;

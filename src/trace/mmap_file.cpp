@@ -1,5 +1,6 @@
 #include "trace/mmap_file.hpp"
 
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -21,6 +22,7 @@ namespace osim::trace {
 
 namespace {
 
+#if !OSIM_HAVE_MMAP
 std::string read_whole_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw Error("cannot open trace file: " + path);
@@ -29,6 +31,27 @@ std::string read_whole_file(const std::string& path) {
   if (in.bad()) throw Error("error reading trace file: " + path);
   return std::move(buf).str();
 }
+#endif
+
+#if OSIM_HAVE_MMAP
+/// Drains an already-open descriptor. Used for everything mmap cannot take
+/// (pipes, devices, zero-length files): re-opening the path — as the old
+/// fallback did — consumes nothing from a regular file but loses data or
+/// blocks forever on a FIFO whose writer only opens it once.
+std::string read_whole_fd(int fd, const std::string& path) {
+  std::string out;
+  char chunk[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n == 0) return out;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error("error reading trace file: " + path);
+    }
+    out.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+#endif
 
 }  // namespace
 
@@ -47,18 +70,26 @@ MappedFile MappedFile::open(const std::string& path) {
   if (S_ISREG(st.st_mode) && st.st_size > 0) {
     void* addr = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
                         PROT_READ, MAP_PRIVATE, fd, 0);
-    ::close(fd);
     if (addr != MAP_FAILED) {
+      ::close(fd);
       file.data_ = static_cast<const char*>(addr);
       file.size_ = static_cast<std::size_t>(st.st_size);
       file.mapped_ = true;
       return file;
     }
-  } else {
-    ::close(fd);
   }
-#endif
+  // Buffered fallback from the descriptor we already hold — never a
+  // path re-open, which would lose data on pipes and /dev/stdin.
+  try {
+    file.fallback_ = read_whole_fd(fd, path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+#else
   file.fallback_ = read_whole_file(path);
+#endif
   file.data_ = file.fallback_.data();
   file.size_ = file.fallback_.size();
   file.mapped_ = false;

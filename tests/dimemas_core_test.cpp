@@ -36,6 +36,54 @@ TEST(EventQueue, FifoAmongSimultaneous) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
 
+TEST(EventQueue, SameTimestampGrowRebuildKeepsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  // 200 simultaneous events: the 129th insert triggers a grow rebuild
+  // whose observed time span is empty (hi == lo). Pop order must stay
+  // exact (time, seq) FIFO through the degenerate rebuild.
+  for (int i = 0; i < 200; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.schedule(2.0, [&order] { order.push_back(200); });
+  q.run_until_empty();
+  ASSERT_EQ(order.size(), 201u);
+  for (int i = 0; i <= 200; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, DegenerateWidthIsResampledNotSticky) {
+  EventQueue q;
+  // Drive the bucket width to the denormal guard: >128 events packed into
+  // a ~1.6e-304 span make the grow rebuild resample the width down to the
+  // 1e-308 floor.
+  int tiny = 0;
+  for (int i = 0; i < 160; ++i) {
+    q.schedule(static_cast<double>(i) * 1e-306, [&tiny] { ++tiny; });
+  }
+  q.run_until_empty();
+  EXPECT_EQ(tiny, 160);
+  // Refill at a single ordinary timestamp. This rebuild sees hi == lo and
+  // must resample back to the construction default rather than keep the
+  // near-denormal width (which would clamp every later year_of() and turn
+  // each pop into a full bucket walk). Order must stay exact FIFO.
+  std::vector<int> order;
+  for (int i = 0; i < 200; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  for (int i = 200; i < 210; ++i) {
+    q.schedule(1.0 + static_cast<double>(i - 199) * 0.001,
+               [&order, i] { order.push_back(i); });
+  }
+  q.run_until_empty();
+  ASSERT_EQ(order.size(), 210u);
+  for (int i = 0; i < 210; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
 TEST(EventQueue, HandlersMayScheduleMore) {
   EventQueue q;
   int fired = 0;

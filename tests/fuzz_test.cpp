@@ -11,6 +11,13 @@
 #include <map>
 #include <optional>
 #include <sstream>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
 
 #include "common/expect.hpp"
 #include "common/rng.hpp"
@@ -445,6 +452,7 @@ store::ScenarioArtifact random_artifact(Rng& rng) {
   a.makespan = rng.uniform() * 1e4;
   a.des_events = rng();
   a.fault_wait_s = rng.uniform();
+  a.progress_wait_s = rng.uniform();
   a.fault_counts.enabled = rng.below(2) != 0;
   a.fault_counts.seed = rng();
   a.fault_counts.retransmits = rng.below(1000);
@@ -631,6 +639,62 @@ TEST_P(RandomStoreObjects, LintObjectsRoundTripAndRejectDamage) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomStoreObjects,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+// --- trace-file ingestion edge cases ---------------------------------------
+// MappedFile cannot mmap everything it is handed: zero-length files have no
+// mappable extent and pipes have none at all. Both must degrade to the
+// buffered fallback without crashing, throwing from the salvage path, or
+// consuming the input twice.
+
+TEST(MappedFileEdgeCases, EmptyFileSalvagesToUnusableNotCrash) {
+  const std::string path = ::testing::TempDir() + "/osim_fuzz_empty.trace";
+  { std::ofstream out(path, std::ios::binary | std::ios::trunc); }
+  trace::RecoveredTrace recovered;
+  ASSERT_NO_THROW(recovered = trace::read_any_file_recover(path));
+  EXPECT_TRUE(recovered.damage.unusable);
+  EXPECT_FALSE(recovered.damage.clean());
+  std::filesystem::remove(path);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST(MappedFileEdgeCases, FifoIsReadOnceNotReopened) {
+  // A FIFO's bytes exist once: the old fallback closed the descriptor and
+  // re-opened the *path*, which blocks forever once the writer has hung up.
+  // The fallback must drain the descriptor it already holds.
+  const std::string path = ::testing::TempDir() + "/osim_fuzz_fifo_" +
+                           std::to_string(::getpid());
+  ::unlink(path.c_str());
+  ASSERT_EQ(::mkfifo(path.c_str(), 0600), 0);
+  std::thread writer([&path] {
+    std::ofstream out(path, std::ios::binary);  // blocks until reader opens
+    out << "#OSIM-TRACE v1\n"
+           "meta ranks 1\n"
+           "rank 0\n"
+           "c 5\n";
+  });
+  trace::Trace t;
+  ASSERT_NO_THROW(t = trace::read_any_file(path));
+  writer.join();
+  EXPECT_EQ(t.total_instructions(0), 5u);
+  ::unlink(path.c_str());
+}
+
+TEST(MappedFileEdgeCases, GarbageOnFifoDegradesToUnusable) {
+  const std::string path = ::testing::TempDir() + "/osim_fuzz_fifo_bad_" +
+                           std::to_string(::getpid());
+  ::unlink(path.c_str());
+  ASSERT_EQ(::mkfifo(path.c_str(), 0600), 0);
+  std::thread writer([&path] {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a trace at all\n";
+  });
+  trace::RecoveredTrace recovered;
+  ASSERT_NO_THROW(recovered = trace::read_any_file_recover(path));
+  writer.join();
+  EXPECT_TRUE(recovered.damage.unusable);
+  ::unlink(path.c_str());
+}
+#endif
 
 }  // namespace
 }  // namespace osim

@@ -37,6 +37,7 @@
 #include "common/flags.hpp"
 #include "common/run_options.hpp"
 #include "common/stats.hpp"
+#include "dimemas/progress.hpp"
 #include "dimemas/replay.hpp"
 #include "metrics/json.hpp"
 #include "overlap/options.hpp"
@@ -195,6 +196,13 @@ int main(int argc, char** argv) try {
         scenarios.push_back(w.overlapped.with_bandwidth(
             nominal * (0.5 + 0.25 * static_cast<double>(p))));
       }
+      // Non-offload progress regimes exercise the gated hot path (pending
+      // MPI queues, handshake hops), so the study throughput number also
+      // covers the progress-engine axis.
+      scenarios.push_back(
+          w.overlapped.with_progress(dimemas::parse_progress_spec("app")));
+      scenarios.push_back(
+          w.overlapped.with_progress(dimemas::parse_progress_spec("thread")));
     }
     const Clock::time_point start = Clock::now();
     study.map(scenarios, [&study](const pipeline::ReplayContext& context) {

@@ -10,6 +10,7 @@
 //   osim_replay --trace t.trace --prv /tmp/run     # + .prv/.pcf/.row
 //   osim_replay --trace t.trace --report run.json  # structured run report
 //   osim_replay --trace t.trace --faults 'seed=7;loss=0.02'  # injection
+//   osim_replay --trace t.trace --progress app     # application-driven MPI
 //   osim_replay --trace t.trace --cache-dir ~/.cache/osim   # warm reruns
 //                                          # served from the scenario store
 //
@@ -29,6 +30,7 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "dimemas/platform_io.hpp"
+#include "dimemas/progress.hpp"
 #include "faults/spec.hpp"
 #include "paraver/paraver.hpp"
 #include "pipeline/context.hpp"
@@ -56,6 +58,7 @@ int main(int argc, char** argv) try {
   bool critpath = false;
   std::string collectives = "binomial-tree";
   std::string fault_spec;
+  std::string progress_spec;
   bool recover = false;
   std::int64_t timeline_width = 100;
   RunOptions run;
@@ -82,6 +85,9 @@ int main(int argc, char** argv) try {
   flags.add("faults", &fault_spec,
             "fault-injection spec, e.g. 'seed=7;loss=0.02;degrade=0-1,"
             "bw=0.5' (see faults/spec.hpp for the grammar)");
+  flags.add("progress", &progress_spec,
+            "MPI progress model: 'offload' (default), 'app', or "
+            "'thread[,tax=F]' (see dimemas/progress.hpp for the grammar)");
   flags.add("recover", &recover,
             "salvage a damaged trace instead of rejecting it (exit code 4 "
             "when records were lost)");
@@ -152,6 +158,9 @@ int main(int argc, char** argv) try {
     throw UsageError("unknown collective algorithm: " + collectives);
   }
   if (!fault_spec.empty()) options.faults = faults::parse_spec(fault_spec);
+  if (!progress_spec.empty()) {
+    options.progress = dimemas::parse_progress_spec(progress_spec);
+  }
   // The context validates the trace once (failing with lint diagnostics);
   // the study carries the --jobs thread pool and replay cache.
   const pipeline::ReplayContext context(t, platform, options);
