@@ -1,6 +1,8 @@
 #include "bench_util.hpp"
 
+#include "common/exit_codes.hpp"
 #include "common/expect.hpp"
+#include "common/signals.hpp"
 #include "common/strings.hpp"
 #include "pipeline/report.hpp"
 
@@ -8,6 +10,7 @@ namespace osim::bench {
 
 bool BenchSetup::parse(const std::string& description, int argc,
                        const char* const* argv, Flags* extra) {
+  study_name = description;
   Flags own(description);
   Flags& flags = extra != nullptr ? *extra : own;
   flags.add("ranks", &ranks, "simulated MPI ranks (paper: 64)");
@@ -24,7 +27,12 @@ bool BenchSetup::parse(const std::string& description, int argc,
   run.register_flags(flags, "study-report",
                      "write a JSON study report (per-scenario makespans, "
                      "wall times, cache behaviour) to this path");
-  return flags.parse(argc, argv);
+  run.register_supervision_flags(flags);
+  if (!flags.parse(argc, argv)) return false;
+  // Graceful shutdown is opt-in via the supervision flags: unsupervised
+  // benches keep the stock Ctrl-C behaviour.
+  if (run.supervision_requested()) install_graceful_shutdown();
+  return true;
 }
 
 std::vector<const apps::MiniApp*> BenchSetup::selected_apps() const {
@@ -72,12 +80,33 @@ pipeline::StudyOptions BenchSetup::study_options() const {
   options.jobs = static_cast<int>(run.jobs);
   options.record_scenarios = !run.report.empty();
   options.cache_dir = run.cache_dir;
+  if (run.supervision_requested()) {
+    options.scenario_timeout_s = run.scenario_timeout_s;
+    options.study_deadline_s = run.study_deadline_s;
+    options.memory_budget_bytes = run.memory_budget_bytes();
+    options.journal = run.journal || run.resume;
+    options.resume = run.resume;
+    // The journal key: this bench plus everything that shapes which
+    // scenarios the sweep evaluates. A rerun with different parameters is
+    // a different study and must not inherit this journal.
+    options.study_id = strprintf(
+        "%s|ranks=%lld|iterations=%lld|chunks=%lld|scale=%lld|apps=%s|"
+        "paper_buses=%d|progress=%s",
+        study_name.c_str(), static_cast<long long>(ranks),
+        static_cast<long long>(iterations), static_cast<long long>(chunks),
+        static_cast<long long>(scale), apps.c_str(),
+        use_paper_buses ? 1 : 0, progress.c_str());
+    options.stop_flag = shutdown_flag();
+  }
   return options;
 }
 
-void BenchSetup::finish(const pipeline::Study& study) const {
+int BenchSetup::finish(const pipeline::Study& study) const {
   if (!run.report.empty()) {
-    pipeline::write_report(run.report, pipeline::study_report_json(study));
+    const std::string json = run.canonical_report
+                                 ? pipeline::study_report_canonical_json(study)
+                                 : pipeline::study_report_json(study);
+    pipeline::write_report(run.report, json);
     std::fprintf(stderr, "[bench] study report written to %s\n",
                  run.report.c_str());
   }
@@ -86,9 +115,18 @@ void BenchSetup::finish(const pipeline::Study& study) const {
   record.add("cache_misses", static_cast<double>(study.cache_misses()));
   record.add("disk_hits", static_cast<double>(study.disk_hits()));
   record.write_if(run.perf_json);
+  if (study.interrupted() || shutdown_requested()) {
+    std::fprintf(stderr,
+                 "[bench] sweep interrupted; partial results flushed\n");
+    return kExitInterrupted;
+  }
+  return kExitOk;
 }
 
-void BenchSetup::finish() const { perf.write_if(run.perf_json); }
+int BenchSetup::finish() const {
+  perf.write_if(run.perf_json);
+  return shutdown_requested() ? kExitInterrupted : kExitOk;
+}
 
 dimemas::Platform BenchSetup::platform_for(const apps::MiniApp& app) const {
   return dimemas::Platform::marenostrum(

@@ -38,14 +38,22 @@ struct BenchSetup {
   /// Applied to every context scenarios() builds.
   std::string progress;
   /// The shared execution flags every replay-running binary takes: --jobs,
-  /// --cache-dir, --perf-json, and the report path (registered here as
-  /// --study-report: per-scenario makespans, wall times, cache behaviour).
+  /// --cache-dir, --perf-json, the report path (registered here as
+  /// --study-report: per-scenario makespans, wall times, cache behaviour),
+  /// and the supervision flags (--scenario-timeout, --study-deadline,
+  /// --memory-budget, --journal, --resume, --canonical-report).
   RunOptions run;
   /// Wall-clock zero for --perf-json (constructed with the setup, so the
   /// record covers the whole bench including tracing).
   PerfRecorder perf{"bench"};
+  /// The description passed to parse(); with the sweep-shaping flags it
+  /// forms the study identity the journal is keyed by.
+  std::string study_name;
 
   /// Registers the shared flags and parses argv. Returns false on --help.
+  /// When any supervision flag was given, installs the graceful-shutdown
+  /// signal handlers (common/signals.hpp) so SIGINT/SIGTERM drain the
+  /// sweep instead of killing it.
   bool parse(const std::string& description, int argc, const char* const* argv,
              Flags* extra = nullptr);
 
@@ -62,17 +70,23 @@ struct BenchSetup {
   dimemas::ReplayOptions replay_options() const;
 
   /// Study sized by --jobs; replay results are cached across a bench run.
-  /// Scenario recording is on when --study-report was given.
+  /// Scenario recording is on when --study-report was given. Supervision
+  /// flags flow through: timeouts, the study deadline, the memory budget,
+  /// journal/resume (keyed by study_name + the sweep-shaping flags) and
+  /// the SIGINT/SIGTERM stop flag.
   pipeline::StudyOptions study_options() const;
 
   /// End-of-run bookkeeping: writes the study report if --study-report was
-  /// given and the perf record if --perf-json was given (wall/CPU time,
-  /// peak RSS, replay cache counters). Call once, at the end of a bench.
-  void finish(const pipeline::Study& study) const;
+  /// given (canonical form under --canonical-report) and the perf record
+  /// if --perf-json was given (wall/CPU time, peak RSS, replay cache
+  /// counters). Call once, at the end of a bench, and return its value
+  /// from main: kExitOk, or kExitInterrupted when the sweep was stopped by
+  /// a signal or --study-deadline (the report still gets flushed first).
+  int finish(const pipeline::Study& study) const;
 
   /// Same, for the benches that analyze traces without replaying (no
   /// study): writes the perf record only.
-  void finish() const;
+  int finish() const;
 
   /// Marenostrum-like platform with the app's Table I bus count.
   dimemas::Platform platform_for(const apps::MiniApp& app) const;

@@ -80,8 +80,7 @@ int main(int argc, char** argv) try {
   std::printf("Paraver bundles written to %s and %s (.prv/.pcf/.row)\n",
               setup.out_path("fig4_nas_cg_original").c_str(),
               setup.out_path("fig4_nas_cg_overlapped").c_str());
-  setup.finish(study);
-  return 0;
+  return setup.finish(study);
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;

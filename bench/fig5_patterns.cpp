@@ -78,8 +78,7 @@ int main(int argc, char** argv) try {
 
   std::printf("CSV written to %s\n",
               setup.out_path("fig5_patterns.csv").c_str());
-  setup.finish();
-  return 0;
+  return setup.finish();
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;

@@ -70,8 +70,7 @@ int main(int argc, char** argv) try {
   std::printf("%s\n", table.render().c_str());
   std::printf("CSV written to %s\n",
               setup.out_path("fig6b_relaxation.csv").c_str());
-  setup.finish(study);
-  return 0;
+  return setup.finish(study);
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;

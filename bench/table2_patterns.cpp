@@ -120,8 +120,7 @@ int main(int argc, char** argv) try {
               consumption.render().c_str(), per_buffer.render().c_str());
   std::printf("CSV written to %s\n",
               setup.out_path("table2_patterns.csv").c_str());
-  setup.finish();
-  return 0;
+  return setup.finish();
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;

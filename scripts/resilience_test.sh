@@ -1,0 +1,128 @@
+#!/bin/sh
+# Resilience contract of the study supervision layer, exercised end to end
+# at the CLI:
+#   1. a journaled sweep killed -9 mid-flight (via OSIM_CRASH_POINT) and
+#      then --resume'd produces a canonical study report bit-identical to
+#      an uninterrupted run, with the skipped work served from the journal;
+#   2. --scenario-timeout records the stopped scenario and the sweep
+#      completes normally (exit 0);
+#   3. --study-deadline drains the sweep, flushes a partial report and
+#      exits 5;
+#   4. SIGINT does the same through the graceful-shutdown handler;
+#   5. osim_cache lists journals and gc evicts only finished studies.
+# Usage: resilience_test.sh <build_dir>
+set -e
+BUILD="$1"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+unset OSIM_CACHE_DIR
+unset OSIM_CRASH_POINT
+
+BENCH="$BUILD/bench/fig6a_speedup"
+SWEEP="--ranks 4 --iterations 2 --apps nas_cg --out-dir $OUT/bench"
+
+# --- 1a. reference: an uninterrupted journaled sweep ------------------------
+
+"$BENCH" $SWEEP --cache-dir "$OUT/ref_cache" --journal \
+    --study-report "$OUT/ref.json" --canonical-report > /dev/null 2>&1
+grep -q '"schema":"osim.study_report.canonical"' "$OUT/ref.json"
+grep -q '"status":"complete"' "$OUT/ref.json"
+
+# The finished study left a complete journal; stats sees it and gc evicts
+# it (while keeping the scenario objects within budget).
+"$BUILD/tools/osim_cache" stats --cache-dir "$OUT/ref_cache" --journals \
+    > "$OUT/ref_stats.txt"
+grep -q "journals: 1 (1 complete, 0 in progress)" "$OUT/ref_stats.txt"
+"$BUILD/tools/osim_cache" gc --cache-dir "$OUT/ref_cache" \
+    --max-bytes 1073741824 > "$OUT/ref_gc.txt"
+grep -q "removed 1 finished-study journal" "$OUT/ref_gc.txt"
+"$BUILD/tools/osim_cache" stats --cache-dir "$OUT/ref_cache" \
+    | grep -q "journals: 0"
+
+# --- 1b. kill -9 mid-sweep, then --resume -----------------------------------
+
+# The crash point SIGKILLs the bench at its second journal append — after
+# one scenario is durably recorded, before the sweep finishes.
+set +e
+OSIM_CRASH_POINT=journal.append:2 "$BENCH" $SWEEP \
+    --cache-dir "$OUT/kill_cache" --journal > /dev/null 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 137 ] || { echo "crash run: expected SIGKILL (137), got $rc" >&2; exit 1; }
+
+# The torn run left an in-progress journal...
+"$BUILD/tools/osim_cache" stats --cache-dir "$OUT/kill_cache" --journals \
+    > "$OUT/kill_stats.txt"
+grep -q "journals: 1 (0 complete, 1 in progress)" "$OUT/kill_stats.txt"
+# ...which gc must NOT evict (a --resume still needs it).
+"$BUILD/tools/osim_cache" gc --cache-dir "$OUT/kill_cache" \
+    --max-bytes 1073741824 > /dev/null
+"$BUILD/tools/osim_cache" stats --cache-dir "$OUT/kill_cache" \
+    | grep -q "journals: 1"
+
+# Resume: the sweep completes and the canonical report is bit-identical
+# to the uninterrupted reference.
+"$BENCH" $SWEEP --cache-dir "$OUT/kill_cache" --resume \
+    --study-report "$OUT/resumed.json" --canonical-report > /dev/null 2>&1
+cmp "$OUT/ref.json" "$OUT/resumed.json"
+# skipped-resume is a journal-only marker; resumed results read "ok".
+if grep -q "skipped-resume" "$OUT/resumed.json"; then
+  echo "resumed report leaked a skipped-resume status" >&2
+  exit 1
+fi
+
+# A second resume serves every scenario from the journal tier.
+"$BENCH" $SWEEP --cache-dir "$OUT/kill_cache" --resume \
+    --study-report "$OUT/resumed2.json" > /dev/null 2>&1
+grep -q '"tier":"journal"' "$OUT/resumed2.json"
+grep -q '"journal_hits":3' "$OUT/resumed2.json"
+
+# --- 2. per-scenario timeout: sweep completes, scenario reported ------------
+
+"$BENCH" $SWEEP --scenario-timeout 0.0000001 \
+    --study-report "$OUT/timeout.json" > /dev/null 2>&1
+grep -q '"status":"complete"' "$OUT/timeout.json"
+grep -q '"status":"timeout"' "$OUT/timeout.json"
+
+# The standalone replay tool honors the same budget with exit 5.
+"$BUILD/tools/osim_trace" --app nas_cg --ranks 4 --iterations 2 \
+    --out "$OUT/cg" --quiet
+set +e
+"$BUILD/tools/osim_replay" --trace "$OUT/cg.original.trace" \
+    --scenario-timeout 0.0000001 > /dev/null 2> "$OUT/replay_timeout.txt"
+rc=$?
+set -e
+[ "$rc" -eq 5 ] || { echo "replay timeout: expected exit 5, got $rc" >&2; exit 1; }
+grep -q "interrupted: scenario-timeout" "$OUT/replay_timeout.txt"
+
+# --- 3. study deadline: partial report flushed, exit 5 ----------------------
+
+set +e
+"$BENCH" $SWEEP --study-deadline 0.0000001 \
+    --study-report "$OUT/deadline.json" > /dev/null 2> "$OUT/deadline.err"
+rc=$?
+set -e
+[ "$rc" -eq 5 ] || { echo "deadline run: expected exit 5, got $rc" >&2; exit 1; }
+grep -q '"status":"interrupted"' "$OUT/deadline.json"
+grep -q '"status":"cancelled"' "$OUT/deadline.json"
+grep -q "sweep interrupted" "$OUT/deadline.err"
+
+# --- 4. SIGINT drains the sweep and flushes the report ----------------------
+
+# A deliberately long sweep (any supervision flag installs the handlers);
+# the signal lands mid-run and the bench must still exit 5 with a report.
+"$BENCH" --ranks 32 --iterations 64 --scale 2 --out-dir "$OUT/bench" \
+    --scenario-timeout 3600 --study-report "$OUT/sigint.json" \
+    > /dev/null 2>&1 &
+pid=$!
+sleep 1
+kill -INT "$pid" 2> /dev/null
+set +e
+wait "$pid"
+rc=$?
+set -e
+[ "$rc" -eq 5 ] || { echo "SIGINT run: expected exit 5, got $rc" >&2; exit 1; }
+test -s "$OUT/sigint.json"
+grep -q '"status":"interrupted"' "$OUT/sigint.json"
+
+echo "resilience OK"

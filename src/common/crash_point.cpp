@@ -1,0 +1,53 @@
+#include "common/crash_point.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace osim {
+namespace {
+
+// Per-point hit counters so OSIM_CRASH_POINT="name:3" can target the
+// third publication of a run. Guarded: store publication can happen from
+// several study workers at once.
+std::mutex g_mutex;
+std::map<std::string, long>& hit_counts() {
+  static std::map<std::string, long> counts;
+  return counts;
+}
+
+}  // namespace
+
+void maybe_crash(const char* point) {
+  const char* spec = std::getenv("OSIM_CRASH_POINT");
+  if (spec == nullptr || *spec == '\0') return;
+
+  const char* colon = std::strrchr(spec, ':');
+  long target_hit = 1;
+  std::size_t name_len = std::strlen(spec);
+  if (colon != nullptr) {
+    char* end = nullptr;
+    const long parsed = std::strtol(colon + 1, &end, 10);
+    if (end != colon + 1 && *end == '\0' && parsed >= 1) {
+      target_hit = parsed;
+      name_len = static_cast<std::size_t>(colon - spec);
+    }
+  }
+  if (std::strlen(point) != name_len ||
+      std::strncmp(spec, point, name_len) != 0) {
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (++hit_counts()[point] != target_hit) return;
+  }
+  // SIGKILL, not abort(): no handlers, no unwinding, no atexit — the
+  // closest portable stand-in for kill -9 mid-write.
+  std::raise(SIGKILL);
+}
+
+}  // namespace osim

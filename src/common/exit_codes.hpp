@@ -8,8 +8,12 @@
 //   3  input trace unreadable: nothing could be salvaged from it
 //   4  input trace was damaged but salvaged (--recover); results reflect
 //      only the recovered prefix
+//   5  interrupted: a supervised run stopped early (SIGINT/SIGTERM or
+//      --study-deadline). Any flushed report is a valid partial document
+//      with "status": "interrupted" — trustworthy, but not the full sweep
 //
-// Keep the numbers stable: scripts/pipeline_test.sh asserts them.
+// Keep the numbers stable: scripts/pipeline_test.sh and
+// scripts/resilience_test.sh assert them.
 #pragma once
 
 namespace osim {
@@ -19,5 +23,6 @@ inline constexpr int kExitError = 1;
 inline constexpr int kExitUsage = 2;
 inline constexpr int kExitUnreadable = 3;
 inline constexpr int kExitSalvaged = 4;
+inline constexpr int kExitInterrupted = 5;
 
 }  // namespace osim

@@ -30,6 +30,36 @@ void RunOptions::register_flags(Flags& flags, const char* report_flag,
   }
 }
 
+void RunOptions::register_supervision_flags(Flags& flags) {
+  flags.add("scenario-timeout", &scenario_timeout_s,
+            "wall-clock budget per scenario in seconds (0 = unbounded); a "
+            "scenario over budget is recorded with status \"timeout\" and "
+            "the sweep continues");
+  flags.add("study-deadline", &study_deadline_s,
+            "wall-clock budget for the whole run in seconds (0 = "
+            "unbounded); at the deadline in-flight scenarios stop, a "
+            "partial report is flushed and the run exits 5");
+  flags.add("memory-budget", &memory_budget,
+            "in-memory replay-cache budget (e.g. 64M, 1G, or bytes; "
+            "empty = unbounded); under pressure results evict to the "
+            "disk store instead of growing the heap");
+  flags.add("journal", &journal,
+            "record per-scenario terminal status in a study journal "
+            "inside the scenario store (requires --cache-dir)");
+  flags.add("resume", &resume,
+            "skip scenarios an earlier (killed or interrupted) run "
+            "already journaled as done; implies --journal");
+  flags.add("canonical-report", &canonical_report,
+            "write the report with deterministic fields only (no wall "
+            "times or cache tiers), so resumed and uninterrupted runs "
+            "can be diffed byte for byte");
+}
+
+bool RunOptions::supervision_requested() const {
+  return scenario_timeout_s > 0.0 || study_deadline_s > 0.0 ||
+         !memory_budget.empty() || journal || resume || canonical_report;
+}
+
 int RunOptions::resolved_jobs() const {
   if (jobs < 0) throw UsageError("--jobs must be non-negative");
   if (jobs == 0) {
@@ -37,6 +67,38 @@ int RunOptions::resolved_jobs() const {
     return hw == 0 ? 1 : static_cast<int>(hw);
   }
   return static_cast<int>(jobs);
+}
+
+std::int64_t RunOptions::memory_budget_bytes() const {
+  if (memory_budget.empty()) return 0;
+  std::size_t pos = 0;
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(memory_budget, &pos);
+  } catch (const std::exception&) {
+    throw UsageError("--memory-budget: cannot parse '" + memory_budget +
+                     "' (expected e.g. 64M, 1G, or a byte count)");
+  }
+  std::int64_t multiplier = 1;
+  if (pos < memory_budget.size()) {
+    if (pos + 1 != memory_budget.size()) {
+      throw UsageError("--memory-budget: trailing garbage in '" +
+                       memory_budget + "'");
+    }
+    switch (memory_budget[pos]) {
+      case 'k': case 'K': multiplier = 1024; break;
+      case 'm': case 'M': multiplier = 1024 * 1024; break;
+      case 'g': case 'G': multiplier = 1024 * 1024 * 1024; break;
+      default:
+        throw UsageError("--memory-budget: unknown suffix in '" +
+                         memory_budget + "' (use K, M, or G)");
+    }
+  }
+  const auto bytes = static_cast<std::int64_t>(value) * multiplier;
+  if (bytes <= 0) {
+    throw UsageError("--memory-budget must be positive: " + memory_budget);
+  }
+  return bytes;
 }
 
 PerfRecorder::PerfRecorder(std::string tool)

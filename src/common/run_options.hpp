@@ -34,14 +34,46 @@ struct RunOptions {
   /// Performance record path (--perf-json); empty = don't write one.
   std::string perf_json;
 
+  // --- Supervision (register_supervision_flags; all off by default, and
+  // when off the run is byte-identical to a pre-supervision binary) ---
+
+  /// Per-scenario wall-clock budget in seconds (0 = unbounded).
+  double scenario_timeout_s = 0.0;
+  /// Whole-run wall-clock budget in seconds (0 = unbounded).
+  double study_deadline_s = 0.0;
+  /// In-memory replay-cache budget, e.g. "64M", "1G", "4096" (bytes);
+  /// empty = unbounded. Under pressure results evict to the disk store.
+  std::string memory_budget;
+  /// Write a study journal so a killed run can be resumed (--journal).
+  bool journal = false;
+  /// Skip scenarios the journal already records as done (--resume;
+  /// implies --journal).
+  bool resume = false;
+  /// Emit the canonical study report (deterministic fields only), so an
+  /// interrupted+resumed run can be diffed against an uninterrupted one.
+  bool canonical_report = false;
+
   /// Registers the shared flags. `report_flag` names this binary's report
   /// flag ("study-report", "report", ...) with `report_help` as its help
   /// text; pass report_flag == nullptr for binaries without a report file.
   void register_flags(Flags& flags, const char* report_flag,
                       const std::string& report_help);
 
+  /// Registers the supervision flags (--scenario-timeout, --study-deadline,
+  /// --memory-budget, --journal, --resume, --canonical-report). Separate
+  /// from register_flags so binaries adopt supervision deliberately.
+  void register_supervision_flags(Flags& flags);
+
+  /// True when any supervision flag was set — callers use this to decide
+  /// whether to install signal handlers and emit status fields.
+  bool supervision_requested() const;
+
   /// --jobs with the 0 = hardware-threads convention resolved.
   int resolved_jobs() const;
+
+  /// --memory-budget parsed to bytes (suffixes K/M/G, base 1024; plain
+  /// number = bytes). 0 = unbounded. Throws UsageError on bad syntax.
+  std::int64_t memory_budget_bytes() const;
 };
 
 /// Wall-clock + rusage performance record written by --perf-json. Construct

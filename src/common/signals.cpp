@@ -1,0 +1,45 @@
+#include "common/signals.hpp"
+
+#include <csignal>
+
+namespace osim {
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+#if defined(__unix__) || defined(__APPLE__)
+
+extern "C" void osim_shutdown_handler(int signum) {
+  // Second signal: restore the default disposition and re-raise, so a
+  // stuck drain can still be killed interactively. Everything here is
+  // async-signal-safe (atomics, sigaction, raise).
+  if (g_shutdown.exchange(true, std::memory_order_relaxed)) {
+    std::signal(signum, SIG_DFL);
+    std::raise(signum);
+  }
+}
+
+#endif
+
+}  // namespace
+
+void install_graceful_shutdown() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct sigaction action = {};
+  action.sa_handler = &osim_shutdown_handler;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a study blocked in a slow read should see EINTR and
+  // reach its next cancellation poll instead of sleeping through it.
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+#endif
+}
+
+const std::atomic<bool>* shutdown_flag() { return &g_shutdown; }
+
+bool shutdown_requested() {
+  return g_shutdown.load(std::memory_order_relaxed);
+}
+
+}  // namespace osim

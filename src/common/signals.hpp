@@ -1,0 +1,30 @@
+// Graceful-shutdown signal handling for supervised studies. The first
+// SIGINT/SIGTERM raises a process-wide atomic flag that supervised code
+// (pipeline::Study via StudyOptions::stop_flag, osim_replay's cancel
+// token) polls cooperatively: in-flight scenarios drain, a partial study
+// report is flushed, and the process exits with kExitInterrupted. A
+// second signal restores the default disposition and re-raises, so a
+// repeated Ctrl-C still kills a wedged process the ordinary way.
+//
+// Installation is explicit and opt-in (BenchSetup only installs the
+// handler when a supervision flag was given), so unsupervised runs keep
+// the stock signal behaviour and perf_identity_test sees zero change.
+#pragma once
+
+#include <atomic>
+
+namespace osim {
+
+/// Installs SIGINT/SIGTERM handlers that set shutdown_flag(). Idempotent;
+/// safe to call more than once. No-op on platforms without sigaction.
+void install_graceful_shutdown();
+
+/// The process-wide stop flag the handlers set. Stable address for the
+/// whole process lifetime — hand it to StudyOptions::stop_flag or wrap it
+/// in a CancelToken.
+const std::atomic<bool>* shutdown_flag();
+
+/// True once a shutdown signal has been received.
+bool shutdown_requested();
+
+}  // namespace osim

@@ -30,6 +30,7 @@
 
 #include <limits>
 
+#include "common/cancel.hpp"
 #include "dimemas/collectives.hpp"
 #include "dimemas/platform.hpp"
 #include "dimemas/progress.hpp"
@@ -61,6 +62,13 @@ struct ReplayOptions {
   /// default: the offload regime takes exactly the historical code paths,
   /// so results are bit-identical to a build without the axis.
   ProgressModel progress;
+  /// Cooperative stop signal (see common/cancel.hpp), polled from the
+  /// event loop on an amortized stride; when it fires, replay throws
+  /// CancelledError carrying the partial progress so far. Null or unarmed
+  /// = never polled. Deliberately NOT part of the scenario fingerprint
+  /// (pipeline/context.cpp): a watchdog changes whether a scenario
+  /// finished, not what it is. The token must outlive the replay call.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Replays `trace` on `platform`. Throws osim::Error on malformed traces or

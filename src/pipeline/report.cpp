@@ -236,22 +236,12 @@ std::string study_report_json(const Study& study) {
   return study_report_json(study, nullptr);
 }
 
-std::string study_report_json(const Study& study,
-                              const lint::Report* lint_report) {
-  JsonWriter w;
-  w.begin_object();
-  w.key("schema").value("osim.study_report");
-  w.key("version").value(static_cast<std::int64_t>(kReportVersion));
-  w.key("jobs").value(static_cast<std::int64_t>(study.jobs()));
-  w.key("cache").begin_object();
-  w.key("hits").value(static_cast<std::uint64_t>(study.cache_hits()));
-  w.key("disk_hits").value(static_cast<std::uint64_t>(study.disk_hits()));
-  w.key("misses").value(static_cast<std::uint64_t>(study.cache_misses()));
-  w.key("size").value(static_cast<std::uint64_t>(study.cache_size()));
-  w.end_object();
-  // Records accumulate in completion order, which depends on thread
-  // scheduling; sorting by (label, fingerprint) makes the report
-  // deterministic across --jobs values.
+namespace {
+
+/// Study records sorted by (label, fingerprint): records accumulate in
+/// completion order, which depends on thread scheduling, and the sort is
+/// what makes every report deterministic across --jobs values.
+std::vector<ScenarioRecord> sorted_scenarios(const Study& study) {
   std::vector<ScenarioRecord> records = study.scenarios();
   std::sort(records.begin(), records.end(),
             [](const ScenarioRecord& a, const ScenarioRecord& b) {
@@ -259,8 +249,37 @@ std::string study_report_json(const Study& study,
               return std::make_pair(a.fingerprint.hi, a.fingerprint.lo) <
                      std::make_pair(b.fingerprint.hi, b.fingerprint.lo);
             });
+  return records;
+}
+
+}  // namespace
+
+std::string study_report_json(const Study& study,
+                              const lint::Report* lint_report) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("osim.study_report");
+  w.key("version").value(static_cast<std::int64_t>(kReportVersion));
+  // Supervision fields are emitted only for supervised studies, so the
+  // default path stays byte-identical (perf_identity_test pins it).
+  if (study.supervised()) {
+    w.key("status").value(study.interrupted() ? "interrupted" : "complete");
+  }
+  w.key("jobs").value(static_cast<std::int64_t>(study.jobs()));
+  w.key("cache").begin_object();
+  w.key("hits").value(static_cast<std::uint64_t>(study.cache_hits()));
+  w.key("disk_hits").value(static_cast<std::uint64_t>(study.disk_hits()));
+  if (study.supervised()) {
+    w.key("journal_hits")
+        .value(static_cast<std::uint64_t>(study.journal_hits()));
+    w.key("evictions")
+        .value(static_cast<std::uint64_t>(study.cache_evictions()));
+  }
+  w.key("misses").value(static_cast<std::uint64_t>(study.cache_misses()));
+  w.key("size").value(static_cast<std::uint64_t>(study.cache_size()));
+  w.end_object();
   w.key("scenarios").begin_array();
-  for (const ScenarioRecord& record : records) {
+  for (const ScenarioRecord& record : sorted_scenarios(study)) {
     w.begin_object();
     w.key("label").value(record.label);
     w.key("fingerprint").value(to_hex(record.fingerprint));
@@ -268,6 +287,12 @@ std::string study_report_json(const Study& study,
     w.key("wall_s").value(record.wall_s);
     w.key("cache_hit").value(record.cache_hit);
     w.key("tier").value(cache_tier_name(record.cache_tier));
+    if (study.supervised()) {
+      w.key("status").value(supervise::scenario_status_name(record.status));
+      if (record.partial_blocked_s != 0.0) {
+        w.key("partial_blocked_s").value(record.partial_blocked_s);
+      }
+    }
     if (record.fault_counts.enabled) {
       w.key("faults");
       write_fault_counts(w, record.fault_counts);
@@ -283,6 +308,34 @@ std::string study_report_json(const Study& study,
     w.key("lint");
     write_lint(w, *lint_report);
   }
+  w.end_object();
+  return w.str();
+}
+
+std::string study_report_canonical_json(const Study& study) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("osim.study_report.canonical");
+  w.key("version").value(static_cast<std::int64_t>(kReportVersion));
+  w.key("status").value(study.interrupted() ? "interrupted" : "complete");
+  w.key("scenarios").begin_array();
+  for (const ScenarioRecord& record : sorted_scenarios(study)) {
+    w.begin_object();
+    w.key("label").value(record.label);
+    w.key("fingerprint").value(to_hex(record.fingerprint));
+    w.key("makespan_s").value(record.makespan);
+    w.key("status").value(supervise::scenario_status_name(record.status));
+    if (record.fault_counts.enabled) {
+      w.key("faults");
+      write_fault_counts(w, record.fault_counts);
+      w.key("fault_wait_s").value(record.fault_wait_s);
+    }
+    if (record.progress_wait_s != 0.0) {
+      w.key("progress_wait_s").value(record.progress_wait_s);
+    }
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   return w.str();
 }

@@ -39,8 +39,23 @@ std::string study_report_json(const Study& study);
 
 /// Same, with a "lint" block covering the study's input trace; nullptr is
 /// byte-identical to the one-argument overload.
+///
+/// Supervised studies (Study::supervised()) additionally carry a
+/// study-level "status" ("complete" or "interrupted") and a per-scenario
+/// "status" (ok|timeout|cancelled|failed) with partial wait attribution
+/// for stopped scenarios; unsupervised output is byte-identical to
+/// pre-supervision builds.
 std::string study_report_json(const Study& study,
                               const lint::Report* lint_report);
+
+/// Canonical study report: only fields that are a pure function of the
+/// scenario set — label, fingerprint, makespan, status, fault/progress
+/// attribution — with wall times, cache tiers and hit counters omitted.
+/// Two runs that evaluated the same scenarios to the same results render
+/// byte-identically, regardless of --jobs, cache warmth, or how many
+/// kill/--resume round trips it took; scripts/resilience_test.sh diffs
+/// these documents with cmp.
+std::string study_report_canonical_json(const Study& study);
 
 /// Writes `json` to `path`; throws osim::Error on I/O failure.
 void write_report(const std::string& path, const std::string& json);

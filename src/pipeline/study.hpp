@@ -18,8 +18,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -32,10 +34,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "dimemas/result.hpp"
 #include "faults/model.hpp"
 #include "pipeline/context.hpp"
 #include "store/store.hpp"
+#include "supervise/journal.hpp"
 
 namespace osim::pipeline {
 
@@ -55,12 +59,47 @@ struct StudyOptions {
   /// tier when that is unset too — in which case behavior and results are
   /// bit-identical to a store-less build.
   std::string cache_dir;
+
+  // --- Supervision (all off by default; when every field below is at its
+  // default the study behaves — and its report reads — byte-identically
+  // to a pre-supervision build; perf_identity_test pins this) ---
+
+  /// Wall-clock budget per scenario replay in seconds (0 = unbounded). A
+  /// scenario over budget is recorded with status kTimeout plus its
+  /// partial wait attribution; the sweep continues.
+  double scenario_timeout_s = 0.0;
+  /// Wall-clock budget for the whole study in seconds, measured from
+  /// construction (0 = unbounded). Past the deadline every replay stops
+  /// cooperatively and the study reports interrupted.
+  double study_deadline_s = 0.0;
+  /// Byte budget for the in-memory result cache (0 = unbounded). Under
+  /// pressure the oldest entries are dropped; the disk store (which every
+  /// computed result is written behind to) keeps serving them, so long
+  /// sweeps degrade to warm-disk speed instead of growing the heap.
+  std::int64_t memory_budget_bytes = 0;
+  /// Maintain a write-ahead study journal (supervise::StudyJournal) under
+  /// the store root, recording each scenario's terminal status. Requires
+  /// a cache_dir (or $OSIM_CACHE_DIR).
+  bool journal = false;
+  /// Serve scenarios an earlier run's journal recorded as completed
+  /// without replaying them (their journal entries carry the results).
+  /// Implies journal.
+  bool resume = false;
+  /// Identity string naming this study for the journal key — the bench
+  /// name plus every sweep-shaping parameter. Two runs that would evaluate
+  /// the same scenario set must use the same id.
+  std::string study_id;
+  /// External stop flag (typically common/signals.hpp's shutdown_flag());
+  /// when it goes true, in-flight replays stop cooperatively and pending
+  /// scenarios are recorded as cancelled. Null = no external stop source.
+  const std::atomic<bool>* stop_flag = nullptr;
 };
 
 /// Which tier answered a makespan() evaluation. kMiss means the scenario
 /// was actually replayed (and written behind to the store when one is
-/// configured).
-enum class CacheTier { kMiss, kMemory, kDisk };
+/// configured); kJournal means a previous run's journal entry served it
+/// (--resume) without touching the object store.
+enum class CacheTier { kMiss, kMemory, kDisk, kJournal };
 
 const char* cache_tier_name(CacheTier tier);
 
@@ -86,6 +125,13 @@ struct ScenarioRecord {
   double progress_wait_s = 0.0;
   /// Tier that served this evaluation; cache_hit == (tier != kMiss).
   CacheTier cache_tier = CacheTier::kMiss;
+  /// Terminal status under supervision. Always kOk for unsupervised
+  /// studies — and for resumed scenarios, which carry completed results
+  /// (the skipped-resume marker lives only in the journal).
+  supervise::ScenarioStatus status = supervise::ScenarioStatus::kOk;
+  /// For kTimeout/kCancelled: total per-rank blocked time at the stop
+  /// (partial wait attribution). 0 otherwise.
+  double partial_blocked_s = 0.0;
 };
 
 class Study {
@@ -121,6 +167,30 @@ class Study {
   std::size_t cache_size() const;
   /// Scenarios served from the persistent store (0 without a cache_dir).
   std::size_t disk_hits() const;
+  /// Scenarios served from a previous run's journal (--resume).
+  std::size_t journal_hits() const;
+  /// Memory-tier entries dropped under --memory-budget pressure.
+  std::size_t cache_evictions() const;
+
+  /// True when any supervision option is active. Reports key their status
+  /// fields off this so unsupervised output stays byte-identical.
+  bool supervised() const { return supervised_; }
+  /// True once the study was stopped early (stop flag or study deadline).
+  /// Supervised reports carry "status": "interrupted" and binaries exit
+  /// kExitInterrupted.
+  bool interrupted() const {
+    return interrupted_.load(std::memory_order_relaxed);
+  }
+  /// The journal backing --journal/--resume, or nullptr.
+  supervise::StudyJournal* journal() const { return journal_.get(); }
+
+  /// Store writes queued for retry after a failed write-behind (retried
+  /// with exponential backoff as the sweep progresses; flushed again at
+  /// destruction). Non-zero only while the store is misbehaving.
+  std::size_t pending_store_writes() const;
+  /// Retries every queued write now, ignoring backoff; returns how many
+  /// writes are still pending afterwards.
+  std::size_t flush_store_writes();
 
   /// The persistent store backing the disk tier, or nullptr when no
   /// cache_dir was configured. Useful for maintenance surfaces and tests.
@@ -131,6 +201,8 @@ class Study {
   std::vector<ScenarioRecord> scenarios() const;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   void enqueue(std::function<void()> task);
   void worker_loop();
   void record_scenario(ScenarioRecord record);
@@ -147,17 +219,63 @@ class Study {
     double progress_wait_s = 0.0;
   };
 
+  /// Inserts under the memory budget, evicting oldest-first when over
+  /// (cache_mutex_ must be held).
+  void cache_insert(const Fingerprint& key, const CachedRun& run);
+  /// Journals `status` for `key` when a journal is configured.
+  void journal_append(const Fingerprint& key, supervise::ScenarioStatus status,
+                      const CachedRun& run, double partial_blocked_s);
+  /// The stopped-replay tail of makespan(): records/journals the scenario
+  /// with its partial progress and flags the study interrupted for
+  /// non-timeout causes. Returns the partial simulated time.
+  double record_stopped(const Fingerprint& key, std::string_view label,
+                        StopCause cause, const PartialProgress& partial,
+                        double wall_s);
+  /// Write-behind with retry: tries the store now, queues for backoff
+  /// retry on failure.
+  void store_save(const Fingerprint& key,
+                  const store::ScenarioArtifact& artifact);
+  /// Retries queued writes. `force` ignores the backoff deadlines.
+  /// Returns how many writes are still pending.
+  std::size_t drain_pending_writes(bool force);
+
   mutable std::mutex cache_mutex_;
   std::unordered_map<Fingerprint, CachedRun, FingerprintHash> cache_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
   std::size_t disk_hits_ = 0;
+  std::size_t journal_hits_ = 0;
+  std::size_t evictions_ = 0;
+  /// Insertion order for budget eviction (tracked only under a budget).
+  std::deque<Fingerprint> insertion_order_;
 
   /// Disk tier; nullptr when no cache_dir is configured.
   std::unique_ptr<store::ScenarioStore> store_;
   /// Warn at most once when write-behind fails (full disk, bad mount...):
   /// persisting is an optimization, never a reason to fail the study.
   std::atomic<bool> warned_store_write_ = false;
+
+  /// Failed write-behinds waiting for retry, oldest first. Bounded: past
+  /// kMaxPendingWrites the oldest entry is dropped (it is only a cache).
+  struct PendingWrite {
+    Fingerprint key;
+    store::ScenarioArtifact artifact;
+    int attempts = 0;
+    Clock::time_point next_try;
+  };
+  static constexpr std::size_t kMaxPendingWrites = 1024;
+  mutable std::mutex pending_mutex_;
+  std::deque<PendingWrite> pending_writes_;
+
+  // --- Supervision state ---
+  bool supervised_ = false;
+  /// Absolute study deadline (Clock::time_point::max() = unbounded).
+  Clock::time_point study_deadline_ = Clock::time_point::max();
+  std::atomic<bool> interrupted_ = false;
+  std::unique_ptr<supervise::StudyJournal> journal_;
+  /// Completed scenarios recovered from the journal, served on --resume.
+  std::unordered_map<Fingerprint, supervise::JournalEntry, FingerprintHash>
+      resume_map_;
 
   mutable std::mutex scenario_mutex_;
   std::vector<ScenarioRecord> scenarios_;

@@ -15,6 +15,7 @@
 #include <unistd.h>
 #endif
 
+#include "common/crash_point.hpp"
 #include "common/crc32.hpp"
 #include "common/expect.hpp"
 #include "common/strings.hpp"
@@ -93,6 +94,11 @@ void write_file_atomic(const fs::path& path, const std::string& bytes,
       throw Error("store: failed writing " + tmp.string());
     }
   }
+  // Crash injection for durability tests: dying here leaves only an
+  // orphaned tmp file (a reader sees a clean miss; the open-time sweep
+  // reclaims it), dying after the rename leaves a complete object whose
+  // index entry lags (the index is rebuilt from the tree).
+  maybe_crash("store.publish.tmp");
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
@@ -101,6 +107,7 @@ void write_file_atomic(const fs::path& path, const std::string& bytes,
     throw Error("store: cannot publish " + path.string() + ": " +
                 ec.message());
   }
+  maybe_crash("store.publish.renamed");
 }
 
 void put_u32(std::string& out, std::uint32_t v) {
@@ -205,6 +212,29 @@ ScenarioStore::ScenarioStore(std::string root) : root_(std::move(root)) {
     throw Error("store: cannot create cache directory " + root_ + ": " +
                 ec.message());
   }
+  sweep_stale_tmp(root_, kStaleTmpMaxAge);
+}
+
+std::size_t ScenarioStore::sweep_stale_tmp(const std::string& root,
+                                           std::chrono::seconds max_age) {
+  // Interrupted publications (kill -9 between write and rename) orphan
+  // their temp files; nothing else ever references them, so age is the
+  // only signal needed. The age guard keeps us from racing a live writer
+  // in another process that has written but not yet renamed.
+  std::size_t removed = 0;
+  std::error_code ec;
+  const fs::path tmp_dir = fs::path(root) / "tmp";
+  if (!fs::is_directory(tmp_dir, ec)) return 0;
+  const auto now = fs::file_time_type::clock::now();
+  for (const auto& entry : fs::directory_iterator(tmp_dir, ec)) {
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec)) continue;
+    const fs::file_time_type mtime = fs::last_write_time(entry, entry_ec);
+    if (entry_ec) continue;
+    if (now - mtime < max_age) continue;
+    if (fs::remove(entry.path(), entry_ec) && !entry_ec) ++removed;
+  }
+  return removed;
 }
 
 std::string ScenarioStore::object_path(const pipeline::Fingerprint& fp) const {

@@ -26,6 +26,7 @@
 // recency, not results.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -72,11 +73,26 @@ struct GcReport {
   std::uint64_t bytes_kept = 0;
 };
 
+/// Temp files older than this are orphans of a crashed publication and
+/// are swept when a store opens; anything younger may belong to a live
+/// writer mid-rename.
+inline constexpr std::chrono::seconds kStaleTmpMaxAge =
+    std::chrono::seconds(3600);
+
 class ScenarioStore {
  public:
   /// Opens (creating if needed) the store rooted at `root`; throws
-  /// osim::Error when the directory tree cannot be created.
+  /// osim::Error when the directory tree cannot be created. Sweeps stale
+  /// tmp files (older than kStaleTmpMaxAge) left behind by crashed
+  /// publications.
   explicit ScenarioStore(std::string root);
+
+  /// Removes `<root>/tmp` entries older than `max_age`; returns how many
+  /// were removed. Exposed for tests and maintenance tools; the
+  /// constructor calls it with kStaleTmpMaxAge. Never throws — an
+  /// unsweepable orphan is tomorrow's problem, not today's error.
+  static std::size_t sweep_stale_tmp(const std::string& root,
+                                     std::chrono::seconds max_age);
 
   const std::string& root() const { return root_; }
 

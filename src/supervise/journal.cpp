@@ -1,0 +1,386 @@
+#include "supervise/journal.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/crash_point.hpp"
+#include "common/crc32.hpp"
+#include "common/expect.hpp"
+
+namespace osim::supervise {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Little-endian fixed-width primitives, mirroring store/format.cpp (the
+// journal shares the store root, so it pins byte order the same way).
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+bool get_u32(std::string_view in, std::size_t& pos, std::uint32_t& v) {
+  if (in.size() - pos < 4) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in[pos + i]))
+         << (8 * i);
+  }
+  pos += 4;
+  return true;
+}
+
+bool get_u64(std::string_view in, std::size_t& pos, std::uint64_t& v) {
+  if (in.size() - pos < 8) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[pos + i]))
+         << (8 * i);
+  }
+  pos += 8;
+  return true;
+}
+
+bool get_f64(std::string_view in, std::size_t& pos, double& v) {
+  std::uint64_t bits = 0;
+  if (!get_u64(in, pos, bits)) return false;
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+
+bool get_u8(std::string_view in, std::size_t& pos, std::uint8_t& v) {
+  if (in.size() - pos < 1) return false;
+  v = static_cast<std::uint8_t>(in[pos]);
+  pos += 1;
+  return true;
+}
+
+void put_counts(std::string& out, const faults::Counts& c) {
+  put_u8(out, c.enabled ? 1 : 0);
+  put_u64(out, c.seed);
+  put_u64(out, c.messages_dropped);
+  put_u64(out, c.retransmits);
+  put_u64(out, c.handshake_reissues);
+  put_u64(out, c.hard_stalls);
+  put_u64(out, c.degraded_transfers);
+  put_u64(out, c.perturbed_bursts);
+  put_u64(out, c.straggled_bursts);
+  put_f64(out, c.injected_delay_s);
+  put_f64(out, c.injected_compute_s);
+}
+
+bool get_counts(std::string_view in, std::size_t& pos, faults::Counts& c) {
+  std::uint8_t enabled = 0;
+  if (!get_u8(in, pos, enabled)) return false;
+  if (enabled > 1) return false;
+  c.enabled = enabled == 1;
+  return get_u64(in, pos, c.seed) && get_u64(in, pos, c.messages_dropped) &&
+         get_u64(in, pos, c.retransmits) &&
+         get_u64(in, pos, c.handshake_reissues) &&
+         get_u64(in, pos, c.hard_stalls) &&
+         get_u64(in, pos, c.degraded_transfers) &&
+         get_u64(in, pos, c.perturbed_bursts) &&
+         get_u64(in, pos, c.straggled_bursts) &&
+         get_f64(in, pos, c.injected_delay_s) &&
+         get_f64(in, pos, c.injected_compute_s);
+}
+
+std::uint32_t crc_of(std::string_view bytes) {
+  Crc32 crc;
+  crc.update(bytes.data(), bytes.size());
+  return crc.value();
+}
+
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8 + 4;
+/// Records are tiny; anything claiming to be bigger is damage, and
+/// rejecting it keeps a flipped length byte from swallowing the rest of
+/// the file as one giant "record".
+constexpr std::uint32_t kMaxPayloadBytes = 4096;
+
+constexpr std::uint8_t kKindScenario = 0;
+constexpr std::uint8_t kKindComplete = 1;
+
+std::string encode_header(const pipeline::Fingerprint& study) {
+  std::string out;
+  out.append(kJournalMagic);
+  put_u32(out, kJournalVersion);
+  put_u64(out, study.hi);
+  put_u64(out, study.lo);
+  put_u32(out, crc_of(std::string_view(out).substr(kJournalMagic.size())));
+  return out;
+}
+
+std::string encode_entry_payload(const JournalEntry& entry) {
+  std::string payload;
+  put_u8(payload, kKindScenario);
+  put_u64(payload, entry.fingerprint.hi);
+  put_u64(payload, entry.fingerprint.lo);
+  put_u8(payload, static_cast<std::uint8_t>(entry.status));
+  put_f64(payload, entry.makespan);
+  put_f64(payload, entry.fault_wait_s);
+  put_f64(payload, entry.progress_wait_s);
+  put_f64(payload, entry.partial_blocked_s);
+  put_counts(payload, entry.fault_counts);
+  return payload;
+}
+
+bool decode_entry_payload(std::string_view payload, JournalEntry& entry) {
+  std::size_t pos = 1;  // kind byte already consumed by the caller
+  std::uint8_t status = 0;
+  if (!get_u64(payload, pos, entry.fingerprint.hi) ||
+      !get_u64(payload, pos, entry.fingerprint.lo) ||
+      !get_u8(payload, pos, status) ||
+      !get_f64(payload, pos, entry.makespan) ||
+      !get_f64(payload, pos, entry.fault_wait_s) ||
+      !get_f64(payload, pos, entry.progress_wait_s) ||
+      !get_f64(payload, pos, entry.partial_blocked_s) ||
+      !get_counts(payload, pos, entry.fault_counts)) {
+    return false;
+  }
+  if (pos != payload.size()) return false;
+  if (status > static_cast<std::uint8_t>(ScenarioStatus::kSkippedResume)) {
+    return false;
+  }
+  entry.status = static_cast<ScenarioStatus>(status);
+  return true;
+}
+
+struct ParsedJournal {
+  bool valid_header = false;
+  pipeline::Fingerprint study;
+  std::vector<JournalEntry> entries;
+  std::size_t ok = 0;
+  bool complete = false;
+  /// Bytes of the longest valid prefix; everything after it is torn.
+  std::size_t valid_end = 0;
+};
+
+/// Salvage-style total parse: never throws, keeps the longest valid
+/// prefix. A header that fails any check leaves valid_header == false.
+ParsedJournal parse_journal(std::string_view bytes) {
+  ParsedJournal parsed;
+  if (bytes.size() < kHeaderBytes) return parsed;
+  if (bytes.substr(0, kJournalMagic.size()) != kJournalMagic) return parsed;
+  std::size_t pos = kJournalMagic.size();
+  std::uint32_t version = 0;
+  std::uint32_t header_crc = 0;
+  const std::size_t crc_begin = pos;
+  if (!get_u32(bytes, pos, version) || version != kJournalVersion) {
+    return parsed;
+  }
+  if (!get_u64(bytes, pos, parsed.study.hi) ||
+      !get_u64(bytes, pos, parsed.study.lo)) {
+    return parsed;
+  }
+  const std::size_t crc_end = pos;
+  if (!get_u32(bytes, pos, header_crc) ||
+      header_crc != crc_of(bytes.substr(crc_begin, crc_end - crc_begin))) {
+    return parsed;
+  }
+  parsed.valid_header = true;
+  parsed.valid_end = pos;
+
+  while (pos < bytes.size()) {
+    std::size_t record_pos = pos;
+    std::uint32_t payload_bytes = 0;
+    if (!get_u32(bytes, record_pos, payload_bytes)) break;
+    if (payload_bytes == 0 || payload_bytes > kMaxPayloadBytes) break;
+    if (bytes.size() - record_pos < payload_bytes + 4u) break;
+    const std::string_view payload = bytes.substr(record_pos, payload_bytes);
+    record_pos += payload_bytes;
+    std::uint32_t payload_crc = 0;
+    if (!get_u32(bytes, record_pos, payload_crc)) break;
+    if (payload_crc != crc_of(payload)) break;
+    const auto kind = static_cast<std::uint8_t>(payload[0]);
+    if (kind == kKindScenario) {
+      JournalEntry entry;
+      if (!decode_entry_payload(payload, entry)) break;
+      if (entry.status == ScenarioStatus::kOk) ++parsed.ok;
+      parsed.entries.push_back(entry);
+    } else if (kind == kKindComplete) {
+      if (payload.size() != 1) break;
+      parsed.complete = true;
+    } else {
+      break;
+    }
+    pos = record_pos;
+    parsed.valid_end = pos;
+  }
+  return parsed;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+}  // namespace
+
+const char* scenario_status_name(ScenarioStatus status) {
+  switch (status) {
+    case ScenarioStatus::kOk: return "ok";
+    case ScenarioStatus::kTimeout: return "timeout";
+    case ScenarioStatus::kCancelled: return "cancelled";
+    case ScenarioStatus::kFailed: return "failed";
+    case ScenarioStatus::kSkippedResume: return "skipped-resume";
+  }
+  return "unknown";
+}
+
+pipeline::Fingerprint study_fingerprint(std::string_view study_id) {
+  // Two-lane FNV-1a with the same constants as pipeline/context.cpp's
+  // Hasher, over the identity string's length and bytes.
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  constexpr std::uint64_t kPrime2 = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t lo = 0xcbf29ce484222325ULL;
+  std::uint64_t hi = 0x84222325cbf29ce4ULL;
+  const auto feed = [&](unsigned char b) {
+    lo = (lo ^ b) * kPrime;
+    hi = (hi ^ b) * kPrime2;
+  };
+  std::uint64_t size = study_id.size();
+  for (int i = 0; i < 8; ++i) {
+    feed(static_cast<unsigned char>(size >> (8 * i)));
+  }
+  for (const char c : study_id) feed(static_cast<unsigned char>(c));
+  return {lo, hi};
+}
+
+std::string StudyJournal::path_for(const std::string& root,
+                                   const pipeline::Fingerprint& study) {
+  return (fs::path(root) / "journals" /
+          (pipeline::to_hex(study) + ".osimjrn"))
+      .string();
+}
+
+StudyJournal::StudyJournal(const std::string& root,
+                           const pipeline::Fingerprint& study)
+    : study_(study), path_(path_for(root, study)) {
+  std::error_code ec;
+  fs::create_directories(fs::path(path_).parent_path(), ec);
+
+  const std::string bytes = read_file(path_);
+  ParsedJournal parsed = parse_journal(bytes);
+  const bool fresh =
+      !parsed.valid_header || !(parsed.study == study_);
+  if (fresh) {
+    // Missing, damaged, version-skewed or alien journal: start over. The
+    // journal is an accelerator like the store — never an error source.
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    if (f == nullptr) throw Error("cannot create study journal: " + path_);
+    const std::string header = encode_header(study_);
+    std::fwrite(header.data(), 1, header.size(), f);
+    std::fflush(f);
+    file_ = f;
+    return;
+  }
+  recovered_ = std::move(parsed.entries);
+  recovered_complete_ = parsed.complete;
+  if (parsed.valid_end < bytes.size()) {
+    // A crash tore the last append; drop the torn tail before continuing
+    // so our appends land on a valid prefix.
+    fs::resize_file(path_, parsed.valid_end, ec);
+    if (ec) throw Error("cannot truncate torn study journal: " + path_);
+  }
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) throw Error("cannot open study journal: " + path_);
+}
+
+StudyJournal::~StudyJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void StudyJournal::write_record(const std::string& payload) {
+  std::string record;
+  put_u32(record, static_cast<std::uint32_t>(payload.size()));
+  record += payload;
+  put_u32(record, crc_of(payload));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  maybe_crash("journal.append");
+  // Two-part write with a crash point between: OSIM_CRASH_POINT=
+  // journal.append.torn leaves exactly the torn record the salvage
+  // parser must truncate (supervise_test exercises this).
+  const std::size_t half = record.size() / 2;
+  std::fwrite(record.data(), 1, half, file_);
+  std::fflush(file_);
+  maybe_crash("journal.append.torn");
+  std::fwrite(record.data() + half, 1, record.size() - half, file_);
+  if (std::fflush(file_) != 0 || std::ferror(file_) != 0) {
+    throw Error("cannot append to study journal: " + path_);
+  }
+}
+
+void StudyJournal::append(const JournalEntry& entry) {
+  write_record(encode_entry_payload(entry));
+}
+
+void StudyJournal::append_complete() {
+  std::string payload;
+  put_u8(payload, kKindComplete);
+  write_record(payload);
+}
+
+std::vector<JournalInfo> list_journals(const std::string& root) {
+  std::vector<JournalInfo> infos;
+  const fs::path dir = fs::path(root) / "journals";
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return infos;
+  for (const auto& file : fs::directory_iterator(dir, ec)) {
+    if (!file.is_regular_file()) continue;
+    if (file.path().extension() != ".osimjrn") continue;
+    JournalInfo info;
+    info.path = file.path().string();
+    std::error_code size_ec;
+    info.bytes = static_cast<std::uint64_t>(fs::file_size(file.path(),
+                                                          size_ec));
+    const ParsedJournal parsed = parse_journal(read_file(info.path));
+    info.valid = parsed.valid_header;
+    info.study = parsed.study;
+    info.entries = parsed.entries.size();
+    info.ok = parsed.ok;
+    info.complete = parsed.complete;
+    infos.push_back(std::move(info));
+  }
+  std::sort(infos.begin(), infos.end(),
+            [](const JournalInfo& a, const JournalInfo& b) {
+              return a.path < b.path;
+            });
+  return infos;
+}
+
+std::size_t gc_journals(const std::string& root) {
+  std::size_t removed = 0;
+  for (const JournalInfo& info : list_journals(root)) {
+    if (info.valid && !info.complete) continue;  // study still in flight
+    std::error_code ec;
+    if (fs::remove(info.path, ec) && !ec) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace osim::supervise

@@ -5,6 +5,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <numeric>
 #include <stdexcept>
 #include <string>
@@ -410,6 +413,226 @@ TEST(Report, StudyReportRecordsScenarios) {
             std::string::npos);
   EXPECT_NE(json.find("\"again\""), std::string::npos);
   EXPECT_NE(json.find("\"cache_hit\":true"), std::string::npos);
+}
+
+// --- supervision -------------------------------------------------------------
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/osim_pipeline_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(StudySupervision, OffByDefault) {
+  unsetenv("OSIM_CACHE_DIR");
+  Study study;
+  EXPECT_FALSE(study.supervised());
+  EXPECT_FALSE(study.interrupted());
+  EXPECT_EQ(study.journal(), nullptr);
+  const std::string json = study_report_json(study);
+  // The unsupervised report must not grow status fields (bit-identity
+  // with pre-supervision reports; perf_identity_test pins the CRC).
+  EXPECT_EQ(json.find("\"status\""), std::string::npos);
+  EXPECT_EQ(json.find("\"journal_hits\""), std::string::npos);
+}
+
+TEST(StudySupervision, ScenarioTimeoutRecordsPartialAndContinues) {
+  StudyOptions options;
+  options.record_scenarios = true;
+  options.scenario_timeout_s = 1e-9;  // expires before the first poll
+  Study study(options);
+  EXPECT_TRUE(study.supervised());
+  study.makespan(ReplayContext(ring_trace(4, 64), ring_platform(4)), "slow");
+  // A timeout is a per-scenario outcome: the sweep itself is not
+  // interrupted and later scenarios still run.
+  EXPECT_FALSE(study.interrupted());
+  const std::vector<ScenarioRecord> records = study.scenarios();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].status, supervise::ScenarioStatus::kTimeout);
+  EXPECT_FALSE(records[0].cache_hit);
+  const std::string json = study_report_json(study);
+  EXPECT_NE(json.find("\"status\":\"timeout\""), std::string::npos) << json;
+}
+
+TEST(StudySupervision, StopFlagCancelsWithoutReplaying) {
+  std::atomic<bool> stop{true};  // already raised: pre-flight must catch it
+  StudyOptions options;
+  options.record_scenarios = true;
+  options.stop_flag = &stop;
+  Study study(options);
+  study.makespan(ReplayContext(ring_trace(2, 2), ring_platform(2)), "late");
+  EXPECT_TRUE(study.interrupted());
+  const std::vector<ScenarioRecord> records = study.scenarios();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].status, supervise::ScenarioStatus::kCancelled);
+  EXPECT_EQ(records[0].wall_s, 0.0);
+  const std::string json = study_report_json(study);
+  EXPECT_NE(json.find("\"status\":\"interrupted\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"status\":\"cancelled\""), std::string::npos) << json;
+}
+
+TEST(StudySupervision, StudyDeadlineInterruptsTheSweep) {
+  StudyOptions options;
+  options.record_scenarios = true;
+  options.study_deadline_s = 1e-9;
+  Study study(options);
+  study.makespan(ReplayContext(ring_trace(2, 2), ring_platform(2)), "a");
+  study.makespan(ReplayContext(ring_trace(2, 3), ring_platform(2)), "b");
+  EXPECT_TRUE(study.interrupted());
+  for (const ScenarioRecord& record : study.scenarios()) {
+    EXPECT_EQ(record.status, supervise::ScenarioStatus::kCancelled);
+  }
+}
+
+TEST(StudySupervision, JournalRequiresACacheDir) {
+  unsetenv("OSIM_CACHE_DIR");
+  StudyOptions options;
+  options.journal = true;
+  EXPECT_THROW({ Study study(options); }, Error);
+}
+
+TEST(StudySupervision, ResumeServesFromJournalBitIdentically) {
+  const std::string dir = fresh_dir("resume");
+  const trace::Trace t = ring_trace(4, 3);
+  const ReplayContext base(t, ring_platform(4));
+  std::vector<ReplayContext> contexts;
+  for (const double bw : {100.0, 250.0, 500.0}) {
+    contexts.push_back(base.with_bandwidth(bw));
+  }
+  std::vector<double> cold;
+  std::string cold_report;
+  {
+    StudyOptions options;
+    options.cache_dir = dir;
+    options.journal = true;
+    options.record_scenarios = true;
+    options.study_id = "resume-test";
+    Study study(options);
+    for (std::size_t i = 0; i < contexts.size(); ++i) {
+      cold.push_back(study.makespan(contexts[i], "bw" + std::to_string(i)));
+    }
+    cold_report = study_report_canonical_json(study);
+  }
+  // Wipe the object store: resume must be journal-only, proving the
+  // journal entries carry complete results rather than store pointers.
+  fs::remove_all(dir + "/objects");
+
+  StudyOptions options;
+  options.cache_dir = dir;
+  options.journal = true;
+  options.resume = true;
+  options.record_scenarios = true;
+  options.study_id = "resume-test";
+  Study resumed(options);
+  std::vector<double> warm;
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    warm.push_back(resumed.makespan(contexts[i], "bw" + std::to_string(i)));
+  }
+  EXPECT_EQ(resumed.journal_hits(), contexts.size());
+  EXPECT_EQ(resumed.cache_misses(), 0u);
+  EXPECT_EQ(resumed.disk_hits(), 0u);
+  for (const ScenarioRecord& record : resumed.scenarios()) {
+    EXPECT_EQ(record.cache_tier, CacheTier::kJournal);
+    // Resumed scenarios carry completed results: the skipped-resume
+    // marker lives in the journal, never in the report.
+    EXPECT_EQ(record.status, supervise::ScenarioStatus::kOk);
+  }
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(warm[i], cold[i]) << "scenario " << i;
+  }
+  // The acceptance property at unit scale: the canonical study report
+  // after a resume is byte-identical to the uninterrupted run's.
+  EXPECT_EQ(study_report_canonical_json(resumed), cold_report);
+}
+
+TEST(StudySupervision, ResumeDoesNotServeStoppedScenarios) {
+  const std::string dir = fresh_dir("resume_retry");
+  const ReplayContext context(ring_trace(2, 2), ring_platform(2));
+  {
+    StudyOptions options;
+    options.cache_dir = dir;
+    options.journal = true;
+    options.scenario_timeout_s = 1e-9;
+    options.study_id = "retry-test";
+    Study study(options);
+    study.makespan(context, "victim");  // journaled as timeout
+  }
+  StudyOptions options;
+  options.cache_dir = dir;
+  options.resume = true;
+  options.journal = true;
+  options.record_scenarios = true;
+  options.study_id = "retry-test";
+  Study resumed(options);
+  const double makespan = resumed.makespan(context, "victim");
+  EXPECT_GT(makespan, 0.0);  // actually replayed this time
+  EXPECT_EQ(resumed.journal_hits(), 0u);
+  ASSERT_EQ(resumed.scenarios().size(), 1u);
+  EXPECT_EQ(resumed.scenarios()[0].status, supervise::ScenarioStatus::kOk);
+}
+
+TEST(StudySupervision, MemoryBudgetEvictsOldestFirst) {
+  StudyOptions options;
+  options.memory_budget_bytes = 1;  // below one entry: keep only the newest
+  Study study(options);
+  const ReplayContext base(ring_trace(2, 2), ring_platform(2));
+  const std::vector<double> bandwidths = {100.0, 250.0, 500.0};
+  std::vector<double> first_pass;
+  for (const double bw : bandwidths) {
+    first_pass.push_back(study.makespan(base.with_bandwidth(bw)));
+  }
+  EXPECT_EQ(study.cache_size(), 1u);
+  EXPECT_EQ(study.cache_evictions(), bandwidths.size() - 1);
+  // Evicted entries replay again — degradation costs time, never results.
+  EXPECT_EQ(study.makespan(base.with_bandwidth(bandwidths[0])),
+            first_pass[0]);
+  EXPECT_EQ(study.cache_hits(), 0u);
+  // The newest entry is still resident and served from memory.
+  EXPECT_EQ(study.cache_size(), 1u);
+}
+
+TEST(StudySupervision, MemoryBudgetWithDiskTierDegradesToWarmDisk) {
+  StudyOptions options;
+  options.cache_dir = fresh_dir("budget_disk");
+  options.memory_budget_bytes = 1;
+  Study study(options);
+  const ReplayContext base(ring_trace(2, 2), ring_platform(2));
+  const double first = study.makespan(base.with_bandwidth(100.0));
+  study.makespan(base.with_bandwidth(250.0));  // evicts the first entry
+  EXPECT_EQ(study.makespan(base.with_bandwidth(100.0)), first);
+  EXPECT_EQ(study.disk_hits(), 1u);      // the store answered the re-probe
+  EXPECT_EQ(study.cache_misses(), 2u);   // no third replay happened
+}
+
+TEST(StudySupervision, WriteBehindQueuesAndRetries) {
+  const std::string dir = fresh_dir("write_behind");
+  StudyOptions options;
+  options.cache_dir = dir;
+  options.memory_budget_bytes = 1 << 20;  // any supervision flag works
+  Study study(options);
+  ASSERT_NE(study.store(), nullptr);
+  // Break publication: replace the store's tmp directory with a file so
+  // every temp write fails with ENOTDIR.
+  fs::remove_all(dir + "/tmp");
+  { std::ofstream block(dir + "/tmp", std::ios::binary); }
+  const ReplayContext context(ring_trace(2, 2), ring_platform(2));
+  const double makespan = study.makespan(context);
+  EXPECT_GT(makespan, 0.0);  // the sweep itself is unharmed
+  EXPECT_EQ(study.pending_store_writes(), 1u);
+  // Heal the store and force a retry: the queued write lands.
+  fs::remove(dir + "/tmp");
+  fs::create_directories(dir + "/tmp");
+  EXPECT_EQ(study.flush_store_writes(), 0u);
+  EXPECT_EQ(study.pending_store_writes(), 0u);
+  StudyOptions verify_options;
+  verify_options.cache_dir = dir;
+  Study verify_study(verify_options);
+  EXPECT_EQ(verify_study.makespan(context), makespan);
+  EXPECT_EQ(verify_study.disk_hits(), 1u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 // entirely from the disk tier with bit-identical makespans.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -304,6 +305,32 @@ TEST(ScenarioStore, DamagedIndexIsRebuiltFromObjects) {
   EXPECT_TRUE(stats.index_rebuilt);
   EXPECT_EQ(stats.objects, 1u);
   EXPECT_TRUE(store.load(fp(5, 6)).has_value());  // objects are unaffected
+}
+
+TEST(ScenarioStore, StaleTmpFilesAreSweptOnOpen) {
+  const std::string dir = fresh_dir("tmp_sweep");
+  { ScenarioStore store(dir); }  // create the tree
+  const std::string stale = dir + "/tmp/tmp.12345.0";
+  const std::string young = dir + "/tmp/tmp.12345.1";
+  write_file(stale, "orphan of a crashed publication");
+  write_file(young, "a live writer mid-rename");
+  // Backdate one file past the sweep horizon; the other stays young.
+  fs::last_write_time(stale, fs::file_time_type::clock::now() -
+                                 std::chrono::hours(24));
+
+  // A fresh open sweeps the stale orphan but leaves the young file for
+  // its (possibly live) writer.
+  ScenarioStore store(dir);
+  EXPECT_FALSE(fs::exists(stale));
+  EXPECT_TRUE(fs::exists(young));
+
+  // The explicit entry point with a zero horizon clears the rest.
+  EXPECT_EQ(ScenarioStore::sweep_stale_tmp(dir, std::chrono::seconds(0)), 1u);
+  EXPECT_FALSE(fs::exists(young));
+
+  // Sweeping a store with no tmp directory at all is a quiet no-op.
+  fs::remove_all(dir + "/tmp");
+  EXPECT_EQ(ScenarioStore::sweep_stale_tmp(dir, std::chrono::seconds(0)), 0u);
 }
 
 TEST(ScenarioStore, UnindexedObjectsAreAdopted) {

@@ -3,13 +3,17 @@
 // --cache-dir / $OSIM_CACHE_DIR disk tier.
 //
 //   osim_cache stats  --cache-dir DIR            # object/byte/hit totals
+//   osim_cache stats  --cache-dir DIR --journals # + per-study journals
 //   osim_cache verify --cache-dir DIR            # full integrity scan
 //   osim_cache gc     --cache-dir DIR --max-bytes N [--max-objects M]
 //
 // verify decodes every object (magic, version, CRC, address) and checks
 // the index; it exits 0 only on a fully intact store, 1 otherwise. gc
 // removes corrupt objects unconditionally and then evicts least-recently-
-// used objects until the store fits the given budget.
+// used objects until the store fits the given budget; study journals
+// (supervise/journal.hpp) whose study completed — or whose file no longer
+// parses — are evicted too, while in-progress journals are kept so a
+// later --resume still finds them.
 //
 // Exit codes follow common/exit_codes.hpp: 0 OK, 1 verification failures,
 // 2 bad command line.
@@ -21,7 +25,9 @@
 #include "common/expect.hpp"
 #include "common/flags.hpp"
 #include "common/strings.hpp"
+#include "pipeline/fingerprint.hpp"
 #include "store/store.hpp"
+#include "supervise/journal.hpp"
 
 int main(int argc, char** argv) try {
   using namespace osim;
@@ -41,11 +47,14 @@ int main(int argc, char** argv) try {
   std::string cache_dir;
   std::int64_t max_bytes = -1;
   std::int64_t max_objects = 0;
+  bool show_journals = false;
   Flags flags(
       "osim_cache <stats|verify|gc>: inspect and maintain a persistent "
       "scenario store");
   flags.add("cache-dir", &cache_dir,
             "scenario store directory (default: $OSIM_CACHE_DIR)");
+  flags.add("journals", &show_journals,
+            "stats: list each study journal (path, entries, status)");
   flags.add("max-bytes", &max_bytes,
             "gc: evict LRU objects until the store holds at most this many "
             "bytes (required for gc; 0 empties the store)");
@@ -79,6 +88,33 @@ int main(int argc, char** argv) try {
       std::printf("index: rebuilt from an object scan (was missing or "
                   "damaged)\n");
     }
+    const std::vector<supervise::JournalInfo> journals =
+        supervise::list_journals(dir);
+    std::size_t complete = 0;
+    std::size_t invalid = 0;
+    for (const supervise::JournalInfo& j : journals) {
+      if (!j.valid) ++invalid;
+      else if (j.complete) ++complete;
+    }
+    std::printf("journals: %zu (%zu complete, %zu in progress%s)\n",
+                journals.size(), complete,
+                journals.size() - complete - invalid,
+                invalid != 0
+                    ? strprintf(", %zu unreadable", invalid).c_str()
+                    : "");
+    if (show_journals) {
+      for (const supervise::JournalInfo& j : journals) {
+        const char* state = !j.valid      ? "unreadable"
+                            : j.complete  ? "complete"
+                                          : "in progress";
+        std::printf("  %s  %zu entr%s (%zu ok)  %s  %s\n",
+                    j.valid ? pipeline::to_hex(j.study).c_str()
+                            : j.path.c_str(),
+                    j.entries, j.entries == 1 ? "y" : "ies", j.ok,
+                    format_bytes(static_cast<double>(j.bytes)).c_str(),
+                    state);
+      }
+    }
     return kExitOk;
   }
 
@@ -104,6 +140,11 @@ int main(int argc, char** argv) try {
                 format_bytes(static_cast<double>(report.bytes_removed)).c_str(),
                 static_cast<unsigned long long>(report.objects_kept),
                 format_bytes(static_cast<double>(report.bytes_kept)).c_str());
+    const std::size_t journals_removed = supervise::gc_journals(dir);
+    if (journals_removed != 0) {
+      std::printf("gc: removed %zu finished-study journal(s)\n",
+                  journals_removed);
+    }
     return kExitOk;
   }
 

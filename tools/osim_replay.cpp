@@ -16,17 +16,22 @@
 //
 // Exit codes follow common/exit_codes.hpp: 2 = bad command line, 3 = the
 // trace could not be read (use --recover to salvage what loads), 4 = the
-// trace was damaged but replayed from the salvaged prefix.
+// trace was damaged but replayed from the salvaged prefix, 5 = the replay
+// was stopped by --scenario-timeout or a SIGINT/SIGTERM before finishing
+// (partial progress is printed, nothing is cached).
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <optional>
 #include <utility>
 
 #include "analysis/critical_path.hpp"
+#include "common/cancel.hpp"
 #include "common/exit_codes.hpp"
 #include "common/expect.hpp"
 #include "common/flags.hpp"
 #include "common/run_options.hpp"
+#include "common/signals.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "dimemas/platform_io.hpp"
@@ -61,6 +66,7 @@ int main(int argc, char** argv) try {
   std::string progress_spec;
   bool recover = false;
   std::int64_t timeline_width = 100;
+  double scenario_timeout = 0.0;
   RunOptions run;
 
   Flags flags("osim_replay: replay a trace file on a configurable platform");
@@ -91,6 +97,10 @@ int main(int argc, char** argv) try {
   flags.add("recover", &recover,
             "salvage a damaged trace instead of rejecting it (exit code 4 "
             "when records were lost)");
+  flags.add("scenario-timeout", &scenario_timeout,
+            "wall-clock budget in seconds; when it expires (or on "
+            "SIGINT/SIGTERM) the replay stops cooperatively and exits "
+            "with code 5 and its partial progress (0 = unbounded)");
   run.register_flags(flags, "report",
                      "write a JSON run report (wait-time attribution, "
                      "occupancy, protocol counters) to this path");
@@ -161,6 +171,20 @@ int main(int argc, char** argv) try {
   if (!progress_spec.empty()) {
     options.progress = dimemas::parse_progress_spec(progress_spec);
   }
+  // --scenario-timeout arms a wall-clock watchdog and turns SIGINT/SIGTERM
+  // into a cooperative drain instead of an abort. The token is not part of
+  // the scenario fingerprint, so a supervised replay shares store objects
+  // with unsupervised runs of the same scenario.
+  CancelToken cancel_token;
+  if (scenario_timeout > 0.0) {
+    install_graceful_shutdown();
+    cancel_token = CancelToken(shutdown_flag());
+    cancel_token.set_scenario_deadline(
+        CancelToken::Clock::now() +
+        std::chrono::duration_cast<CancelToken::Clock::duration>(
+            std::chrono::duration<double>(scenario_timeout)));
+    options.cancel = &cancel_token;
+  }
   // The context validates the trace once (failing with lint diagnostics);
   // the study carries the --jobs thread pool and replay cache.
   const pipeline::ReplayContext context(t, platform, options);
@@ -192,7 +216,23 @@ int main(int argc, char** argv) try {
     }
   }
   if (!served_from_store) {
-    result = study.run(context);
+    try {
+      result = study.run(context);
+    } catch (const CancelledError& e) {
+      const PartialProgress& partial = e.partial();
+      std::fprintf(
+          stderr,
+          "interrupted: %s after %s simulated (%llu DES events, %lld/%d "
+          "ranks finished, %s compute, %s blocked); nothing cached\n",
+          stop_cause_name(e.cause()),
+          format_seconds(partial.sim_time_s).c_str(),
+          static_cast<unsigned long long>(partial.des_events),
+          static_cast<long long>(partial.ranks_finished),
+          static_cast<int>(t.num_ranks),
+          format_seconds(partial.compute_s).c_str(),
+          format_seconds(partial.blocked_s).c_str());
+      return kExitInterrupted;
+    }
     if (cache != nullptr && cacheable) {
       cache->save(context.fingerprint(), store::make_artifact(result));
     }
