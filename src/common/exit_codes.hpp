@@ -11,9 +11,12 @@
 //   5  interrupted: a supervised run stopped early (SIGINT/SIGTERM or
 //      --study-deadline). Any flushed report is a valid partial document
 //      with "status": "interrupted" — trustworthy, but not the full sweep
+//   6  busy: the analysis service refused the request under admission
+//      control (queue depth or in-flight byte budget exhausted). The
+//      request was never accepted — resubmitting later is safe
 //
-// Keep the numbers stable: scripts/pipeline_test.sh and
-// scripts/resilience_test.sh assert them.
+// Keep the numbers stable: scripts/pipeline_test.sh,
+// scripts/resilience_test.sh and scripts/serve_test.sh assert them.
 #pragma once
 
 namespace osim {
@@ -24,5 +27,6 @@ inline constexpr int kExitUsage = 2;
 inline constexpr int kExitUnreadable = 3;
 inline constexpr int kExitSalvaged = 4;
 inline constexpr int kExitInterrupted = 5;
+inline constexpr int kExitBusy = 6;
 
 }  // namespace osim

@@ -1,10 +1,21 @@
-// Graceful-shutdown signal handling for supervised studies. The first
-// SIGINT/SIGTERM raises a process-wide atomic flag that supervised code
-// (pipeline::Study via StudyOptions::stop_flag, osim_replay's cancel
-// token) polls cooperatively: in-flight scenarios drain, a partial study
-// report is flushed, and the process exits with kExitInterrupted. A
-// second signal restores the default disposition and re-raises, so a
-// repeated Ctrl-C still kills a wedged process the ordinary way.
+// Graceful-shutdown signal handling for supervised studies and daemons.
+//
+// Studies: the first SIGINT/SIGTERM raises a process-wide atomic flag that
+// supervised code (pipeline::Study via StudyOptions::stop_flag,
+// osim_replay's cancel token) polls cooperatively: in-flight scenarios
+// drain, a partial study report is flushed, and the process exits with
+// kExitInterrupted. A second signal restores the default disposition and
+// re-raises, so a repeated Ctrl-C still kills a wedged process the
+// ordinary way.
+//
+// Daemons (osim_serve): a poll()-driven controller cannot rely on flag
+// polling alone — a signal that lands between the flag check and the
+// poll() call would sleep until the next unrelated wakeup. signal_wake_fd()
+// is the classic self-pipe answer: handlers write one byte to a
+// non-blocking pipe whose read end sits in the controller's poll set, so
+// every SIGINT/SIGTERM/SIGCHLD turns into a level-triggered readable fd.
+// install_child_reaper() adds the SIGCHLD half (dead workers), and
+// reap_children() collects every exited child without blocking.
 //
 // Installation is explicit and opt-in (BenchSetup only installs the
 // handler when a supervision flag was given), so unsupervised runs keep
@@ -12,6 +23,7 @@
 #pragma once
 
 #include <atomic>
+#include <vector>
 
 namespace osim {
 
@@ -26,5 +38,43 @@ const std::atomic<bool>* shutdown_flag();
 
 /// True once a shutdown signal has been received.
 bool shutdown_requested();
+
+/// Ignores SIGPIPE process-wide. A daemon whose client disconnects
+/// mid-reply must see EPIPE from write() (an error it can handle per
+/// connection), not a process-killing signal. Idempotent.
+void ignore_sigpipe();
+
+/// The read end of the signal self-pipe (created on first call; -1 when
+/// pipes are unavailable). After install_graceful_shutdown() /
+/// install_child_reaper(), the fd becomes readable whenever a handled
+/// signal fires; put it in a poll set and call drain_signal_wake_fd()
+/// on wakeup. The fd is non-blocking and close-on-exec and belongs to
+/// this module — never close it.
+int signal_wake_fd();
+
+/// Reads off any pending wake bytes (non-blocking; safe to call anytime).
+void drain_signal_wake_fd();
+
+/// Installs a SIGCHLD handler that raises child_exit_pending() and wakes
+/// signal_wake_fd(). Idempotent. Reaping itself happens synchronously in
+/// reap_children() — the handler only notifies, keeping it trivially
+/// async-signal-safe.
+void install_child_reaper();
+
+/// True once SIGCHLD has fired since the last reap_children() call.
+bool child_exit_pending();
+
+/// One child collected by reap_children(). `status` is the raw waitpid
+/// status — use WIFEXITED/WIFSIGNALED and friends to interpret it.
+struct ReapedChild {
+  int pid = -1;
+  int status = 0;
+};
+
+/// Collects every exited child right now (waitpid WNOHANG loop) and
+/// clears child_exit_pending(). Never blocks; returns an empty vector
+/// when no child has exited. Safe to call without install_child_reaper()
+/// — the reaper only adds the wakeup, not the ability to reap.
+std::vector<ReapedChild> reap_children();
 
 }  // namespace osim

@@ -148,6 +148,19 @@ Fingerprint fingerprint_of(const trace::Trace& trace) {
   return trace_fingerprint(trace);
 }
 
+Fingerprint combined_fingerprint(const Fingerprint& trace_fingerprint,
+                                 const dimemas::Platform& platform,
+                                 dimemas::ReplayOptions options) {
+  options.validate_input = false;  // a sealed context always replays with
+                                   // validation off; hash what replays
+  Hasher h;
+  h.u64(trace_fingerprint.lo);
+  h.u64(trace_fingerprint.hi);
+  hash_platform(h, platform);
+  hash_options(h, options);
+  return h.value();
+}
+
 ReplayContext::ReplayContext(trace::Trace trace, dimemas::Platform platform,
                              dimemas::ReplayOptions options)
     : ReplayContext(std::make_shared<const trace::Trace>(std::move(trace)),
@@ -176,12 +189,7 @@ ReplayContext::ReplayContext(std::shared_ptr<const trace::Trace> trace,
 
 void ReplayContext::seal() {
   options_.validate_input = false;  // validated once, at construction
-  Hasher h;
-  h.u64(trace_fingerprint_.lo);
-  h.u64(trace_fingerprint_.hi);
-  hash_platform(h, platform_);
-  hash_options(h, options_);
-  fingerprint_ = h.value();
+  fingerprint_ = combined_fingerprint(trace_fingerprint_, platform_, options_);
 }
 
 ReplayContext ReplayContext::with_platform(dimemas::Platform platform) const {

@@ -28,6 +28,17 @@ namespace osim::pipeline {
 /// that do not depend on a platform — e.g. cached lint reports.
 Fingerprint fingerprint_of(const trace::Trace& trace);
 
+/// The combined (trace, platform, options) fingerprint a sealed
+/// ReplayContext would carry — validate_input is forced off first, exactly
+/// as seal() does, so the result matches ReplayContext::fingerprint() bit
+/// for bit. This is the piece that lets a caller who already knows a
+/// trace's fingerprint (the osim_serve controller deduping requests, a
+/// store maintenance tool) address scenarios without re-validating or even
+/// holding the trace.
+Fingerprint combined_fingerprint(const Fingerprint& trace_fingerprint,
+                                 const dimemas::Platform& platform,
+                                 dimemas::ReplayOptions options);
+
 class ReplayContext {
  public:
   /// Validates `trace` up front; throws osim::Error on a corrupt trace,

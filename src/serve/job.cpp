@@ -1,0 +1,179 @@
+#include "serve/job.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "common/crash_point.hpp"
+#include "common/expect.hpp"
+#include "dimemas/progress.hpp"
+#include "faults/spec.hpp"
+#include "lint/lint.hpp"
+#include "pipeline/context.hpp"
+#include "pipeline/lint_cache.hpp"
+#include "pipeline/report.hpp"
+#include "pipeline/scenario.hpp"
+#include "trace/binary_io.hpp"
+
+namespace osim::serve {
+
+void encode_spec(std::string& out, const ScenarioSpec& spec) {
+  wire::put_string(out, spec.trace_path);
+  wire::put_f64(out, spec.bandwidth);
+  wire::put_f64(out, spec.latency);
+  wire::put_i64(out, spec.buses);
+  wire::put_i64(out, spec.ports);
+  wire::put_i64(out, spec.eager);
+  wire::put_string(out, spec.collectives);
+  wire::put_string(out, spec.fault_spec);
+  wire::put_string(out, spec.progress_spec);
+}
+
+ScenarioSpec decode_spec(wire::Reader& reader) {
+  ScenarioSpec spec;
+  spec.trace_path = reader.get_string();
+  spec.bandwidth = reader.get_f64();
+  spec.latency = reader.get_f64();
+  spec.buses = reader.get_i64();
+  spec.ports = reader.get_i64();
+  spec.eager = reader.get_i64();
+  spec.collectives = reader.get_string();
+  spec.fault_spec = reader.get_string();
+  spec.progress_spec = reader.get_string();
+  return spec;
+}
+
+dimemas::Platform platform_for(const ScenarioSpec& spec,
+                               std::int32_t num_ranks) {
+  // Field-for-field the platform osim_replay builds from its flags (the
+  // no---platform-file branch); any drift here breaks the byte-identity
+  // contract with the batch tool's report.
+  dimemas::Platform platform;
+  platform.num_nodes = num_ranks;
+  platform.bandwidth_MBps = spec.bandwidth;
+  platform.latency_us = spec.latency;
+  platform.num_buses = static_cast<std::int32_t>(spec.buses);
+  platform.input_ports = static_cast<std::int32_t>(spec.ports);
+  platform.output_ports = static_cast<std::int32_t>(spec.ports);
+  platform.eager_threshold_bytes = static_cast<std::uint64_t>(spec.eager);
+  return platform;
+}
+
+dimemas::ReplayOptions options_for(const ScenarioSpec& spec) {
+  dimemas::ReplayOptions options;
+  options.collect_metrics = true;  // the service always builds the report
+  if (spec.collectives == "binomial-tree") {
+    options.collective_algo = dimemas::CollectiveAlgo::kBinomialTree;
+  } else if (spec.collectives == "linear") {
+    options.collective_algo = dimemas::CollectiveAlgo::kLinear;
+  } else if (spec.collectives == "recursive-doubling") {
+    options.collective_algo = dimemas::CollectiveAlgo::kRecursiveDoubling;
+  } else {
+    throw UsageError("unknown collective algorithm: " + spec.collectives);
+  }
+  if (!spec.fault_spec.empty()) {
+    options.faults = faults::parse_spec(spec.fault_spec);
+  }
+  if (!spec.progress_spec.empty()) {
+    options.progress = dimemas::parse_progress_spec(spec.progress_spec);
+  }
+  return options;
+}
+
+TraceInfo probe_trace(const std::string& path) {
+  const trace::Trace t = trace::read_any_file(path);
+  TraceInfo info;
+  info.fingerprint = pipeline::fingerprint_of(t);
+  info.num_ranks = t.num_ranks;
+  std::error_code ec;
+  const std::uintmax_t bytes = std::filesystem::file_size(path, ec);
+  info.file_bytes = ec ? 0 : static_cast<std::uint64_t>(bytes);
+  return info;
+}
+
+pipeline::Fingerprint spec_fingerprint(const ScenarioSpec& spec,
+                                       const TraceInfo& trace) {
+  return pipeline::combined_fingerprint(trace.fingerprint,
+                                        platform_for(spec, trace.num_ranks),
+                                        options_for(spec));
+}
+
+JobOutcome run_job_on_trace(const ScenarioSpec& spec,
+                            const std::shared_ptr<const trace::Trace>& trace,
+                            store::ScenarioStore* store) {
+  JobOutcome outcome;
+  try {
+    maybe_crash("serve.worker.job");
+    const dimemas::Platform platform = platform_for(spec, trace->num_ranks);
+    const pipeline::ReplayContext context(trace, platform, options_for(spec));
+    const dimemas::SimResult result = pipeline::run_scenario(context);
+    // The replay itself is not storable (collect_metrics contexts carry
+    // metrics the artifact format deliberately omits), but the lint block
+    // is pure trace analysis and caches exactly as in osim_replay.
+    lint::LintOptions lint_options;
+    lint_options.eager_threshold_bytes = platform.eager_threshold_bytes;
+    const lint::Report lint_report =
+        pipeline::lint_with_cache(*trace, lint_options, store);
+    outcome.report_json = pipeline::replay_report_json(
+        result, platform, trace->app.empty() ? "app" : trace->app,
+        &lint_report);
+    outcome.ok = true;
+  } catch (const std::exception& e) {
+    outcome.error = e.what();
+  }
+  return outcome;
+}
+
+JobOutcome run_job(const ScenarioSpec& spec, store::ScenarioStore* store) {
+  try {
+    auto trace = std::make_shared<const trace::Trace>(
+        trace::read_any_file(spec.trace_path));
+    return run_job_on_trace(spec, trace, store);
+  } catch (const std::exception& e) {
+    JobOutcome outcome;
+    outcome.error = e.what();
+    return outcome;
+  }
+}
+
+std::string encode_job_request(const JobRequest& request) {
+  std::string out;
+  wire::put_u64(out, request.ticket.hi);
+  wire::put_u64(out, request.ticket.lo);
+  encode_spec(out, request.spec);
+  return out;
+}
+
+std::optional<JobRequest> decode_job_request(std::string_view payload) {
+  wire::Reader reader(payload);
+  JobRequest request;
+  request.ticket.hi = reader.get_u64();
+  request.ticket.lo = reader.get_u64();
+  request.spec = decode_spec(reader);
+  if (!reader.done()) return std::nullopt;
+  return request;
+}
+
+std::string encode_job_result(const JobResult& result) {
+  std::string out;
+  wire::put_u64(out, result.ticket.hi);
+  wire::put_u64(out, result.ticket.lo);
+  wire::put_u8(out, result.ok ? 1 : 0);
+  wire::put_string(out, result.report_json);
+  wire::put_string(out, result.error);
+  return out;
+}
+
+std::optional<JobResult> decode_job_result(std::string_view payload) {
+  wire::Reader reader(payload);
+  JobResult result;
+  result.ticket.hi = reader.get_u64();
+  result.ticket.lo = reader.get_u64();
+  const std::uint8_t ok = reader.get_u8();
+  result.report_json = reader.get_string();
+  result.error = reader.get_string();
+  if (!reader.done() || ok > 1) return std::nullopt;
+  result.ok = ok == 1;
+  return result;
+}
+
+}  // namespace osim::serve

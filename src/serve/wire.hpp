@@ -1,0 +1,130 @@
+// Bounds-checked little-endian (de)serialization for the RPC layer.
+//
+// The store's object format (store/format.cpp) keeps equivalent helpers
+// private because objects are decoded whole, off disk, by one reader. RPC
+// payloads are different: they arrive from an untrusted peer, in pieces,
+// and every message type decodes through the same primitives — so the
+// primitives live here, public to src/serve, and are total by
+// construction. A Reader never throws and never reads out of bounds: the
+// first underrun or oversized string latches ok() == false, every
+// subsequent get returns a zero value, and decoders check ok() && done()
+// once at the end instead of guarding every field. This is what the
+// framing fuzzer (tests/serve_test.cpp) leans on: any bit flip or
+// truncation must land in "reject", never in UB.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace osim::serve::wire {
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+inline void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+/// u32 byte length + raw bytes.
+inline void put_string(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  /// Every byte consumed and no error: the strict-decode success predicate.
+  bool done() const { return ok_ && pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  std::uint8_t get_u8() {
+    if (!take(1)) return 0;
+    return static_cast<std::uint8_t>(data_[pos_ - 1]);
+  }
+
+  std::uint32_t get_u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(data_[pos_ - 4 + i]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t get_u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ - 8 + i]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+
+  double get_f64() {
+    const std::uint64_t bits = get_u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  /// Inverse of put_string. The declared length is validated against the
+  /// bytes actually present BEFORE anything is copied, so a forged header
+  /// claiming 4 GB cannot make the reader allocate 4 GB.
+  std::string get_string() {
+    const std::uint32_t n = get_u32();
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return std::string();
+    }
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace osim::serve::wire

@@ -1,0 +1,125 @@
+// Worker processes of the analysis service — the slurmd side of the
+// controller/worker split.
+//
+// A worker is a crash domain: it runs the replay pipeline (the part that
+// can be OOM-killed, crash-injected, or wedged by a pathological trace)
+// across a socketpair from the controller, which holds only bookkeeping.
+// Two spawn modes share one loop:
+//
+//   fork+exec   the production mode. The controller re-execs its own
+//               binary with --worker --worker-fd 3, so the child gets a
+//               fresh address space (no inherited malloc/lock state, the
+//               classic fork-without-exec hazard) and a SIGKILL kills
+//               exactly one scenario attempt.
+//   thread      run_worker_loop() on a std::thread inside the controller
+//               process; no isolation, but no binary path either — the
+//               mode unit tests and non-unix builds use.
+//
+// The wire between them is the same u32-length framing as the client RPC
+// (serve/protocol.hpp) with the JobRequest/JobResult vocabulary from
+// serve/job.hpp, decoded strictly on both ends.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/job.hpp"
+#include "serve/protocol.hpp"
+
+namespace osim::serve {
+
+/// The worker side: reads job frames from `fd` until EOF or protocol
+/// error, replays each, writes result frames back. Owns (and closes) `fd`.
+/// Returns a process exit code (0 on clean EOF). Traces are cached across
+/// consecutive jobs on the same path, so a batched sweep validates its
+/// trace once.
+int run_worker_loop(int fd, const std::string& cache_dir);
+
+struct WorkerOptions {
+  int count = 2;
+  bool use_fork = true;       // false: in-process thread workers
+  std::string serve_binary;   // this binary's path (fork mode)
+  std::string cache_dir;      // store root forwarded to workers ('' = none)
+};
+
+/// The controller's view of its workers: spawn, assign, collect, reap,
+/// respawn. Not thread-safe — the controller event loop is the only
+/// caller.
+class WorkerPool {
+ public:
+  explicit WorkerPool(WorkerOptions options);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Spawns workers up to the configured count. Throws osim::Error when a
+  /// worker cannot be spawned.
+  void start();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+  /// Poll fd for worker `i`; -1 while the slot is dead.
+  int fd(int i) const { return workers_[static_cast<std::size_t>(i)]->fd; }
+  /// Child pid for worker `i`; -1 in thread mode or while dead.
+  int pid(int i) const { return workers_[static_cast<std::size_t>(i)]->pid; }
+  bool alive(int i) const {
+    return workers_[static_cast<std::size_t>(i)]->fd >= 0;
+  }
+  std::size_t inflight(int i) const {
+    return workers_[static_cast<std::size_t>(i)]->inflight.size();
+  }
+  /// An alive worker with no in-flight jobs, or -1.
+  int idle_worker() const;
+  int busy_workers() const;
+
+  /// Sends `batch` to worker `i` (one frame per job, processed in order).
+  void assign(int i, const std::vector<JobRequest>& batch);
+
+  /// Drains readable bytes from worker `i`, returning every completed
+  /// result. Sets `dead` when the stream ended (EOF, error, or a protocol
+  /// violation) — the caller requeues take_inflight() and respawn()s.
+  std::vector<JobResult> on_readable(int i, bool& dead);
+
+  /// The jobs assigned to worker `i` that have not produced a result —
+  /// what a death loses and the controller must requeue.
+  std::vector<JobRequest> take_inflight(int i);
+
+  /// Worker slot owning child `pid`, or -1 (fork mode; SIGCHLD path).
+  int worker_by_pid(int pid) const;
+
+  /// Marks worker `i` dead (closes the fd, joins a thread worker).
+  void mark_dead(int i);
+
+  /// Re-spawns a dead slot. Throws osim::Error on spawn failure.
+  void respawn(int i);
+
+  /// Closes every worker fd (workers see EOF and exit) and, in fork mode,
+  /// leaves the children to be reaped by the caller's SIGCHLD path; in
+  /// thread mode joins them.
+  void shutdown();
+
+  std::uint64_t spawned() const { return spawned_; }
+  std::uint64_t deaths() const { return deaths_; }
+
+ private:
+  struct Worker {
+    int fd = -1;
+    int pid = -1;
+    std::unique_ptr<std::thread> thread;
+    FrameReader reader;
+    std::deque<JobRequest> inflight;
+  };
+
+  void spawn(Worker& worker);
+
+  WorkerOptions options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::uint64_t spawned_ = 0;
+  std::uint64_t deaths_ = 0;
+};
+
+}  // namespace osim::serve

@@ -342,12 +342,89 @@ std::optional<DecodedLintObject> decode_lint_object(std::string_view bytes) {
   return decoded;
 }
 
+pipeline::Fingerprint report_address(const pipeline::Fingerprint& scenario) {
+  // Same two-lane FNV-1a construction as the context fingerprints
+  // (pipeline/context.cpp), folded over a domain tag so a report address
+  // can never equal the scenario fingerprint it derives from.
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  constexpr std::uint64_t kPrime2 = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t lo = 0xcbf29ce484222325ULL;
+  std::uint64_t hi = 0x84222325cbf29ce4ULL;
+  const auto mix_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      const auto b = static_cast<unsigned char>(v >> (8 * i));
+      lo = (lo ^ b) * kPrime;
+      hi = (hi ^ b) * kPrime2;
+    }
+  };
+  mix_u64(0x52505254);  // domain tag "RPRT"
+  mix_u64(scenario.lo);
+  mix_u64(scenario.hi);
+  mix_u64(kReportObjectVersion);
+  return pipeline::Fingerprint{lo, hi};
+}
+
+std::string encode_report_object(const pipeline::Fingerprint& fp,
+                                 std::string_view report_json) {
+  std::string out;
+  out.reserve(kReportObjectMagic.size() + 28 + report_json.size() + 4);
+  out.append(kReportObjectMagic);
+  put_u32(out, kReportObjectVersion);
+  put_u64(out, fp.hi);
+  put_u64(out, fp.lo);
+  put_u64(out, report_json.size());
+  out.append(report_json);
+  put_u32(out, object_crc(
+                   std::string_view(out).substr(kReportObjectMagic.size())));
+  return out;
+}
+
+std::optional<DecodedReportObject> decode_report_object(
+    std::string_view bytes) {
+  constexpr std::size_t kHeader = 8 + 4 + 8 + 8 + 8;  // magic..payload_bytes
+  if (bytes.size() < kHeader + 4) return std::nullopt;
+  if (bytes.substr(0, kReportObjectMagic.size()) != kReportObjectMagic) {
+    return std::nullopt;
+  }
+  std::size_t tail = bytes.size() - 4;
+  std::uint32_t stored_crc = 0;
+  if (!get_u32(bytes, tail, stored_crc)) return std::nullopt;
+  if (object_crc(bytes.substr(kReportObjectMagic.size(),
+                              bytes.size() - kReportObjectMagic.size() - 4)) !=
+      stored_crc) {
+    return std::nullopt;
+  }
+
+  std::size_t pos = kReportObjectMagic.size();
+  std::uint32_t version = 0;
+  if (!get_u32(bytes, pos, version)) return std::nullopt;
+  if (version != kReportObjectVersion) return std::nullopt;  // skew = miss
+
+  DecodedReportObject decoded;
+  std::uint64_t payload_bytes = 0;
+  if (!get_u64(bytes, pos, decoded.fingerprint.hi) ||
+      !get_u64(bytes, pos, decoded.fingerprint.lo) ||
+      !get_u64(bytes, pos, payload_bytes)) {
+    return std::nullopt;
+  }
+  if (payload_bytes != bytes.size() - kHeader - 4) return std::nullopt;
+  decoded.report_json.assign(bytes.substr(pos, payload_bytes));
+  return decoded;
+}
+
 std::optional<pipeline::Fingerprint> probe_object(std::string_view bytes) {
   if (bytes.size() >= kLintObjectMagic.size() &&
       bytes.substr(0, kLintObjectMagic.size()) == kLintObjectMagic) {
     const std::optional<DecodedLintObject> lint_obj =
         decode_lint_object(bytes);
     if (lint_obj.has_value()) return lint_obj->fingerprint;
+    return std::nullopt;
+  }
+  if (bytes.size() >= kReportObjectMagic.size() &&
+      bytes.substr(0, kReportObjectMagic.size()) == kReportObjectMagic) {
+    const std::optional<DecodedReportObject> report_obj =
+        decode_report_object(bytes);
+    if (report_obj.has_value()) return report_obj->fingerprint;
     return std::nullopt;
   }
   const std::optional<DecodedObject> obj = decode_object(bytes);

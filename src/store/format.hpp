@@ -48,6 +48,14 @@ inline constexpr std::uint32_t kObjectVersion = 2;
 inline constexpr std::string_view kLintObjectMagic = "OSIMLNT1";
 inline constexpr std::uint32_t kLintObjectVersion = 1;
 
+/// Third object kind: a finished JSON run report, stored verbatim by the
+/// analysis service (osim_serve) so a controller restart — or another
+/// controller sharing the store — can answer fetch-report without
+/// replaying. Keyed by report_address() (a domain-tagged derivation of the
+/// scenario fingerprint), same envelope, own magic.
+inline constexpr std::string_view kReportObjectMagic = "OSIMRPT1";
+inline constexpr std::uint32_t kReportObjectVersion = 1;
+
 /// The cached result of one replay. Rich enough to reconstruct the
 /// summary-level SimResult (makespan, per-rank statistics, fault counters)
 /// that the benches and osim_replay's default output consume; timelines,
@@ -103,6 +111,28 @@ struct DecodedLintObject {
 
 /// Strict decode; nullopt on any damage, version skew or a non-lint magic.
 std::optional<DecodedLintObject> decode_lint_object(std::string_view bytes);
+
+/// Storage address of a scenario's cached run report: the scenario
+/// fingerprint folded with a domain tag and the report-object version, so
+/// a report object can never collide with the replay artifact of the same
+/// scenario (which keeps the raw fingerprint as its address).
+pipeline::Fingerprint report_address(const pipeline::Fingerprint& scenario);
+
+/// Serializes a run-report JSON document under content address `fp`
+/// (callers pass report_address(scenario_fp)). The JSON bytes are stored
+/// verbatim — what makes a fetched report byte-identical to the batch
+/// osim_replay --report output it was computed by.
+std::string encode_report_object(const pipeline::Fingerprint& fp,
+                                 std::string_view report_json);
+
+struct DecodedReportObject {
+  pipeline::Fingerprint fingerprint;
+  std::string report_json;
+};
+
+/// Strict decode; nullopt on any damage, version skew or a foreign magic.
+std::optional<DecodedReportObject> decode_report_object(
+    std::string_view bytes);
 
 /// Kind-dispatching integrity probe used by verify()/gc(): decodes `bytes`
 /// as whichever object kind its magic announces and returns the embedded

@@ -376,6 +376,74 @@ void ScenarioStore::save_lint(const pipeline::Fingerprint& fp,
   write_index(index);
 }
 
+std::optional<std::string> ScenarioStore::load_report(
+    const pipeline::Fingerprint& scenario) {
+  const pipeline::Fingerprint fp = report_address(scenario);
+  const std::optional<std::string> bytes = read_file(object_path(fp));
+  if (!bytes.has_value()) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++misses_;
+    return std::nullopt;
+  }
+  std::optional<DecodedReportObject> decoded = decode_report_object(*bytes);
+  if (!decoded.has_value() || !(decoded->fingerprint == fp)) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++misses_;
+    ++rejects_;
+    return std::nullopt;
+  }
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++hits_;
+  }
+  {
+    FileLock lock(fs::path(root_) / kLockName);
+    Index index = reconciled_index();
+    ++index.clock;
+    for (IndexEntry& entry : index.entries) {
+      if (entry.fp == fp) {
+        entry.last_access = index.clock;
+        ++entry.hits;
+        entry.bytes = bytes->size();
+        break;
+      }
+    }
+    write_index(index);
+  }
+  return std::move(decoded->report_json);
+}
+
+void ScenarioStore::save_report(const pipeline::Fingerprint& scenario,
+                                std::string_view report_json) {
+  const pipeline::Fingerprint fp = report_address(scenario);
+  const std::string bytes = encode_report_object(fp, report_json);
+  const fs::path path(object_path(fp));
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  if (ec) {
+    throw Error("store: cannot create " + path.parent_path().string() + ": " +
+                ec.message());
+  }
+  write_file_atomic(path, bytes, fs::path(root_) / "tmp");
+
+  FileLock lock(fs::path(root_) / kLockName);
+  Index index = reconciled_index();
+  ++index.clock;
+  bool found = false;
+  for (IndexEntry& entry : index.entries) {
+    if (entry.fp == fp) {
+      entry.bytes = bytes.size();
+      entry.last_access = index.clock;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    index.entries.push_back(IndexEntry{fp, bytes.size(), index.clock, 0});
+  }
+  write_index(index);
+}
+
 std::vector<pipeline::Fingerprint> ScenarioStore::scan_objects() const {
   std::vector<pipeline::Fingerprint> found;
   std::error_code ec;

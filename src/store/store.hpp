@@ -31,6 +31,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "pipeline/fingerprint.hpp"
@@ -115,6 +116,16 @@ class ScenarioStore {
 
   /// Lint-report twin of save().
   void save_lint(const pipeline::Fingerprint& fp, const lint::Report& report);
+
+  /// Run-report twin of load(): strict read-through lookup of a cached
+  /// JSON run report (object kind "OSIMRPT1"), keyed by the *scenario*
+  /// fingerprint — the report_address() derivation happens inside, so
+  /// callers never handle report addresses directly.
+  std::optional<std::string> load_report(const pipeline::Fingerprint& scenario);
+
+  /// Run-report twin of save(); stores the JSON bytes verbatim.
+  void save_report(const pipeline::Fingerprint& scenario,
+                   std::string_view report_json);
 
   /// Absolute object path for `fp` (the file may or may not exist).
   std::string object_path(const pipeline::Fingerprint& fp) const;

@@ -5,11 +5,20 @@
 #include <cmath>
 #include <set>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <csignal>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
 #include "common/csv.hpp"
 #include "common/expect.hpp"
 #include "common/flags.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "common/signals.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -463,6 +472,73 @@ TEST(Log, CaptureAndLevels) {
   EXPECT_NE(captured.find("value is 42 and text"), std::string::npos);
   EXPECT_EQ(captured.find("should not appear"), std::string::npos);
 }
+
+// --- signals: the daemon-side child reaper ----------------------------------
+
+#if defined(__unix__) || defined(__APPLE__)
+
+// A worker killed with SIGKILL must surface through the reaper: SIGCHLD
+// wakes the self-pipe, and reap_children() returns the pid with the
+// signal-death status — the exact path osim_serve uses to requeue a dead
+// worker's scenarios.
+TEST(Signals, ReaperCollectsSigkilledChild) {
+  install_child_reaper();
+  const int wake_fd = signal_wake_fd();
+  ASSERT_GE(wake_fd, 0);
+  drain_signal_wake_fd();
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: wait to be killed; exit abnormally if the kill never lands.
+    for (int i = 0; i < 1000; ++i) usleep(10 * 1000);
+    _exit(99);
+  }
+  ASSERT_EQ(kill(pid, SIGKILL), 0);
+
+  // The wake fd must become readable without polling flags in a loop.
+  // SIGCHLD landing *during* poll interrupts it with EINTR (the reaper is
+  // installed without SA_RESTART so blocking calls wake) — retry, the
+  // handler's wake byte is already in the pipe by then.
+  struct pollfd pfd = {};
+  pfd.fd = wake_fd;
+  pfd.events = POLLIN;
+  int ready = -1;
+  do {
+    ready = poll(&pfd, 1, 5000 /* ms */);
+  } while (ready < 0 && errno == EINTR);
+  ASSERT_EQ(ready, 1) << "SIGCHLD did not wake the self-pipe";
+  drain_signal_wake_fd();
+
+  EXPECT_TRUE(child_exit_pending());
+  std::vector<ReapedChild> reaped = reap_children();
+  // Collect stragglers (the signal may beat the zombie transition).
+  for (int i = 0; reaped.empty() && i < 500; ++i) {
+    usleep(10 * 1000);
+    reaped = reap_children();
+  }
+  ASSERT_EQ(reaped.size(), 1u);
+  EXPECT_EQ(reaped[0].pid, static_cast<int>(pid));
+  ASSERT_TRUE(WIFSIGNALED(reaped[0].status));
+  EXPECT_EQ(WTERMSIG(reaped[0].status), SIGKILL);
+  EXPECT_FALSE(child_exit_pending());
+  // Nothing left to reap afterwards.
+  EXPECT_TRUE(reap_children().empty());
+}
+
+TEST(Signals, IgnoreSigpipeSurvivesClosedPipeWrite) {
+  ignore_sigpipe();
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(pipe(fds), 0);
+  close(fds[0]);
+  const char byte = 'x';
+  // Without SIG_IGN this write would kill the process, not return -1.
+  EXPECT_EQ(write(fds[1], &byte, 1), -1);
+  EXPECT_EQ(errno, EPIPE);
+  close(fds[1]);
+}
+
+#endif
 
 }  // namespace
 }  // namespace osim

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -174,6 +175,89 @@ TEST(StoreFormat, RejectsTruncationAndTrailingBytes) {
         << "prefix " << n;
   }
   EXPECT_FALSE(decode_object(good + '\0').has_value());
+}
+
+// --- report objects (OSIMRPT1, the osim_serve durable tier) ----------------
+
+TEST(ReportObject, EncodeDecodeRoundTrip) {
+  const pipeline::Fingerprint scenario = fp(33, 44);
+  const pipeline::Fingerprint addr = report_address(scenario);
+  const std::string json = "{\"schema\":\"osim.run_report\",\"makespan\":1.5}";
+  const std::string bytes = encode_report_object(addr, json);
+  const auto decoded = decode_report_object(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->fingerprint, addr);
+  EXPECT_EQ(decoded->report_json, json);
+}
+
+TEST(ReportObject, AddressNeverCollidesWithScenario) {
+  // The report object shares the store's object tree with the replay
+  // artifact of the same scenario; the domain-tagged derivation must give
+  // it a different address or one kind would overwrite the other.
+  const pipeline::Fingerprint scenario = fp(5, 6);
+  EXPECT_FALSE(report_address(scenario) == scenario);
+  // And the derivation is deterministic.
+  EXPECT_EQ(report_address(scenario), report_address(scenario));
+  EXPECT_FALSE(report_address(fp(5, 7)) == report_address(scenario));
+}
+
+TEST(ReportObject, AnyDamageIsAMiss) {
+  const pipeline::Fingerprint addr = report_address(fp(1, 2));
+  const std::string good = encode_report_object(addr, "{\"k\":1}");
+  for (std::size_t offset = 0; offset < good.size(); ++offset) {
+    std::string bad = good;
+    bad[offset] = static_cast<char>(bad[offset] ^ 0x01);
+    EXPECT_FALSE(decode_report_object(bad).has_value()) << "offset " << offset;
+  }
+  for (std::size_t n = 0; n < good.size(); ++n) {
+    EXPECT_FALSE(decode_report_object(good.substr(0, n)).has_value())
+        << "prefix " << n;
+  }
+  EXPECT_FALSE(decode_report_object(good + '\0').has_value());
+}
+
+TEST(ReportObject, StoreRoundTripAndProbe) {
+  const std::string dir = fresh_dir("report_objects");
+  ScenarioStore store(dir);
+  const pipeline::Fingerprint scenario = fp(100, 200);
+  const std::string json = "{\"schema\":\"osim.run_report\",\"app\":\"cg\"}";
+  EXPECT_FALSE(store.load_report(scenario).has_value());
+  store.save_report(scenario, json);
+  const std::optional<std::string> loaded = store.load_report(scenario);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, json);
+  // A replay artifact under the same scenario key coexists: different
+  // addresses, one store.
+  store.save(scenario, sample_artifact(2));
+  EXPECT_TRUE(store.load(scenario).has_value());
+  EXPECT_TRUE(store.load_report(scenario).has_value());
+  // verify() understands the new kind (probe_object dispatch).
+  EXPECT_TRUE(store.verify().clean());
+}
+
+TEST(ReportObject, CorruptReportObjectIsAMissAndGcRemovesIt) {
+  const std::string dir = fresh_dir("report_corrupt");
+  ScenarioStore store(dir);
+  const pipeline::Fingerprint scenario = fp(9, 9);
+  store.save_report(scenario, "{\"x\":true}");
+  const std::string path = store.object_path(report_address(scenario));
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = std::move(buffer).str();
+  }
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_FALSE(store.load_report(scenario).has_value());
+  EXPECT_GE(store.rejects(), 1u);
+  EXPECT_FALSE(store.verify().clean());
+  store.gc(1 << 20);
+  EXPECT_TRUE(store.verify().clean());
 }
 
 // --- ScenarioStore ----------------------------------------------------------

@@ -4,6 +4,7 @@
 //
 //   osim_cache stats  --cache-dir DIR            # object/byte/hit totals
 //   osim_cache stats  --cache-dir DIR --journals # + per-study journals
+//   osim_cache stats  --cache-dir DIR --json     # machine-readable document
 //   osim_cache verify --cache-dir DIR            # full integrity scan
 //   osim_cache gc     --cache-dir DIR --max-bytes N [--max-objects M]
 //
@@ -24,8 +25,10 @@
 #include "common/exit_codes.hpp"
 #include "common/expect.hpp"
 #include "common/flags.hpp"
+#include "common/run_options.hpp"
 #include "common/strings.hpp"
 #include "pipeline/fingerprint.hpp"
+#include "serve/stats.hpp"
 #include "store/store.hpp"
 #include "supervise/journal.hpp"
 
@@ -44,17 +47,20 @@ int main(int argc, char** argv) try {
     }
   }
 
-  std::string cache_dir;
+  RunOptions run;
   std::int64_t max_bytes = -1;
   std::int64_t max_objects = 0;
   bool show_journals = false;
+  bool json = false;
   Flags flags(
       "osim_cache <stats|verify|gc>: inspect and maintain a persistent "
       "scenario store");
-  flags.add("cache-dir", &cache_dir,
-            "scenario store directory (default: $OSIM_CACHE_DIR)");
+  run.register_flags(flags, nullptr, "");
   flags.add("journals", &show_journals,
             "stats: list each study journal (path, entries, status)");
+  flags.add("json", &json,
+            "stats: print the machine-readable osim.cache_stats document "
+            "(the same body the analysis service's server-stats embeds)");
   flags.add("max-bytes", &max_bytes,
             "gc: evict LRU objects until the store holds at most this many "
             "bytes (required for gc; 0 empties the store)");
@@ -66,13 +72,19 @@ int main(int argc, char** argv) try {
     throw UsageError("missing command: expected stats, verify or gc\n" +
                      flags.usage());
   }
-  const std::string dir = store::resolve_cache_dir(cache_dir);
+  const std::string dir = store::resolve_cache_dir(run.cache_dir);
   if (dir.empty()) {
     throw UsageError("no store: pass --cache-dir or set $OSIM_CACHE_DIR");
   }
   store::ScenarioStore cache(dir);
 
   if (command == "stats") {
+    if (json) {
+      const std::vector<supervise::JournalInfo> journals =
+          supervise::list_journals(dir);
+      std::printf("%s\n", serve::cache_stats_json(cache, journals).c_str());
+      return kExitOk;
+    }
     const store::StoreStats stats = cache.stats();
     std::printf("store: %s\n", cache.root().c_str());
     std::printf("objects: %llu\n",

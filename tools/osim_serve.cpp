@@ -1,0 +1,142 @@
+// osim_serve — the always-on analysis service (controller process).
+//
+// Runs the controller/worker daemon described in DESIGN.md §3.10: clients
+// (osim_client, or anything speaking OSIMRPC1) submit scenarios over a
+// Unix-domain socket, the controller dedupes them by scenario fingerprint,
+// batches compatible work, and schedules it onto forked worker processes
+// that run the ordinary replay pipeline with the scenario store as the
+// warm tier.
+//
+//   osim_serve --socket /tmp/osim.sock --workers 4 --cache-dir ~/.cache/osim
+//   osim_serve --socket /tmp/osim.sock --journal --cache-dir DIR   # durable
+//   osim_serve --socket /tmp/osim.sock --tcp-port 7077             # + TCP
+//
+// Exit codes follow common/exit_codes.hpp: 0 after a shutdown RPC, 2 bad
+// command line, 5 after a SIGTERM/SIGINT drain (running jobs finished,
+// queue cancelled, every waiter answered).
+//
+// The --worker mode is internal: the controller re-execs this binary with
+// --worker --worker-fd 3 to spawn each worker process.
+#include <cstdio>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "common/exit_codes.hpp"
+#include "common/expect.hpp"
+#include "common/flags.hpp"
+#include "common/signals.hpp"
+#include "serve/controller.hpp"
+#include "serve/worker.hpp"
+#include "store/store.hpp"
+
+namespace {
+
+// The path the controller re-execs for worker processes: the running
+// binary itself, resolved through /proc where available so a PATH-relative
+// argv[0] still works.
+std::string self_binary(const char* argv0) {
+#if defined(__linux__)
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
+#endif
+  return argv0 != nullptr ? std::string(argv0) : std::string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace osim;
+
+  std::string socket_path;
+  std::int64_t tcp_port = 0;
+  std::int64_t workers = 2;
+  std::string worker_mode = "fork";
+  std::string cache_dir;
+  bool journal = false;
+  std::int64_t max_queue = 64;
+  std::int64_t max_inflight_bytes = std::int64_t{256} << 20;
+  std::int64_t max_retries = 2;
+  std::int64_t max_batch = 8;
+  std::int64_t report_cache = 64;
+  bool worker = false;
+  std::int64_t worker_fd = -1;
+
+  Flags flags(
+      "osim_serve: the always-on analysis service (submit scenarios with "
+      "osim_client)");
+  flags.add("socket", &socket_path,
+            "Unix-domain socket to listen on (required)");
+  flags.add("tcp-port", &tcp_port,
+            "additionally listen on 127.0.0.1:<port> (0 = off)");
+  flags.add("workers", &workers, "worker processes");
+  flags.add("worker-mode", &worker_mode,
+            "worker isolation: fork (processes) | thread (in-process)");
+  flags.add("cache-dir", &cache_dir,
+            "scenario store directory (default: $OSIM_CACHE_DIR; the "
+            "service's durable tier)");
+  flags.add("journal", &journal,
+            "journal completed scenarios so a restart resumes without "
+            "recomputing (requires a cache dir)");
+  flags.add("max-queue", &max_queue,
+            "admission control: refuse submits beyond this many queued "
+            "jobs (exit code 6 at the client)");
+  flags.add("max-inflight-bytes", &max_inflight_bytes,
+            "admission control: refuse submits once queued trace files "
+            "exceed this many bytes");
+  flags.add("max-retries", &max_retries,
+            "worker deaths tolerated per job before it is failed");
+  flags.add("max-batch", &max_batch,
+            "max same-trace jobs handed to one worker at a time");
+  flags.add("report-cache", &report_cache,
+            "completed reports kept in memory (older ones served from the "
+            "store)");
+  flags.add("worker", &worker, "internal: run as a worker process");
+  flags.add("worker-fd", &worker_fd, "internal: the worker's job socket fd");
+  if (!flags.parse(argc, argv)) return 0;
+
+  if (worker) {
+    if (worker_fd < 0) throw UsageError("--worker requires --worker-fd");
+    ignore_sigpipe();
+    return serve::run_worker_loop(static_cast<int>(worker_fd),
+                                  store::resolve_cache_dir(cache_dir));
+  }
+
+  if (socket_path.empty()) throw UsageError("--socket is required");
+  if (worker_mode != "fork" && worker_mode != "thread") {
+    throw UsageError("--worker-mode must be fork or thread");
+  }
+
+  serve::ControllerOptions options;
+  options.socket_path = socket_path;
+  options.tcp_port = static_cast<int>(tcp_port);
+  options.workers = static_cast<int>(workers);
+  options.fork_workers = worker_mode == "fork";
+  options.serve_binary = self_binary(argc > 0 ? argv[0] : nullptr);
+  options.cache_dir = store::resolve_cache_dir(cache_dir);
+  options.journal = journal && !options.cache_dir.empty();
+  options.max_queue = max_queue;
+  options.max_inflight_bytes = max_inflight_bytes;
+  options.max_retries = static_cast<int>(max_retries);
+  options.max_batch = static_cast<int>(max_batch);
+  options.report_cache_entries = report_cache;
+
+  std::fprintf(stderr,
+               "osim_serve: listening on %s (%lld %s worker(s)%s%s)\n",
+               socket_path.c_str(), static_cast<long long>(workers),
+               worker_mode.c_str(),
+               options.cache_dir.empty() ? "" : ", store ",
+               options.cache_dir.c_str());
+
+  serve::Controller controller(options);
+  return controller.run();
+} catch (const osim::UsageError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return osim::kExitUsage;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return osim::kExitError;
+}
